@@ -1,0 +1,280 @@
+package micco_test
+
+import (
+	"sync"
+	"testing"
+
+	"micco"
+)
+
+// benchHarness is shared across benchmarks so the reuse-bound model is
+// trained once; quick mode keeps sweep sizes benchmark-friendly while
+// exercising the same code paths as the full paper runs.
+var (
+	benchOnce    sync.Once
+	benchH       *micco.Harness
+	benchPrepErr error
+)
+
+func harness(b *testing.B) *micco.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchH = micco.NewHarness(micco.HarnessOptions{Quick: true, Seed: 2022})
+		_, benchPrepErr = benchH.Predictor() // train once, outside timing
+	})
+	if benchPrepErr != nil {
+		b.Fatal(benchPrepErr)
+	}
+	return benchH
+}
+
+func benchExperiment(b *testing.B, id string) {
+	h := harness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := h.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig5Spearman regenerates the Spearman correlation heatmap of
+// data characteristics, reuse bounds and GFLOPS (paper Fig. 5).
+func BenchmarkFig5Spearman(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTab4Regression regenerates the regression-model comparison
+// (paper Table IV) on the quick corpus.
+func BenchmarkTab4Regression(b *testing.B) { benchExperiment(b, "tab4") }
+
+// BenchmarkFig7Overall regenerates the overall-performance sweep
+// (paper Fig. 7): Groute vs MICCO-naive vs MICCO-optimal.
+func BenchmarkFig7Overall(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTab5Overhead regenerates the scheduling-overhead measurement
+// (paper Table V).
+func BenchmarkTab5Overhead(b *testing.B) { benchExperiment(b, "tab5") }
+
+// BenchmarkFig8ReuseBounds regenerates the reuse-bound sweep
+// (paper Fig. 8): thirteen bound settings across three cases.
+func BenchmarkFig8ReuseBounds(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Scalability regenerates the 1-8 GPU scalability study
+// (paper Fig. 9).
+func BenchmarkFig9Scalability(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10TensorSize regenerates the tensor-size study
+// (paper Fig. 10).
+func BenchmarkFig10TensorSize(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11Oversubscription regenerates the memory-oversubscription
+// study (paper Fig. 11).
+func BenchmarkFig11Oversubscription(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkTab6Redstar regenerates the real-correlator case study
+// (paper Table VI) through the Wick/graph/Redstar front end.
+func BenchmarkTab6Redstar(b *testing.B) { benchExperiment(b, "tab6") }
+
+// --- component benchmarks and ablations -----------------------------------
+
+func benchWorkload(b *testing.B) *micco.Workload {
+	b.Helper()
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed: 1, Stages: 10, VectorSize: 64, TensorDim: 384, Batch: 8,
+		Rank: micco.RankMeson, RepeatRate: 0.5, Dist: micco.Uniform,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSchedulerMICCO measures MICCO's end-to-end scheduling and
+// simulation throughput; b.N counts whole 640-contraction workload runs.
+func BenchmarkSchedulerMICCO(b *testing.B) {
+	w := benchWorkload(b)
+	cluster, err := micco.NewCluster(micco.MI100(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := micco.NewMICCOFixed(micco.Bounds{0, 2, 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerGroute is the baseline counterpart of
+// BenchmarkSchedulerMICCO.
+func BenchmarkSchedulerGroute(b *testing.B) {
+	w := benchWorkload(b)
+	cluster, err := micco.NewCluster(micco.MI100(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := micco.NewGroute()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPeerFetch measures the design alternative the default
+// config disables: sourcing repeated tensors over a peer-to-peer fabric
+// instead of staging through the host (DESIGN.md ablation).
+func BenchmarkAblationPeerFetch(b *testing.B) {
+	w := benchWorkload(b)
+	for _, peer := range []struct {
+		name string
+		on   bool
+	}{{"HostStaged", false}, {"PeerFetch", true}} {
+		b.Run(peer.name, func(b *testing.B) {
+			cfg := micco.MI100(8)
+			cfg.PeerFetch = peer.on
+			cluster, err := micco.NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := micco.NewMICCOFixed(micco.Bounds{0, 2, 0})
+			var gflops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "simGFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationDeadTensorDiscard measures the liveness-based discard
+// optimization (dropping inputs after their final consumer) against the
+// paper's keep-everything-resident policy, under memory pressure.
+func BenchmarkAblationDeadTensorDiscard(b *testing.B) {
+	w := benchWorkload(b)
+	for _, mode := range []struct {
+		name    string
+		discard bool
+	}{{"KeepResident", false}, {"DiscardDead", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := micco.MI100(8)
+			cfg.MemoryBytes = w.TotalUniqueBytes() / 8 // oversubscribed
+			cluster, err := micco.NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := micco.NewMICCOFixed(micco.Bounds{0, 2, 0})
+			var gflops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := micco.Run(w, s, cluster, micco.RunOptions{DiscardDeadInputs: mode.discard})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "simGFLOPS")
+		})
+	}
+}
+
+// BenchmarkContractionKernel measures the real complex batched matrix
+// multiply used in numeric mode.
+func BenchmarkContractionKernel(b *testing.B) {
+	x, err := micco.NewRandomTensor(micco.TensorDesc{ID: 1, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := micco.NewRandomTensor(micco.TensorDesc{ID: 2, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := micco.Contract(x, y, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWickExpansion measures the Wick-contraction front end compiling
+// the bundled al_rhopi correlator into a staged plan.
+func BenchmarkWickExpansion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := micco.A1RhoPi()
+		c.TimeSlices = 4
+		if _, err := c.BuildPlan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAsyncCopy measures the paper's future-work async-copy
+// extension: per-device copy engines overlapping transfers with kernels.
+func BenchmarkAblationAsyncCopy(b *testing.B) {
+	w := benchWorkload(b)
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"SyncCopy", false}, {"AsyncCopy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := micco.MI100(8)
+			cfg.AsyncCopy = mode.async
+			cluster, err := micco.NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := micco.NewMICCOFixed(micco.Bounds{0, 2, 0})
+			var gflops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "simGFLOPS")
+		})
+	}
+}
+
+// BenchmarkMultiNode measures the hierarchical multi-node extension
+// against its node-Groute baseline on a 4x2-GPU system.
+func BenchmarkMultiNode(b *testing.B) {
+	w := benchWorkload(b)
+	for _, mode := range []struct {
+		name   string
+		groute bool
+	}{{"Hierarchical", false}, {"NodeGroute", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := micco.DefaultMultiNodeConfig(4, 2)
+			cfg.Node.MemoryBytes = int64(1.2 * float64(w.TotalUniqueBytes()))
+			cfg.GrouteNodes = mode.groute
+			mc, err := micco.NewMultiNodeCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var gflops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := micco.RunMultiNode(w, mc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "simGFLOPS")
+		})
+	}
+}

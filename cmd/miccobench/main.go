@@ -1,0 +1,76 @@
+// Command miccobench regenerates the MICCO paper's evaluation tables and
+// figures on the simulated multi-GPU cluster.
+//
+// Usage:
+//
+//	miccobench [-run fig7,tab6] [-quick] [-seed N] [-csv DIR]
+//
+// Without -run, every experiment runs in paper order. With -csv, each
+// table is additionally written as CSV into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"micco"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all paper experiments); available: "+strings.Join(micco.ExperimentIDs(), ",")+",ext")
+	quick := flag.Bool("quick", false, "shrink sweeps and the training corpus for a fast run")
+	seed := flag.Int64("seed", 2022, "random seed for workloads, corpus and models")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	flag.Parse()
+
+	if err := run(*runList, *quick, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "miccobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runList string, quick bool, seed int64, csvDir string) error {
+	ids := micco.ExperimentIDs()
+	if runList != "" {
+		ids = strings.Split(runList, ",")
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed})
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		tab, err := h.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, tab.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// Redirect stdout so the table rendering has somewhere harmless to go.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	err = run("tab5", true, 7, dir)
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "tab5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "distribution") {
+		t.Errorf("CSV missing header:\n%s", raw)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 { // header + two distributions
+		t.Errorf("CSV lines = %d, want 3", len(lines))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", true, 1, ""); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}

@@ -1,0 +1,154 @@
+// Command miccorun executes a workload file (as produced by wgen) on the
+// simulated multi-GPU cluster under a chosen scheduler, completing the
+// generate -> schedule -> measure toolchain.
+//
+// Usage:
+//
+//	wgen -stages 10 -vector 64 -o w.json
+//	miccorun -workload w.json -scheduler micco -gpus 8
+//	miccorun -workload w.json -scheduler groute -compare
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"micco"
+)
+
+func main() {
+	workloadPath := flag.String("workload", "", "workload JSON file (from wgen); required")
+	scheduler := flag.String("scheduler", "micco", "scheduler: micco, micco-naive, groute, roundrobin, locality")
+	bounds := flag.String("bounds", "0,2,0", "reuse bounds for the micco scheduler, e.g. 0,2,0")
+	gpus := flag.Int("gpus", 8, "simulated device count")
+	memGiB := flag.Float64("mem", 0, "per-device pool in GiB (0 = fit the working set with 10% headroom)")
+	compare := flag.Bool("compare", false, "also run every other scheduler and report speedups")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the primary run")
+	flag.Parse()
+
+	if err := run(*workloadPath, *scheduler, *bounds, *gpus, *memGiB, *compare, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "miccorun:", err)
+		os.Exit(1)
+	}
+}
+
+func parseBounds(s string) (micco.Bounds, error) {
+	parts := strings.Split(s, ",")
+	var b micco.Bounds
+	if len(parts) != 3 {
+		return b, fmt.Errorf("bounds %q: want three comma-separated integers", s)
+	}
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &b[i]); err != nil {
+			return b, fmt.Errorf("bounds %q: %w", s, err)
+		}
+		if b[i] < 0 {
+			return b, fmt.Errorf("bounds %q: must be non-negative", s)
+		}
+	}
+	return b, nil
+}
+
+func makeScheduler(name string, b micco.Bounds) (micco.Scheduler, error) {
+	switch name {
+	case "micco":
+		return micco.NewMICCOFixed(b), nil
+	case "micco-naive":
+		return micco.NewMICCONaive(), nil
+	case "groute":
+		return micco.NewGroute(), nil
+	case "roundrobin":
+		return micco.NewRoundRobin(), nil
+	case "locality":
+		return micco.NewLocalityOnly(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func run(workloadPath, scheduler, bounds string, gpus int, memGiB float64, compare bool, traceOut string) error {
+	if workloadPath == "" {
+		return fmt.Errorf("-workload is required")
+	}
+	raw, err := os.ReadFile(workloadPath)
+	if err != nil {
+		return err
+	}
+	var w micco.Workload
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return fmt.Errorf("parse workload: %w", err)
+	}
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("workload %s has no stages", workloadPath)
+	}
+	b, err := parseBounds(bounds)
+	if err != nil {
+		return err
+	}
+	primary, err := makeScheduler(scheduler, b)
+	if err != nil {
+		return err
+	}
+	cfg := micco.MI100(gpus)
+	if memGiB > 0 {
+		cfg.MemoryBytes = int64(memGiB * float64(1<<30))
+	} else {
+		cfg.MemoryBytes = int64(1.1 * float64(w.TotalUniqueBytes()))
+	}
+	cluster, err := micco.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d contractions, %d stages, %.1f GB working set\n",
+		w.Name, w.NumPairs(), len(w.Stages), float64(w.TotalUniqueBytes())/1e9)
+	fmt.Printf("cluster: %d GPUs, %.1f GiB pools\n\n", gpus, float64(cfg.MemoryBytes)/(1<<30))
+
+	if traceOut != "" {
+		cluster.StartTrace()
+	}
+	res, err := micco.Run(&w, primary, cluster, micco.RunOptions{})
+	if err != nil {
+		return err
+	}
+	if traceOut != "" {
+		events := cluster.StopTrace()
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := micco.WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", len(events), traceOut)
+	}
+	report := func(r *micco.Result) {
+		fmt.Printf("%-14s %8.0f GFLOPS  makespan %8.4fs  hits %5d  evictions %4d  speedup %.2fx\n",
+			r.Scheduler, r.GFLOPS, r.Makespan, r.Total.ReuseHits, r.Total.Evictions,
+			micco.Speedup(r, res))
+	}
+	report(res)
+	if compare {
+		for _, name := range []string{"micco", "micco-naive", "groute", "roundrobin", "locality"} {
+			if name == scheduler {
+				continue
+			}
+			s, err := makeScheduler(name, b)
+			if err != nil {
+				return err
+			}
+			other, err := micco.Run(&w, s, cluster, micco.RunOptions{})
+			if err != nil {
+				return err
+			}
+			report(other)
+		}
+	}
+	return nil
+}

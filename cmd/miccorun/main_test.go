@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"micco"
+)
+
+func workloadFile(t *testing.T) string {
+	t.Helper()
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed: 3, Stages: 4, VectorSize: 8, TensorDim: 64, Batch: 2,
+		Rank: micco.RankMeson, RepeatRate: 0.5, Dist: micco.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func silence(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+func TestParseBounds(t *testing.T) {
+	b, err := parseBounds("0,2,0")
+	if err != nil || b != (micco.Bounds{0, 2, 0}) {
+		t.Errorf("parseBounds = %v, %v", b, err)
+	}
+	b, err = parseBounds(" 1 , 2 , 3 ")
+	if err != nil || b != (micco.Bounds{1, 2, 3}) {
+		t.Errorf("spaced bounds = %v, %v", b, err)
+	}
+	for _, bad := range []string{"", "1,2", "a,b,c", "-1,0,0", "1,2,3,4"} {
+		if _, err := parseBounds(bad); err == nil {
+			t.Errorf("parseBounds(%q): want error", bad)
+		}
+	}
+}
+
+func TestMakeScheduler(t *testing.T) {
+	for _, name := range []string{"micco", "micco-naive", "groute", "roundrobin", "locality"} {
+		s, err := makeScheduler(name, micco.Bounds{})
+		if err != nil || s == nil {
+			t.Errorf("makeScheduler(%q): %v", name, err)
+		}
+	}
+	if _, err := makeScheduler("heft", micco.Bounds{}); err == nil {
+		t.Error("unknown scheduler: want error")
+	}
+}
+
+func TestRunWorkloadFileAndCompare(t *testing.T) {
+	path := workloadFile(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	err := silence(t, func() error {
+		return run(path, "micco", "0,2,0", 4, 0, true, trace)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+		t.Error("missing workload: want error")
+	}
+	if err := run("/nonexistent.json", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+		t.Error("bad JSON: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+		t.Error("empty workload: want error")
+	}
+	good := workloadFile(t)
+	if err := run(good, "heft", "0,0,0", 4, 0, false, ""); err == nil {
+		t.Error("bad scheduler: want error")
+	}
+	if err := run(good, "micco", "x", 4, 0, false, ""); err == nil {
+		t.Error("bad bounds: want error")
+	}
+}
+
+func TestRunWithExplicitMemory(t *testing.T) {
+	path := workloadFile(t)
+	err := silence(t, func() error {
+		return run(path, "groute", "0,0,0", 2, 0.25, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

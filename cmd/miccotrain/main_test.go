@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"micco"
+)
+
+func TestTrainSaveAndReload(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "model.json")
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	err = run(24, 7, 4, 0.2, out)
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pred, err := micco.LoadPredictor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Kind != micco.ForestModel || pred.NumGPU != 4 {
+		t.Errorf("reloaded predictor metadata wrong: %+v", pred)
+	}
+	b := pred.PredictBounds(micco.Features{VectorSize: 32, TensorDim: 256, RepeatRate: 0.5})
+	for _, v := range b {
+		if v < 0 {
+			t.Errorf("negative bound %v", b)
+		}
+	}
+}

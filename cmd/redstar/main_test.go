@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"micco"
+)
+
+var (
+	tinyModelOnce sync.Once
+	tinyModelPath string
+	tinyModelErr  error
+)
+
+// tinyModel trains and saves a small predictor once for all CLI tests, so
+// each test skips the full-corpus training that run() would do by default.
+func tinyModel(t *testing.T) string {
+	t.Helper()
+	tinyModelOnce.Do(func() {
+		pred, err := buildTinyCorpus()
+		if err != nil {
+			tinyModelErr = err
+			return
+		}
+		tinyModelPath = filepath.Join(os.TempDir(), "micco-test-model.json")
+		f, err := os.Create(tinyModelPath)
+		if err != nil {
+			tinyModelErr = err
+			return
+		}
+		defer f.Close()
+		tinyModelErr = pred.Save(f)
+	})
+	if tinyModelErr != nil {
+		t.Fatal(tinyModelErr)
+	}
+	return tinyModelPath
+}
+
+// silence redirects stdout during f.
+func silence(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+func TestRunUnknownFunction(t *testing.T) {
+	if err := run("nope", 4, false, 1, "", "", ""); err == nil {
+		t.Error("unknown function: want error")
+	}
+}
+
+func TestRunWithTraceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	err := silence(t, func() error {
+		return run("al_rhopi", 4, false, 7, tinyModel(t), trace, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestRunWithSavedModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a corpus")
+	}
+	err := silence(t, func() error {
+		return run("al_rhopi", 4, false, 7, tinyModel(t), "", "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildTinyCorpus trains a small predictor through the public API.
+func buildTinyCorpus() (*micco.Predictor, error) {
+	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+		Samples: 16, Seed: 3, NumGPU: 4, Stages: 2, Batch: 2, Replicas: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return micco.TrainPredictor(corpus, micco.ForestModel, 0.2, 3)
+}
+
+func TestRunWithDeckFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	deck := filepath.Join(t.TempDir(), "deck.json")
+	content := `{
+	  "name": "custom_rho",
+	  "constructions": [
+	    {"name": "rho", "ops": [{"name": "rho", "quarks": [
+	      {"flavor": "u"}, {"flavor": "d", "bar": true}]}]}
+	  ],
+	  "momenta": 2, "timeSlices": 4, "tensorDim": 32, "batch": 2
+	}`
+	if err := os.WriteFile(deck, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := silence(t, func() error {
+		return run("ignored", 2, false, 7, tinyModel(t), "", deck)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(deck); err != nil {
+		t.Fatal(err)
+	}
+	// Bad deck path errors cleanly.
+	if err := run("x", 2, false, 7, "", "", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing deck: want error")
+	}
+}

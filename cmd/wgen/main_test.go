@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSummaryJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.json")
+	if err := run(3, 8, 64, 1, 0.5, "uniform", 1, true, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["pairs"].(float64) != 24 {
+		t.Errorf("pairs = %v, want 24", doc["pairs"])
+	}
+	stages, ok := doc["stages"].([]any)
+	if !ok || len(stages) != 3 {
+		t.Errorf("stages = %v", doc["stages"])
+	}
+}
+
+func TestRunFullWorkloadJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "full.json")
+	if err := run(2, 4, 16, 1, 0.25, "gaussian", 7, false, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["Stages"]; !ok {
+		t.Error("full dump missing Stages")
+	}
+}
+
+func TestRunRejectsBadDistribution(t *testing.T) {
+	if err := run(1, 1, 1, 1, 0.5, "pareto", 1, true, ""); err == nil {
+		t.Error("unknown distribution: want error")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(0, 4, 16, 1, 0.5, "uniform", 1, true, ""); err == nil {
+		t.Error("zero stages: want error")
+	}
+}

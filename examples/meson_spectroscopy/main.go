@@ -1,0 +1,111 @@
+// Meson spectroscopy: build a correlation function the way Redstar does —
+// define interpolating operators with explicit quark content, expand the
+// Wick contractions into unique contraction graphs over many time slices,
+// stage them, schedule the contraction stream across simulated GPUs, and
+// finally evaluate the correlator C(t) numerically with real complex
+// arithmetic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"micco"
+)
+
+func main() {
+	// A custom two-flavor meson system: a rho-like source against both a
+	// rho-like single particle and a two-pion construction at the sink.
+	corr := &micco.Correlator{
+		Name: "rho_to_pipi",
+		Constructions: []micco.Construction{
+			{Name: "rho", Ops: []micco.Operator{micco.Meson("rho", "u", "d")}},
+			{Name: "pipi", Ops: []micco.Operator{
+				micco.Meson("pi+", "u", "d"),
+				micco.Meson("pi0", "d", "d"),
+			}},
+		},
+		Momenta:    3,
+		TimeSlices: 12,
+		TensorDim:  192,
+		Batch:      4,
+	}
+	if err := corr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	build, err := corr.BuildPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correlator %s:\n", corr.Name)
+	fmt.Printf("  %d unique contraction graphs over %d time slices\n",
+		build.NumGraphs, corr.TimeSlices)
+	fmt.Printf("  %d hadron blocks, %d hadron contractions in %d stages\n",
+		build.Blocks, len(build.Plan.Ops), build.Plan.NumStages())
+	fmt.Printf("  %d contractions shared across graphs (cross-graph reuse)\n\n",
+		build.Plan.SharedOps)
+
+	// Schedule the contraction stream on a simulated four-GPU node.
+	cluster, err := micco.NewCluster(micco.MI100(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gr, err := micco.Run(build.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := micco.Run(build.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduling on 4 simulated GPUs:\n")
+	fmt.Printf("  Groute: %6.0f GFLOPS (%d reuse hits)\n", gr.GFLOPS, gr.Total.ReuseHits)
+	fmt.Printf("  MICCO:  %6.0f GFLOPS (%d reuse hits) -> %.2fx\n\n",
+		mc.GFLOPS, mc.Total.ReuseHits, micco.Speedup(mc, gr))
+
+	// Evaluate the correlator for real on a scaled-down copy (small
+	// blocks keep the CPU arithmetic fast): random hadron blocks stand in
+	// for the perambulators, and C(t) is the traced sum over each sink
+	// time slice's graphs.
+	small := *corr
+	small.TensorDim, small.Batch = 32, 1
+	smallBuild, err := small.BuildPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrSeries, err := smallBuild.EvaluateNumeric(7, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := micco.CorrelatorSeries(corrSeries)
+	meff := micco.EffectiveMass(series)
+	fmt.Println("numeric correlator (random blocks; magnitudes only):")
+	for _, t := range series.Times() {
+		mag := cmplx.Abs(series[t])
+		line := fmt.Sprintf("  C(t=%2d)  |C| = %10.4e", t, mag)
+		if m, ok := meff[t]; ok {
+			line += fmt.Sprintf("   m_eff = %+6.3f", m)
+		}
+		fmt.Println(line)
+	}
+
+	// With random blocks the series does not decay; on physical propagator
+	// data the same analysis extracts the spectrum. Demonstrate on a
+	// synthetic single-state correlator with a known mass.
+	truth := 0.475
+	phys := micco.SyntheticCorrelator(12.0, truth, 1, 12)
+	amp, mass, err := micco.FitCorrelator(phys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plateau, sd, err := micco.PlateauFit(micco.EffectiveMass(phys), 1, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspectroscopy check on a synthetic single-state correlator:\n")
+	fmt.Printf("  true mass %.3f -> exponential fit m = %.3f (A = %.1f),\n", truth, mass, amp)
+	fmt.Printf("  effective-mass plateau %.3f +/- %.1e\n", plateau, sd)
+	fmt.Println("\nwith physical propagator data, this same fit extracts the")
+	fmt.Println("rho / two-pion spectrum from the scheduled contraction stream.")
+}

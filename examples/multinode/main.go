@@ -1,0 +1,60 @@
+// Multi-node: the paper's future-work extension in action. A correlation
+// workload runs across several simulated GPU nodes behind a shared
+// InfiniBand-class fabric; the node-level reuse bound trades inter-node
+// traffic against node balance — the same reuse/balance dial as inside a
+// node, with a much more expensive wrong answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micco"
+)
+
+func main() {
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed: 5, Stages: 8, VectorSize: 32, TensorDim: 768, Batch: 8,
+		Rank: micco.RankMeson, RepeatRate: 0.7, Dist: micco.Uniform,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d contractions, %.1f GB working set\n\n",
+		w.NumPairs(), float64(w.TotalUniqueBytes())/1e9)
+
+	run := func(cfg micco.MultiNodeConfig, label string) *micco.MultiNodeResult {
+		cfg.Node.MemoryBytes = int64(1.2 * float64(w.TotalUniqueBytes()))
+		mc, err := micco.NewMultiNodeCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := micco.RunMultiNode(w, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %7.0f GFLOPS  %6.2f GB over fabric  pairs/node %v\n",
+			label, res.GFLOPS, float64(res.NetBytes)/1e9, res.PairsPerNode)
+		return res
+	}
+
+	fmt.Println("4 nodes x 2 GPUs, sweeping the node-level reuse bound:")
+	var best *micco.MultiNodeResult
+	for _, bound := range []int{2, 8, 16, 32} {
+		cfg := micco.DefaultMultiNodeConfig(4, 2)
+		cfg.NodeReuseBound = bound
+		res := run(cfg, fmt.Sprintf("  node bound %2d", bound))
+		if best == nil || res.GFLOPS > best.GFLOPS {
+			best = res
+		}
+	}
+	cfg := micco.DefaultMultiNodeConfig(4, 2)
+	cfg.GrouteNodes = true
+	groute := run(cfg, "  node-Groute baseline")
+
+	fmt.Printf("\nbest bounded policy: %.0f GFLOPS (%.2fx over the baseline)\n",
+		best.GFLOPS, best.GFLOPS/groute.GFLOPS)
+	fmt.Println("small bounds flood the fabric; unbounded concentration strands")
+	fmt.Println("three nodes' GPUs — the optimum sits in between, exactly the")
+	fmt.Println("reuse/balance trade-off the paper studies, one level up.")
+}

@@ -1,0 +1,55 @@
+// Oversubscription: shrink the simulated GPU pools until the working set
+// no longer fits and watch the schedulers diverge — MICCO's data reuse
+// avoids allocations, and its memory-eviction-sensitive policy steers
+// pairs toward devices with headroom, so it evicts far less than the
+// balance-only baseline (paper Figs. 3 and 11).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micco"
+)
+
+func main() {
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed: 21, Stages: 10, VectorSize: 64, TensorDim: 384, Batch: 8,
+		Rank: micco.RankMeson, RepeatRate: 0.5, Dist: micco.Gaussian,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	working := w.TotalUniqueBytes()
+	fmt.Printf("workload working set: %.1f GB across inputs and intermediates\n\n", float64(working)/1e9)
+
+	fmt.Printf("%-9s %-14s %8s %10s %10s %9s\n",
+		"oversub", "scheduler", "GFLOPS", "evictions", "writeback", "speedup")
+	for _, ratio := range []float64{1.0, 1.25, 1.5, 2.0} {
+		// Size the eight pools so the working set is ratio x aggregate
+		// memory; above 1.0 something must always be evicted.
+		cfg := micco.MI100(8)
+		cfg.MemoryBytes = int64(float64(working) / 8 / ratio)
+		cluster, err := micco.NewCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base *micco.Result
+		for _, s := range []micco.Scheduler{micco.NewGroute(), micco.NewMICCOFixed(micco.Bounds{0, 2, 0})} {
+			res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == nil {
+				base = res
+			}
+			fmt.Printf("%7.0f%% %-14s %8.0f %10d %8.1fGB %8.2fx\n",
+				ratio*100, s.Name(), res.GFLOPS, res.Total.Evictions,
+				float64(res.Total.D2HBytes)/1e9, micco.Speedup(res, base))
+		}
+		fmt.Println()
+	}
+	fmt.Println("as pools shrink, throughput falls for everyone, but MICCO keeps")
+	fmt.Println("more of it: reuse avoids new allocations (fewer evictions) and the")
+	fmt.Println("eviction-sensitive policy spends free memory where it exists.")
+}

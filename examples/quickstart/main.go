@@ -1,0 +1,65 @@
+// Quickstart: generate a synthetic many-body-correlation workload, run it
+// under the Groute baseline and under MICCO on a simulated eight-GPU node,
+// and compare throughput, data reuse and memory traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micco"
+)
+
+func main() {
+	// A workload shaped like the paper's headline configuration: ten
+	// vectors of 64 tensor pairs, dim-384 hadron blocks, half the input
+	// slots repeating earlier tensors.
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed:       1,
+		Stages:     10,
+		VectorSize: 64,
+		TensorDim:  384,
+		Batch:      8,
+		Rank:       micco.RankMeson,
+		RepeatRate: 0.5,
+		Dist:       micco.Uniform,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n", w.Name)
+	fmt.Printf("  %d contractions over %d stages, %d distinct inputs\n",
+		w.NumPairs(), len(w.Stages), len(w.Inputs))
+	fmt.Printf("  %.1f GFLOP of kernel work, %.1f GB working set, measured repeat rate %.0f%%\n\n",
+		float64(w.TotalFLOPs())/1e9, float64(w.TotalUniqueBytes())/1e9,
+		w.MeasuredRepeatRate()*100)
+
+	cluster, err := micco.NewCluster(micco.MI100(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []micco.Scheduler{
+		micco.NewGroute(),
+		micco.NewMICCONaive(),
+		micco.NewMICCOFixed(micco.Bounds{0, 2, 0}),
+	}
+	var baselineRes *micco.Result
+	fmt.Printf("%-14s %9s %10s %11s %10s %10s\n",
+		"scheduler", "GFLOPS", "makespan", "reuse hits", "H2D moved", "speedup")
+	for _, s := range schedulers {
+		res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baselineRes == nil {
+			baselineRes = res
+		}
+		fmt.Printf("%-14s %9.0f %9.3fs %11d %9.1fGB %9.2fx\n",
+			s.Name(), res.GFLOPS, res.Makespan, res.Total.ReuseHits,
+			float64(res.Total.H2DBytes)/1e9, micco.Speedup(res, baselineRes))
+	}
+	fmt.Println("\nMICCO turns repeated tensors into on-device reuse hits, cutting")
+	fmt.Println("host-link traffic; the reuse bounds keep the load balanced while it")
+	fmt.Println("does so (see examples/autotuning for the model-tuned bounds).")
+}

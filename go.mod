@@ -1,0 +1,3 @@
+module micco
+
+go 1.22

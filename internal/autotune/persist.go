@@ -1,0 +1,99 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"micco/internal/mlearn"
+	"micco/internal/workload"
+)
+
+// predictorDoc is the on-disk form of a trained Predictor.
+type predictorDoc struct {
+	Format string          `json:"format"`
+	Kind   ModelKind       `json:"kind"`
+	NumGPU int             `json:"numGPU"`
+	TestR2 float64         `json:"testR2"`
+	Model  json.RawMessage `json:"model"`
+}
+
+// formatTag versions the serialized predictor layout.
+const formatTag = "micco-predictor-v1"
+
+// Save serializes the trained predictor as JSON, so the offline training
+// step (cmd/miccotrain) runs once and deployments load the model.
+func (p *Predictor) Save(w io.Writer) error {
+	if p.model == nil {
+		return fmt.Errorf("autotune: cannot save an untrained predictor")
+	}
+	model, err := json.Marshal(p.model)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(predictorDoc{
+		Format: formatTag,
+		Kind:   p.Kind,
+		NumGPU: p.NumGPU,
+		TestR2: p.TestR2,
+		Model:  model,
+	})
+}
+
+// LoadPredictor reverses Predictor.Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var doc predictorDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("autotune: decode predictor: %w", err)
+	}
+	if doc.Format != formatTag {
+		return nil, fmt.Errorf("autotune: unknown predictor format %q", doc.Format)
+	}
+	var m mlearn.Multi
+	if err := json.Unmarshal(doc.Model, &m); err != nil {
+		return nil, fmt.Errorf("autotune: decode model: %w", err)
+	}
+	return &Predictor{Kind: doc.Kind, model: &m, NumGPU: doc.NumGPU, TestR2: doc.TestR2}, nil
+}
+
+// Importance is one feature's permutation importance.
+type Importance struct {
+	Feature string
+	// Drop is the decrease in R-squared when the feature's column is
+	// randomly permuted; larger means the model relies on it more.
+	Drop float64
+}
+
+// FeatureImportance computes permutation importance of the predictor's
+// features on dataset ds: the R-squared lost when each feature column is
+// shuffled. Results align with workload.FeatureNames().
+func (p *Predictor) FeatureImportance(ds *mlearn.Dataset, seed int64) ([]Importance, error) {
+	if p.model == nil {
+		return nil, fmt.Errorf("autotune: untrained predictor")
+	}
+	base, err := p.model.R2(ds)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := workload.FeatureNames()
+	out := make([]Importance, 0, len(names))
+	for j := 0; j < ds.NumFeatures() && j < len(names); j++ {
+		shuffled := &mlearn.Dataset{}
+		perm := rng.Perm(ds.Len())
+		for i := range ds.X {
+			row := append([]float64(nil), ds.X[i]...)
+			row[j] = ds.X[perm[i]][j]
+			shuffled.Add(row, ds.Y[i])
+		}
+		r2, err := p.model.R2(shuffled)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Importance{Feature: names[j], Drop: base - r2})
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package autotune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"micco/internal/workload"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	ds, err := BuildCorpus(smallCorpusCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Train(ds, ForestModel, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumGPU = 4
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != p.Kind || back.NumGPU != 4 || back.TestR2 != p.TestR2 {
+		t.Errorf("metadata changed: %+v vs %+v", back, p)
+	}
+	probes := []workload.Features{
+		{VectorSize: 8, TensorDim: 128, DistBias: 0, RepeatRate: 0.25},
+		{VectorSize: 64, TensorDim: 384, DistBias: 1, RepeatRate: 0.75},
+		{VectorSize: 32, TensorDim: 768, DistBias: 0, RepeatRate: 1.0},
+	}
+	for _, f := range probes {
+		if p.PredictBounds(f) != back.PredictBounds(f) {
+			t.Errorf("predictions differ after round-trip at %+v", f)
+		}
+	}
+}
+
+func TestPredictorSaveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Predictor{}).Save(&buf); err == nil {
+		t.Error("untrained predictor save: want error")
+	}
+	if _, err := LoadPredictor(strings.NewReader("not json")); err == nil {
+		t.Error("garbage load: want error")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"format":"other"}`)); err == nil {
+		t.Error("wrong format tag: want error")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"format":"micco-predictor-v1","model":"x"}`)); err == nil {
+		t.Error("bad model payload: want error")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	ds, err := BuildCorpus(CorpusConfig{Samples: 60, Seed: 4, NumGPU: 8, Stages: 3, Batch: 4, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Train(ds, ForestModel, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := p.FeatureImportance(ds, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != len(workload.FeatureNames()) {
+		t.Fatalf("importances = %d, want %d", len(imps), len(workload.FeatureNames()))
+	}
+	byName := map[string]float64{}
+	for _, im := range imps {
+		byName[im.Feature] = im.Drop
+	}
+	// The optimal bound scales with the per-stage slack, so VectorSize
+	// must carry substantial importance; TensorSize drives the eviction
+	// cliff and should matter too.
+	if byName["VectorSize"] <= 0 {
+		t.Errorf("VectorSize importance %v, want > 0", byName["VectorSize"])
+	}
+	if byName["VectorSize"] < byName["DataDistribution"] {
+		t.Errorf("VectorSize (%v) should outweigh DataDistribution (%v)",
+			byName["VectorSize"], byName["DataDistribution"])
+	}
+	if _, err := (&Predictor{}).FeatureImportance(ds, 1); err == nil {
+		t.Error("untrained predictor importance: want error")
+	}
+}

@@ -1,0 +1,95 @@
+// Package baseline implements the comparison schedulers of the MICCO
+// evaluation. Groute is the paper's primary baseline: a load-balance-first
+// policy that places each job, with its data, on the earliest available
+// device (Ben-Nun et al., "Groute: An Asynchronous Multi-GPU Programming
+// Model for Irregular Computations"). RoundRobin and LocalityOnly are
+// ablation baselines bracketing the two extremes of Fig. 2: pure balance
+// with no cost signal, and pure data reuse with no balance signal.
+package baseline
+
+import (
+	"micco/internal/sched"
+	"micco/internal/workload"
+)
+
+// Groute assigns each pair to the device whose command queue frees up
+// first (minimum simulated clock), mirroring "assign jobs and associated
+// data on the earliest available device". Data locality is incidental: a
+// transfer is avoided only if the earliest device happens to hold the
+// operands.
+type Groute struct{}
+
+// NewGroute returns the Groute-like scheduler.
+func NewGroute() *Groute { return &Groute{} }
+
+// Name implements sched.Scheduler.
+func (*Groute) Name() string { return "Groute" }
+
+// BeginStage implements sched.Scheduler.
+func (*Groute) BeginStage(*sched.Context) {}
+
+// Assign implements sched.Scheduler.
+func (*Groute) Assign(_ workload.Pair, ctx *sched.Context) int {
+	best := 0
+	bestClock := ctx.Cluster.Device(0).Clock()
+	for i := 1; i < ctx.NumGPU; i++ {
+		if c := ctx.Cluster.Device(i).Clock(); c < bestClock {
+			best, bestClock = i, c
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through devices regardless of load or locality.
+type RoundRobin struct{ next int }
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements sched.Scheduler.
+func (*RoundRobin) Name() string { return "RoundRobin" }
+
+// BeginStage implements sched.Scheduler.
+func (*RoundRobin) BeginStage(*sched.Context) {}
+
+// Assign implements sched.Scheduler.
+func (r *RoundRobin) Assign(_ workload.Pair, ctx *sched.Context) int {
+	d := r.next % ctx.NumGPU
+	r.next++
+	return d
+}
+
+// LocalityOnly always chases data reuse: it picks the device holding the
+// most operand bytes of the pair, breaking ties by earliest clock. With
+// repeated data this collapses onto few devices (case 1 of the paper's
+// Fig. 2 trade-off example), starving the rest.
+type LocalityOnly struct{}
+
+// NewLocalityOnly returns the reuse-only scheduler.
+func NewLocalityOnly() *LocalityOnly { return &LocalityOnly{} }
+
+// Name implements sched.Scheduler.
+func (*LocalityOnly) Name() string { return "LocalityOnly" }
+
+// BeginStage implements sched.Scheduler.
+func (*LocalityOnly) BeginStage(*sched.Context) {}
+
+// Assign implements sched.Scheduler.
+func (*LocalityOnly) Assign(p workload.Pair, ctx *sched.Context) int {
+	best, bestBytes := -1, int64(-1)
+	var bestClock float64
+	for i := 0; i < ctx.NumGPU; i++ {
+		d := ctx.Cluster.Device(i)
+		var res int64
+		if d.Holds(p.A.ID) {
+			res += p.A.Bytes()
+		}
+		if d.Holds(p.B.ID) && p.B.ID != p.A.ID {
+			res += p.B.Bytes()
+		}
+		if res > bestBytes || (res == bestBytes && d.Clock() < bestClock) {
+			best, bestBytes, bestClock = i, res, d.Clock()
+		}
+	}
+	return best
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"micco/internal/sched"
+	"micco/internal/workload"
+)
+
+// Bounds are the three reuse bounds of Table II: the tensor-count slack
+// above perfect balance a GPU may absorb in exchange for reuse, indexed by
+// ReusePattern.BoundIndex. Larger values favour data reuse; zero forces
+// strict balance.
+type Bounds [3]int
+
+// String implements fmt.Stringer.
+func (b Bounds) String() string { return fmt.Sprintf("(%d,%d,%d)", b[0], b[1], b[2]) }
+
+// BoundsPredictor produces per-stage reuse bounds from the stage's data
+// characteristics. The autotune package provides the paper's pre-trained
+// Random Forest predictor.
+type BoundsPredictor interface {
+	PredictBounds(f workload.Features) Bounds
+}
+
+// Scheduler is the MICCO heuristic scheduler. Construct with NewNaive
+// (all bounds zero — the paper's MICCO-naive), NewFixed (constant bounds),
+// or NewOptimal (bounds predicted per stage — the paper's MICCO-optimal).
+type Scheduler struct {
+	name      string
+	fixed     Bounds
+	predictor BoundsPredictor
+	bounds    Bounds // active for the current stage
+	rng       *rand.Rand
+	// candi is the reusable candidate queue (the paper's candiQueue).
+	candi []int
+	// patterns histograms the local reuse pattern of every assigned pair.
+	patterns [4]int64
+	// evictionPolicyUses counts assignments decided by the
+	// memory-eviction-sensitive policy.
+	evictionPolicyUses int64
+}
+
+// PatternCounts returns how many assigned pairs fell into each local reuse
+// pattern (indexed by ReusePattern), a diagnostic of how much deliberate
+// reuse the scheduler found.
+func (s *Scheduler) PatternCounts() [4]int64 { return s.patterns }
+
+// EvictionPolicyUses returns how many assignments were decided by the
+// memory-eviction-sensitive policy rather than the computation-centric one.
+func (s *Scheduler) EvictionPolicyUses() int64 { return s.evictionPolicyUses }
+
+// ResetStats clears the diagnostic counters.
+func (s *Scheduler) ResetStats() {
+	s.patterns = [4]int64{}
+	s.evictionPolicyUses = 0
+}
+
+// NewNaive returns MICCO with all reuse bounds fixed at zero.
+func NewNaive() *Scheduler {
+	s := NewFixed(Bounds{})
+	s.name = "MICCO-naive"
+	return s
+}
+
+// NewFixed returns MICCO with constant reuse bounds b.
+func NewFixed(b Bounds) *Scheduler {
+	return &Scheduler{
+		name:  fmt.Sprintf("MICCO%s", b),
+		fixed: b,
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+// NewOptimal returns MICCO with per-stage bounds from predictor p.
+func NewOptimal(p BoundsPredictor) *Scheduler {
+	return &Scheduler{
+		name:      "MICCO-optimal",
+		predictor: p,
+		rng:       rand.New(rand.NewSource(1)),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// ActiveBounds returns the bounds in force for the current stage.
+func (s *Scheduler) ActiveBounds() Bounds { return s.bounds }
+
+// BeginStage implements sched.Scheduler: it refreshes the active reuse
+// bounds, invoking the predictor's online inference when configured
+// (step 2 of the paper's workflow, Fig. 6).
+func (s *Scheduler) BeginStage(ctx *sched.Context) {
+	if s.predictor != nil {
+		s.bounds = s.predictor.PredictBounds(ctx.Features)
+		return
+	}
+	s.bounds = s.fixed
+}
+
+// Assign implements sched.Scheduler with Algorithm 1: classify the pair's
+// local reuse pattern, fill candiQueue with available GPUs under the
+// pattern's reuse bound, then let Algorithm 2 pick the final device.
+func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
+	s.candi = s.candi[:0]
+	h1 := ctx.Holders(p.A.ID)
+	h2 := ctx.Holders(p.B.ID)
+	s.patterns[classifyHolders(h1, h2)]++
+	limit := func(bound int) int { return s.bounds[bound] + ctx.BalanceNum }
+
+	// Step I (Alg. 1 lines 4-7): twoRepeatedSame — GPUs holding both
+	// tensors, if within reuse bound 1's allowed imbalance.
+	if intersects(h1, h2) {
+		lim := limit(0)
+		for _, it := range h1 {
+			if contains(h2, it) && ctx.StageLoad[it] < lim {
+				s.candi = append(s.candi, it)
+			}
+		}
+	}
+
+	// Step II (lines 8-14): twoRepeatedDiff / oneRepeated — GPUs holding
+	// either tensor, under reuse bound 2. Also the fallback when every
+	// both-holder was unavailable.
+	if len(s.candi) == 0 && (len(h1) > 0 || len(h2) > 0) {
+		lim := limit(1)
+		for _, it := range h1 {
+			if ctx.StageLoad[it] < lim {
+				s.candi = appendUnique(s.candi, it)
+			}
+		}
+		for _, it := range h2 {
+			if ctx.StageLoad[it] < lim {
+				s.candi = appendUnique(s.candi, it)
+			}
+		}
+	}
+
+	// Step III (lines 15-18): twoNew, or nothing available above — any GPU
+	// under reuse bound 3.
+	if len(s.candi) == 0 {
+		lim := limit(2)
+		for it := 0; it < ctx.NumGPU; it++ {
+			if ctx.StageLoad[it] < lim {
+				s.candi = append(s.candi, it)
+			}
+		}
+	}
+
+	// Defensive fallback: with non-negative bounds and BalanceNum =
+	// ceil(numTensor/numGPU) at least one GPU is always below the step-III
+	// limit mid-stage, but guard against pathological bound settings.
+	if len(s.candi) == 0 {
+		best := 0
+		for it := 1; it < ctx.NumGPU; it++ {
+			if ctx.StageLoad[it] < ctx.StageLoad[best] {
+				best = it
+			}
+		}
+		s.candi = append(s.candi, best)
+	}
+
+	return s.assignFromQueue(p, ctx)
+}
+
+// assignFromQueue is Algorithm 2: detect projected oversubscription among
+// the candidates; without it, pick least compute (memory as tie-break);
+// with it, pick most free memory (compute as tie-break). Remaining ties
+// break uniformly at random, as in the paper.
+func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
+	evict := false
+	for _, id := range s.candi {
+		if ctx.WouldOversubscribe(id, p) {
+			evict = true
+			s.evictionPolicyUses++
+			break
+		}
+	}
+	// "Least computation" is the candidate's live queue position: the
+	// device clock realigns at every stage barrier and already prices the
+	// kernels and memory operations of this stage's assignments, matching
+	// the cost model of the paper's mapping analysis (Fig. 4).
+	var primary, secondary func(id int) float64
+	comp := func(id int) float64 { return ctx.Cluster.Device(id).Clock() }
+	mem := func(id int) float64 { return float64(ctx.ProjectedMem(id, p)) }
+	if evict {
+		primary, secondary = mem, comp
+	} else {
+		primary, secondary = comp, mem
+	}
+	sel := filterMin(s.candi, primary)
+	if len(sel) > 1 {
+		sel = filterMin(sel, secondary)
+	}
+	if len(sel) == 1 {
+		return sel[0]
+	}
+	return sel[s.rng.Intn(len(sel))]
+}
+
+// filterMin returns the ids attaining the minimum of key over ids.
+func filterMin(ids []int, key func(int) float64) []int {
+	best := key(ids[0])
+	out := ids[:1:1]
+	for _, id := range ids[1:] {
+		v := key(id)
+		switch {
+		case v < best:
+			best = v
+			out = append(out[:0:0], id)
+		case v == best:
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(xs []int, v int) []int {
+	if contains(xs, v) {
+		return xs
+	}
+	return append(xs, v)
+}

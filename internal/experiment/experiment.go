@@ -1,0 +1,371 @@
+// Package experiment regenerates every table and figure of the MICCO
+// paper's evaluation (Section V): the Spearman correlation heatmap
+// (Fig. 5), the overall-performance sweeps (Fig. 7), the reuse-bound
+// study (Fig. 8), scalability (Fig. 9), tensor-size (Fig. 10) and
+// memory-oversubscription (Fig. 11) analyses, the regression-model
+// comparison (Table IV), the scheduling-overhead measurement (Table V),
+// and the real-correlator case study (Table VI).
+//
+// Each driver emits a Table whose rows mirror the series the paper plots.
+// Absolute GFLOPS differ from the authors' MI100 testbed (the substrate
+// here is a simulator); the comparisons the paper draws — who wins, by
+// what factor, in which direction each knob moves — are the reproduction
+// targets.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"micco/internal/autotune"
+	"micco/internal/core"
+	"micco/internal/gpusim"
+	"micco/internal/mlearn"
+	"micco/internal/sched"
+	"micco/internal/stats"
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+// CorpusMemory is the fixed per-device pool used while labeling the
+// training corpus: small enough that the eviction regime is entered or
+// avoided depending on the data characteristics, which is the cliff the
+// regression model must learn (see autotune.CorpusConfig.MemoryBytes).
+const CorpusMemory int64 = 4 << 30
+
+// FitHeadroom sizes the per-device pools of the synthetic experiments:
+// each device gets FitHeadroom times the workload working set, mirroring
+// the paper's testbed where the synthetic datasets fit a single 32 GiB
+// device (oversubscription is studied separately in Fig. 11).
+const FitHeadroom = 1.1
+
+// SynthStages is the number of sequential vectors per synthetic run
+// (Table V measures a "sum of 10 vectors").
+const SynthStages = 10
+
+// SynthBatch is the hadron-block batch count of the synthetic workloads.
+const SynthBatch = 8
+
+// Options configures a harness.
+type Options struct {
+	// Quick shrinks sweeps and the training corpus for fast runs
+	// (benchmarks, smoke tests). Full mode reproduces the paper's sizes.
+	Quick bool
+	// Seed drives every random choice in the harness.
+	Seed int64
+	// NumGPU is the device count for non-scalability experiments
+	// (default 8, the paper's node).
+	NumGPU int
+}
+
+func (o *Options) fill() {
+	if o.NumGPU <= 0 {
+		o.NumGPU = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 2022
+	}
+}
+
+// Harness runs experiments, sharing one trained reuse-bound predictor.
+type Harness struct {
+	opts Options
+
+	mu        sync.Mutex
+	corpus    *mlearn.Dataset
+	samples   []autotune.CorpusSample
+	predictor *autotune.Predictor
+}
+
+// New returns a harness with the given options.
+func New(opts Options) *Harness {
+	opts.fill()
+	return &Harness{opts: opts}
+}
+
+// Options returns the harness's effective options.
+func (h *Harness) Options() Options { return h.opts }
+
+// corpusConfig returns the training-corpus configuration (the paper's 300
+// samples, or a reduced set in quick mode).
+func (h *Harness) corpusConfig() autotune.CorpusConfig {
+	cfg := autotune.CorpusConfig{
+		Seed:        h.opts.Seed,
+		NumGPU:      8,
+		MemoryBytes: CorpusMemory,
+	}
+	if h.opts.Quick {
+		cfg.Samples = 80
+		cfg.Stages = 3
+		cfg.Replicas = 4
+	}
+	return cfg
+}
+
+// Corpus lazily builds the training corpus.
+func (h *Harness) Corpus() (*mlearn.Dataset, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.corpus != nil {
+		return h.corpus, nil
+	}
+	ds, samples, err := autotune.BuildCorpusDetailed(h.corpusConfig())
+	if err != nil {
+		return nil, err
+	}
+	h.corpus = ds
+	h.samples = samples
+	return ds, nil
+}
+
+// CorpusSamples lazily builds the corpus and returns its per-sample
+// provenance (used by the Fig. 5 heatmap).
+func (h *Harness) CorpusSamples() ([]autotune.CorpusSample, error) {
+	if _, err := h.Corpus(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples, nil
+}
+
+// Predictor lazily trains the Random Forest reuse-bound predictor
+// (MICCO-optimal's model).
+func (h *Harness) Predictor() (*autotune.Predictor, error) {
+	h.mu.Lock()
+	if h.predictor != nil {
+		defer h.mu.Unlock()
+		return h.predictor, nil
+	}
+	h.mu.Unlock()
+	corpus, err := h.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.predictor != nil {
+		return h.predictor, nil
+	}
+	p, err := autotune.Train(corpus, autotune.ForestModel, 0.2, h.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.NumGPU = h.opts.NumGPU
+	h.predictor = p
+	return p, nil
+}
+
+// synthConfig builds a synthetic workload configuration on the paper's
+// grid.
+func (h *Harness) synthConfig(vectorSize, tensorDim int, rate float64, dist workload.Distribution, seedOffset int64) workload.Config {
+	stages := SynthStages
+	if h.opts.Quick {
+		stages = 4
+	}
+	return workload.Config{
+		Seed:       h.opts.Seed + seedOffset,
+		Stages:     stages,
+		VectorSize: vectorSize,
+		TensorDim:  tensorDim,
+		Batch:      SynthBatch,
+		Rank:       tensor.RankMeson,
+		RepeatRate: rate,
+		Dist:       dist,
+	}
+}
+
+// fitCluster builds an n-GPU cluster whose per-device pools hold the whole
+// working set of w with FitHeadroom slack, as on the paper's testbed.
+func fitCluster(w *workload.Workload, n int) (*gpusim.Cluster, error) {
+	cfg := gpusim.MI100(n)
+	cfg.MemoryBytes = int64(FitHeadroom * float64(w.TotalUniqueBytes()))
+	return gpusim.NewCluster(cfg)
+}
+
+// smallCluster builds an n-GPU cluster with the corpus-sized pools, used
+// where the run must match the regression model's training regime.
+func smallCluster(n int) (*gpusim.Cluster, error) {
+	cfg := gpusim.MI100(n)
+	cfg.MemoryBytes = CorpusMemory
+	return gpusim.NewCluster(cfg)
+}
+
+// runOn executes workload w under scheduler s on cluster c.
+func runOn(w *workload.Workload, s sched.Scheduler, c *gpusim.Cluster) (*sched.Result, error) {
+	return sched.Run(w, s, c, sched.Options{})
+}
+
+// micco returns a fresh MICCO-optimal scheduler bound to the harness's
+// trained predictor.
+func (h *Harness) micco() (*core.Scheduler, error) {
+	p, err := h.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewOptimal(p), nil
+}
+
+// IDs lists the runnable experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"fig5", "tab4", "fig7", "tab5", "fig8", "fig9", "fig10", "fig11", "tab6"}
+}
+
+// Run dispatches one experiment by ID.
+func (h *Harness) Run(id string) (*Table, error) {
+	switch strings.ToLower(id) {
+	case "fig5":
+		return h.Fig5()
+	case "tab4":
+		return h.Tab4()
+	case "fig7":
+		return h.Fig7()
+	case "tab5":
+		return h.Tab5()
+	case "fig8":
+		return h.Fig8()
+	case "fig9":
+		return h.Fig9()
+	case "fig10":
+		return h.Fig10()
+	case "fig11":
+		return h.Fig11()
+	case "tab6":
+		return h.Tab6()
+	case "ext":
+		return h.Ext()
+	default:
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v plus \"ext\")", id, IDs())
+	}
+}
+
+// RunAll runs every experiment in paper order.
+func (h *Harness) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := h.Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (quotes around cells
+// containing commas).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// geoMean computes the geometric mean of vs, ignoring non-positive values.
+func geoMean(vs []float64) float64 {
+	var pos []float64
+	for _, v := range vs {
+		if v > 0 {
+			pos = append(pos, v)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	return stats.GeoMean(pos)
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+
+	"micco/internal/baseline"
+	"micco/internal/workload"
+)
+
+// Fig10 reproduces the tensor-size study (paper Fig. 10): Groute versus
+// MICCO-optimal at tensor sizes 128-768, with vector size 64 and 50%
+// repeated rate on eight GPUs.
+func (h *Harness) Fig10() (*Table, error) {
+	dims := []int{128, 256, 384, 768}
+	if h.opts.Quick {
+		dims = []int{128, 768}
+	}
+	opt, err := h.micco()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Impact of tensor size (GFLOPS); vector 64, repeated rate 50%, 8 GPUs",
+		Columns: []string{"distribution", "tensor size", "Groute", "MICCO-optimal", "speedup"},
+		Notes: []string{
+			"paper shape: MICCO wins at every size, 1.35x to 1.92x; throughput grows with tensor size",
+		},
+	}
+	seed := int64(1000)
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
+		for _, dim := range dims {
+			seed++
+			w, err := workload.Generate(h.synthConfig(64, dim, 0.5, dist, seed))
+			if err != nil {
+				return nil, err
+			}
+			cluster, err := fitCluster(w, 8)
+			if err != nil {
+				return nil, err
+			}
+			gr, err := runOn(w, baseline.NewGroute(), cluster)
+			if err != nil {
+				return nil, err
+			}
+			optRes, err := runOn(w, opt, cluster)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(dist.String(), fmt.Sprintf("%d", dim),
+				fmt.Sprintf("%.0f", gr.GFLOPS),
+				fmt.Sprintf("%.0f", optRes.GFLOPS),
+				fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS))
+		}
+	}
+	return t, nil
+}

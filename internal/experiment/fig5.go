@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+
+	"micco/internal/stats"
+)
+
+// Fig5 reproduces the Spearman rank-correlation heatmap (paper Fig. 5):
+// pairwise coefficients among the four data characteristics, the three
+// optimal reuse bounds, and the best GFLOPS, over the reuse-bound training
+// sweep. Bounds enter as scale-free fractions of the per-stage slack so
+// configurations of different vector sizes are comparable — the same
+// normalization the regression model is trained on.
+func (h *Harness) Fig5() (*Table, error) {
+	samples, err := h.CorpusSamples()
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"DataDistribution", "VectorSize", "RepeatedRate", "TensorSize",
+		"Reuse_bound_1", "Reuse_bound_2", "Reuse_bound_3", "GFLOPS"}
+	data := make([][]float64, len(cols))
+	for _, s := range samples {
+		row := []float64{
+			s.Features.DistBias,
+			s.Features.VectorSize,
+			s.Features.RepeatRate,
+			s.Features.TensorDim,
+			s.BoundFracs[0], s.BoundFracs[1], s.BoundFracs[2],
+			s.BestGFLOPS,
+		}
+		for j, v := range row {
+			data[j] = append(data[j], v)
+		}
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Spearman correlation among data characteristics, optimal reuse bounds, and GFLOPS",
+		Columns: append([]string{"variable"}, cols...),
+		Notes: []string{
+			fmt.Sprintf("%d corpus samples; coefficients in [-1, 1]", len(samples)),
+			"paper shape: data characteristics correlate positively with GFLOPS;",
+			"RepeatedRate/DataDistribution positively, VectorSize/TensorSize negatively, with the bounds",
+			"deviation: bounds-vs-GFLOPS is negative here via the tensor-size confound",
+			"(large-tensor runs are both fast and prefer small bounds); the paper reports it weakly positive",
+		},
+	}
+	for i, name := range cols {
+		row := []string{name}
+		for j := range cols {
+			r, err := stats.Spearman(data[i], data[j])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%+.2f", r))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

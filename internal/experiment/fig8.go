@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+
+	"micco/internal/autotune"
+	"micco/internal/core"
+	"micco/internal/sched"
+	"micco/internal/workload"
+)
+
+// Fig8 reproduces the reuse-bound study (paper Fig. 8): GFLOPS of all
+// thirteen small reuse-bound settings on three cases — (1) vector 64 at
+// 50% repeated rate, (2) vector 16 at 25%, (3) vector 32 at 75% — at
+// tensor size 384 on eight GPUs, in both distributions.
+func (h *Harness) Fig8() (*Table, error) {
+	cases := []struct {
+		name string
+		v    int
+		rate float64
+	}{
+		{"case1 (v=64, r=50%)", 64, 0.5},
+		{"case2 (v=16, r=25%)", 16, 0.25},
+		{"case3 (v=32, r=75%)", 32, 0.75},
+	}
+	dists := []workload.Distribution{workload.Uniform, workload.Gaussian}
+	if h.opts.Quick {
+		cases = cases[:2]
+		dists = dists[:1]
+	}
+	cols := []string{"distribution", "case"}
+	for _, b := range autotune.CandidateBounds {
+		cols = append(cols, b.String())
+	}
+	cols = append(cols, "best")
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Impact of reuse bounds (GFLOPS per setting); tensor 384, 8 GPUs",
+		Columns: cols,
+		Notes: []string{
+			"paper shape: the optimal setting shifts with vector size, repeated rate and distribution",
+			"paper best: 9753 GFLOPS at (0,2,0) in case 1 (a); 5869 GFLOPS at (0,2,2) in case 3 (b)",
+		},
+	}
+	seed := int64(800)
+	for _, dist := range dists {
+		for _, c := range cases {
+			seed++
+			w, err := workload.Generate(h.synthConfig(c.v, 384, c.rate, dist, seed))
+			if err != nil {
+				return nil, err
+			}
+			row := []string{dist.String(), c.name}
+			best, bestGF := core.Bounds{}, -1.0
+			for _, b := range autotune.CandidateBounds {
+				cluster, err := fitCluster(w, 8)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sched.Run(w, core.NewFixed(b), cluster, sched.Options{})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.0f", res.GFLOPS))
+				if res.GFLOPS > bestGF {
+					best, bestGF = b, res.GFLOPS
+				}
+			}
+			row = append(row, fmt.Sprintf("%s @ %.0f", best, bestGF))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+
+	"micco/internal/baseline"
+	"micco/internal/workload"
+)
+
+// Fig9 reproduces the scalability study (paper Fig. 9): Groute versus
+// MICCO-optimal throughput as the device count grows from one to eight,
+// with vector size 64, tensor size 384, 50% repeated rate, in both
+// distributions.
+func (h *Harness) Fig9() (*Table, error) {
+	gpuCounts := []int{1, 2, 4, 8}
+	if h.opts.Quick {
+		gpuCounts = []int{1, 4, 8}
+	}
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Scalability (GFLOPS); tensor 384, vector 64, repeated rate 50%",
+		Columns: []string{"distribution", "GPUs", "Groute", "MICCO-optimal", "speedup"},
+		Notes: []string{
+			"paper shape: sublinear scaling (7877 GFLOPS at 1 GPU to 13043 at 8 in (a));",
+			"speedup grows with GPU count (1.18x at 2 GPUs to 1.68x at 8), up to 1.96x",
+		},
+	}
+	seed := int64(900)
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
+		seed++
+		w, err := workload.Generate(h.synthConfig(64, 384, 0.5, dist, seed))
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range gpuCounts {
+			cluster, err := fitCluster(w, n)
+			if err != nil {
+				return nil, err
+			}
+			gr, err := runOn(w, baseline.NewGroute(), cluster)
+			if err != nil {
+				return nil, err
+			}
+			// MICCO-optimal with the predictor rescaled to this node size.
+			p, err := h.Predictor()
+			if err != nil {
+				return nil, err
+			}
+			saved := p.NumGPU
+			p.NumGPU = n
+			opt, err := h.micco()
+			if err != nil {
+				p.NumGPU = saved
+				return nil, err
+			}
+			optRes, err := runOn(w, opt, cluster)
+			p.NumGPU = saved
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(dist.String(), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.0f", gr.GFLOPS),
+				fmt.Sprintf("%.0f", optRes.GFLOPS),
+				fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+
+	"micco/internal/workload"
+)
+
+// Tab5 reproduces Table V: MICCO-optimal's scheduling overhead versus the
+// total execution time, for ten vectors of size 64 at tensor size 384 and
+// 50% repeated rate, in both distributions. As in the paper, the overhead
+// is the (real) time spent inside the scheduler while the total is the
+// workload's execution time — here, simulated time.
+func (h *Harness) Tab5() (*Table, error) {
+	opt, err := h.micco()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "tab5",
+		Title:   "Execution time (ms); tensor 384, vector 64, repeated rate 50%, sum of 10 vectors",
+		Columns: []string{"distribution", "scheduling overhead (ms)", "total time (ms)", "overhead %"},
+		Notes: []string{
+			"paper: 8.27 ms / 4925.73 ms (Uniform), 8.52 ms / 1550.88 ms (Gaussian)",
+			"overhead is host wall time; total is simulated execution time",
+		},
+	}
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
+		cfg := h.synthConfig(64, 384, 0.5, dist, 550+int64(dist))
+		cfg.Stages = SynthStages // ten vectors even in quick mode
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err := fitCluster(w, 8)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOn(w, opt, cluster)
+		if err != nil {
+			return nil, err
+		}
+		overheadMS := float64(res.SchedOverhead.Microseconds()) / 1000
+		totalMS := res.Makespan * 1000
+		t.AddRow(dist.String(),
+			fmt.Sprintf("%.2f", overheadMS),
+			fmt.Sprintf("%.2f", totalMS),
+			fmt.Sprintf("%.1f%%", overheadMS/totalMS*100))
+	}
+	return t, nil
+}

@@ -1,0 +1,367 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"micco/internal/tensor"
+)
+
+// Cluster is a simulated multi-GPU node plus its host. The host is assumed
+// to have unbounded memory; input tensors are registered host-resident
+// before simulation, and dirty evictions write outputs back to the host.
+type Cluster struct {
+	cfg          Config
+	devices      []*Device
+	hostResident map[uint64]tensor.Desc
+	// linkClock is the shared host-link (PCIe fabric) availability time.
+	// Every H2D and D2H transfer, from any device, serializes on it: a
+	// transfer starts at max(device clock, link clock) and advances both.
+	// This models the single-CPU testbed of the paper, where aggregate
+	// host traffic is the scaling bottleneck (its Fig. 9 shows only 1.65x
+	// throughput from 1 to 8 GPUs). P2P copies bypass the host link.
+	linkClock float64
+	// p2pClock is the shared inter-GPU fabric availability time; P2P
+	// copies (Config.PeerFetch) serialize on it the same way host traffic
+	// serializes on the host link.
+	p2pClock float64
+	// tracing/traceEvents implement optional event recording (StartTrace).
+	tracing     bool
+	traceEvents []Event
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, hostResident: make(map[uint64]tensor.Desc)}
+	for i := 0; i < cfg.NumDevices; i++ {
+		c.devices = append(c.devices, newDevice(i, &c.cfg))
+	}
+	return c, nil
+}
+
+// Config returns the cluster's hardware configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumDevices returns the device count.
+func (c *Cluster) NumDevices() int { return len(c.devices) }
+
+// Device returns device i.
+func (c *Cluster) Device(i int) *Device { return c.devices[i] }
+
+// RegisterHostTensor marks a tensor as available in host memory (an input
+// produced upstream, e.g. a perambulator loaded from disk).
+func (c *Cluster) RegisterHostTensor(d tensor.Desc) { c.hostResident[d.ID] = d }
+
+// HostHolds reports whether the host has a copy of tensor id.
+func (c *Cluster) HostHolds(id uint64) bool {
+	_, ok := c.hostResident[id]
+	return ok
+}
+
+// HoldersOf returns the IDs of devices with tensor id resident.
+func (c *Cluster) HoldersOf(id uint64) []int {
+	var out []int
+	for _, d := range c.devices {
+		if d.Holds(id) {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// EnsureResident makes tensor desc resident on device dev, advancing the
+// device's transfer queue by the cost incurred: zero for a reuse hit, else
+// allocation (with any evictions) plus a P2P copy if a peer holds it,
+// otherwise an H2D copy from the host.
+func (c *Cluster) EnsureResident(dev int, desc tensor.Desc) error {
+	d, err := c.device(dev)
+	if err != nil {
+		return err
+	}
+	_, err = c.ensureResident(d, desc, false)
+	return err
+}
+
+// ensureResident is EnsureResident on a resolved device, returning the
+// time at which the block's data is usable; when pin is true the block is
+// left pinned so a subsequent allocation cannot evict it.
+func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64, error) {
+	if b, ok := d.resident[desc.ID]; ok {
+		d.touch(b)
+		b.pinned = b.pinned || pin
+		d.stats.ReuseHits++
+		return b.readyAt, nil
+	}
+	// Locate a source before spending anything. Peer sourcing is only
+	// used when the config enables it; the default data path stages
+	// through the host.
+	var peer *Device
+	if c.cfg.PeerFetch {
+		for _, p := range c.devices {
+			if p != d && p.Holds(desc.ID) {
+				peer = p
+				break
+			}
+		}
+	}
+	if peer == nil && !c.HostHolds(desc.ID) {
+		if len(c.HoldersOf(desc.ID)) > 0 {
+			// Peer copies exist but peer fetch is disabled: stage through
+			// the host by paying one D2H write-back first.
+			src := c.devices[c.HoldersOf(desc.ID)[0]]
+			dur := float64(desc.Bytes()) / c.cfg.D2HBandwidth
+			c.hostTransfer(src, dur)
+			src.stats.D2HBytes += desc.Bytes()
+			c.trace(Event{Kind: EventD2H, Device: src.id, Tensor: desc.ID,
+				Start: src.CopyClock() - dur, End: src.CopyClock(), Bytes: desc.Bytes()})
+			c.hostResident[desc.ID] = desc
+		} else {
+			return 0, fmt.Errorf("gpusim: tensor %v resident nowhere (not registered on host?)", desc)
+		}
+	}
+	if err := c.alloc(d, desc.Bytes()); err != nil {
+		return 0, err
+	}
+	if peer != nil {
+		// P2P copies run on the inter-GPU fabric, shared by all pairs:
+		// the copy starts when both the destination's transfer queue and
+		// the fabric are free.
+		dur := float64(desc.Bytes()) / c.cfg.P2PBandwidth
+		queue := d.CopyClock()
+		start := queue
+		if c.p2pClock > start {
+			start = c.p2pClock
+		}
+		end := start + dur
+		c.p2pClock = end
+		d.advanceTransferQueue(end - queue)
+		d.stats.TransferTime += end - queue
+		d.stats.P2PBytes += desc.Bytes()
+		c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
+			Start: start, End: end, Bytes: desc.Bytes()})
+	} else {
+		dur := float64(desc.Bytes()) / c.cfg.H2DBandwidth
+		c.hostTransfer(d, dur)
+		d.stats.H2DBytes += desc.Bytes()
+		c.trace(Event{Kind: EventH2D, Device: d.id, Tensor: desc.ID,
+			Start: d.CopyClock() - dur, End: d.CopyClock(), Bytes: desc.Bytes()})
+	}
+	d.stats.ColdMisses++
+	b := d.install(desc, false)
+	b.pinned = pin
+	b.readyAt = d.CopyClock()
+	return b.readyAt, nil
+}
+
+// hostTransfer charges a transfer of duration dur that occupies both the
+// device's transfer queue and the shared host link: it begins when both
+// are free and advances both to its completion, charging the
+// stall-inclusive elapsed time to the device's TransferTime.
+func (c *Cluster) hostTransfer(d *Device, dur float64) {
+	d.stats.TransferTime += c.hostLinkOccupy(d, dur)
+}
+
+// hostLinkOccupy reserves the shared host link for dur seconds on behalf
+// of device d's transfer queue and returns the elapsed queue time
+// including any stall waiting for the link.
+func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
+	queue := d.clock
+	if d.cfg.AsyncCopy {
+		queue = d.copyClock
+	}
+	start := queue
+	if c.linkClock > start {
+		start = c.linkClock
+	}
+	end := start + dur
+	elapsed := end - queue
+	if d.cfg.AsyncCopy {
+		d.copyClock = end
+	} else {
+		d.clock = end
+	}
+	c.linkClock = end
+	return elapsed
+}
+
+// alloc charges allocation latency (on the transfer queue: it is part of
+// the staging path) and evicts LRU blocks until size fits.
+func (c *Cluster) alloc(d *Device, size int64) error {
+	if err := d.evictFor(size, c); err != nil {
+		return err
+	}
+	d.advanceTransferQueue(c.cfg.AllocLatency)
+	d.stats.AllocTime += c.cfg.AllocLatency
+	return nil
+}
+
+// ExecContraction simulates one hadron contraction of a with b on device
+// dev, producing out (which becomes resident and dirty). Both inputs are
+// made resident first. Returns the FLOPs executed.
+func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error) {
+	d, err := c.device(dev)
+	if err != nil {
+		return 0, err
+	}
+	flops, err := tensor.ContractFLOPs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	readyA, err := c.ensureResident(d, a, true)
+	if err != nil {
+		return 0, err
+	}
+	readyB, err := c.ensureResident(d, b, true)
+	if err != nil {
+		c.unpin(d, a.ID)
+		return 0, err
+	}
+	// Output allocation may evict, but never the pinned inputs.
+	outReady := d.CopyClock()
+	if ob, ok := d.resident[out.ID]; ok {
+		// Re-execution into an existing buffer (e.g. accumulation).
+		d.touch(ob)
+		ob.dirty = true
+		outReady = ob.readyAt
+	} else {
+		if err := c.alloc(d, out.Bytes()); err != nil {
+			c.unpin(d, a.ID)
+			c.unpin(d, b.ID)
+			return 0, err
+		}
+		nb := d.install(out, true)
+		nb.readyAt = d.CopyClock()
+		outReady = nb.readyAt
+	}
+	if c.cfg.AsyncCopy {
+		// The kernel waits for its operands' copies, then runs on the
+		// compute queue, overlapping with unrelated transfers.
+		start := d.clock
+		for _, r := range []float64{readyA, readyB, outReady} {
+			if r > start {
+				start = r
+			}
+		}
+		d.clock = start
+	}
+	kt := c.cfg.KernelLaunch + float64(flops)/c.cfg.FLOPS
+	d.clock += kt
+	d.stats.KernelTime += kt
+	d.stats.Kernels++
+	d.stats.FLOPs += flops
+	c.trace(Event{Kind: EventKernel, Device: d.id, Tensor: out.ID,
+		Start: d.clock - kt, End: d.clock, FLOPs: flops})
+	c.unpin(d, a.ID)
+	c.unpin(d, b.ID)
+	return flops, nil
+}
+
+func (c *Cluster) unpin(d *Device, id uint64) {
+	if b, ok := d.resident[id]; ok {
+		b.pinned = false
+	}
+}
+
+// Discard drops tensor id from every device without write-back and forgets
+// any host copy. Used when an intermediate's last consumer has run.
+func (c *Cluster) Discard(id uint64) {
+	for _, d := range c.devices {
+		if b, ok := d.resident[id]; ok {
+			d.drop(b)
+		}
+	}
+	delete(c.hostResident, id)
+}
+
+// Barrier synchronizes all device queues to the maximum, modeling the
+// stage boundary between dependency-partitioned vectors.
+func (c *Cluster) Barrier() {
+	m := c.Makespan()
+	for _, d := range c.devices {
+		d.clock = m
+		d.copyClock = m
+	}
+}
+
+// Makespan returns the latest queue time across all devices in seconds.
+func (c *Cluster) Makespan() float64 {
+	var m float64
+	for _, d := range c.devices {
+		if t := d.busyUntil(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// TotalStats sums the per-device counters.
+func (c *Cluster) TotalStats() DeviceStats {
+	var s DeviceStats
+	for _, d := range c.devices {
+		s.add(d.stats)
+	}
+	return s
+}
+
+// GFLOPS returns achieved throughput: total kernel FLOPs divided by the
+// makespan, in GFLOP/s. Zero if nothing ran.
+func (c *Cluster) GFLOPS() float64 {
+	m := c.Makespan()
+	if m == 0 {
+		return 0
+	}
+	return float64(c.TotalStats().FLOPs) / m / 1e9
+}
+
+// Reset returns every device to time zero with empty pools, frees the host
+// link, and clears the host registry.
+func (c *Cluster) Reset() {
+	for _, d := range c.devices {
+		d.reset()
+	}
+	c.linkClock = 0
+	c.p2pClock = 0
+	c.hostResident = make(map[uint64]tensor.Desc)
+	c.traceEvents = nil
+}
+
+func (c *Cluster) device(i int) (*Device, error) {
+	if i < 0 || i >= len(c.devices) {
+		return nil, fmt.Errorf("gpusim: device %d out of range [0,%d)", i, len(c.devices))
+	}
+	return c.devices[i], nil
+}
+
+// ChargeExternalTransfer advances device dev's transfer queue by seconds,
+// accounting it as transfer time. Multi-node extensions use this to charge
+// inter-node network time that the intra-node model knows nothing about.
+func (c *Cluster) ChargeExternalTransfer(dev int, seconds float64) error {
+	d, err := c.device(dev)
+	if err != nil {
+		return err
+	}
+	if seconds < 0 {
+		return fmt.Errorf("gpusim: negative external transfer %v", seconds)
+	}
+	d.advanceTransferQueue(seconds)
+	d.stats.TransferTime += seconds
+	return nil
+}
+
+// BarrierAt raises every device queue (and the host link) to at least t,
+// implementing barriers that span multiple clusters.
+func (c *Cluster) BarrierAt(t float64) {
+	for _, d := range c.devices {
+		if d.clock < t {
+			d.clock = t
+		}
+		if d.copyClock < t {
+			d.copyClock = t
+		}
+	}
+	if c.linkClock < t {
+		c.linkClock = t
+	}
+}

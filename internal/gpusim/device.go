@@ -1,0 +1,203 @@
+package gpusim
+
+import (
+	"container/list"
+	"fmt"
+
+	"micco/internal/tensor"
+)
+
+// block is a resident allocation on a device's memory pool.
+type block struct {
+	desc   tensor.Desc
+	dirty  bool // produced on-device and not yet written back to host
+	pinned bool // in use by the op currently being scheduled; not evictable
+	elem   *list.Element
+	// readyAt is when the block's data is usable: the completion time of
+	// the copy that installed it (only ahead of the compute queue when
+	// the copy engine is asynchronous).
+	readyAt float64
+}
+
+// DeviceStats accumulates per-device counters over a simulation run.
+type DeviceStats struct {
+	KernelTime   float64 // seconds spent in contraction kernels
+	TransferTime float64 // seconds spent in H2D + P2P transfers
+	EvictTime    float64 // seconds spent evicting (incl. dirty write-back)
+	AllocTime    float64 // seconds spent in pool allocations
+	H2DBytes     int64
+	P2PBytes     int64
+	D2HBytes     int64
+	Kernels      int64
+	Evictions    int64
+	ReuseHits    int64 // input operands found already resident
+	ColdMisses   int64 // input operands fetched from host or peer
+	FLOPs        int64
+}
+
+// add accumulates o into s.
+func (s *DeviceStats) add(o DeviceStats) {
+	s.KernelTime += o.KernelTime
+	s.TransferTime += o.TransferTime
+	s.EvictTime += o.EvictTime
+	s.AllocTime += o.AllocTime
+	s.H2DBytes += o.H2DBytes
+	s.P2PBytes += o.P2PBytes
+	s.D2HBytes += o.D2HBytes
+	s.Kernels += o.Kernels
+	s.Evictions += o.Evictions
+	s.ReuseHits += o.ReuseHits
+	s.ColdMisses += o.ColdMisses
+	s.FLOPs += o.FLOPs
+}
+
+// Device models one simulated GPU: a compute-queue clock, an optional
+// copy-engine clock (Config.AsyncCopy), a memory pool with LRU
+// replacement, and the set of resident tensors.
+type Device struct {
+	id        int
+	cfg       *Config
+	clock     float64 // compute queue
+	copyClock float64 // copy engine queue (used when cfg.AsyncCopy)
+	memUsed   int64
+	resident  map[uint64]*block
+	lru       *list.List // front = least recently used; values are tensor IDs
+	stats     DeviceStats
+}
+
+func newDevice(id int, cfg *Config) *Device {
+	return &Device{
+		id:       id,
+		cfg:      cfg,
+		resident: make(map[uint64]*block),
+		lru:      list.New(),
+	}
+}
+
+// ID returns the device index within its cluster.
+func (d *Device) ID() int { return d.id }
+
+// Clock returns the device's compute-queue time in seconds.
+func (d *Device) Clock() float64 { return d.clock }
+
+// CopyClock returns the copy-engine queue time; it equals Clock() when the
+// copy engine is synchronous (Config.AsyncCopy off).
+func (d *Device) CopyClock() float64 {
+	if d.cfg.AsyncCopy {
+		return d.copyClock
+	}
+	return d.clock
+}
+
+// busyUntil is the later of the device's queues.
+func (d *Device) busyUntil() float64 {
+	if d.cfg.AsyncCopy && d.copyClock > d.clock {
+		return d.copyClock
+	}
+	return d.clock
+}
+
+// MemUsed returns the bytes currently allocated on the device.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemFree returns the bytes still available on the device.
+func (d *Device) MemFree() int64 { return d.cfg.MemoryBytes - d.memUsed }
+
+// Stats returns a copy of the device's counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// Holds reports whether tensor id is resident on the device.
+func (d *Device) Holds(id uint64) bool {
+	_, ok := d.resident[id]
+	return ok
+}
+
+// ResidentCount returns the number of tensors resident on the device.
+func (d *Device) ResidentCount() int { return len(d.resident) }
+
+// touch marks a resident tensor most-recently-used.
+func (d *Device) touch(b *block) {
+	d.lru.MoveToBack(b.elem)
+}
+
+// install records a new resident block (most-recently-used position).
+func (d *Device) install(desc tensor.Desc, dirty bool) *block {
+	b := &block{desc: desc, dirty: dirty}
+	b.elem = d.lru.PushBack(desc.ID)
+	d.resident[desc.ID] = b
+	d.memUsed += desc.Bytes()
+	return b
+}
+
+// drop removes a resident block without any timing cost (used by eviction
+// and invalidation; callers account for cost).
+func (d *Device) drop(b *block) {
+	d.lru.Remove(b.elem)
+	delete(d.resident, b.desc.ID)
+	d.memUsed -= b.desc.Bytes()
+}
+
+// evictFor frees space until size bytes fit, evicting least-recently-used
+// unpinned blocks. Dirty blocks are written back to host (the cluster marks
+// them host-resident). Returns an error if the request can never fit.
+func (d *Device) evictFor(size int64, c *Cluster) error {
+	if size > d.cfg.MemoryBytes {
+		return fmt.Errorf("gpusim: tensor of %d bytes exceeds device %d capacity %d",
+			size, d.id, d.cfg.MemoryBytes)
+	}
+	for d.memUsed+size > d.cfg.MemoryBytes {
+		victim := d.oldestUnpinned()
+		if victim == nil {
+			return fmt.Errorf("gpusim: device %d cannot evict: all %d resident tensors pinned",
+				d.id, len(d.resident))
+		}
+		cost := d.cfg.EvictLatency
+		d.advanceTransferQueue(cost)
+		c.trace(Event{Kind: EventEvict, Device: d.id, Tensor: victim.desc.ID,
+			Start: d.CopyClock() - cost, End: d.CopyClock(), Bytes: victim.desc.Bytes()})
+		if victim.dirty {
+			// Dirty write-back occupies the shared host link.
+			dur := float64(victim.desc.Bytes()) / d.cfg.D2HBandwidth
+			cost += c.hostLinkOccupy(d, dur)
+			d.stats.D2HBytes += victim.desc.Bytes()
+			c.hostResident[victim.desc.ID] = victim.desc
+			c.trace(Event{Kind: EventD2H, Device: d.id, Tensor: victim.desc.ID,
+				Start: d.CopyClock() - dur, End: d.CopyClock(), Bytes: victim.desc.Bytes()})
+		}
+		d.stats.EvictTime += cost
+		d.stats.Evictions++
+		d.drop(victim)
+	}
+	return nil
+}
+
+func (d *Device) oldestUnpinned() *block {
+	for e := d.lru.Front(); e != nil; e = e.Next() {
+		b := d.resident[e.Value.(uint64)]
+		if !b.pinned {
+			return b
+		}
+	}
+	return nil
+}
+
+// advanceTransferQueue adds dur to the queue transfers run on: the copy
+// engine when asynchronous, the compute queue otherwise.
+func (d *Device) advanceTransferQueue(dur float64) {
+	if d.cfg.AsyncCopy {
+		d.copyClock += dur
+	} else {
+		d.clock += dur
+	}
+}
+
+// reset clears all state, returning the device to time zero with an empty
+// pool.
+func (d *Device) reset() {
+	d.clock = 0
+	d.copyClock = 0
+	d.memUsed = 0
+	d.resident = make(map[uint64]*block)
+	d.lru = list.New()
+	d.stats = DeviceStats{}
+}

@@ -1,0 +1,163 @@
+package gpusim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventKind classifies a traced simulator event.
+type EventKind int
+
+const (
+	// EventKernel is a contraction kernel execution.
+	EventKernel EventKind = iota
+	// EventH2D is a host-to-device transfer.
+	EventH2D
+	// EventD2H is a device-to-host transfer (write-back or staging).
+	EventD2H
+	// EventP2P is a device-to-device transfer.
+	EventP2P
+	// EventEvict is an eviction (excluding any write-back transfer, which
+	// is traced separately as EventD2H).
+	EventEvict
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventKernel:
+		return "kernel"
+	case EventH2D:
+		return "h2d"
+	case EventD2H:
+		return "d2h"
+	case EventP2P:
+		return "p2p"
+	case EventEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one traced simulator operation on a device timeline.
+type Event struct {
+	Kind   EventKind
+	Device int
+	// Tensor is the subject tensor: the moved tensor for transfers and
+	// evictions, the output tensor for kernels.
+	Tensor uint64
+	// Start and End are simulated seconds.
+	Start, End float64
+	// Bytes is the payload for transfers/evictions; FLOPs for kernels.
+	Bytes int64
+	FLOPs int64
+}
+
+// Duration returns the event length in seconds.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// StartTrace begins recording events; any previously recorded events are
+// dropped. Tracing survives Reset (events clear, recording continues).
+func (c *Cluster) StartTrace() {
+	c.tracing = true
+	c.traceEvents = nil
+}
+
+// StopTrace stops recording and returns the recorded events.
+func (c *Cluster) StopTrace() []Event {
+	c.tracing = false
+	out := c.traceEvents
+	c.traceEvents = nil
+	return out
+}
+
+// TraceEvents returns the events recorded so far without stopping.
+func (c *Cluster) TraceEvents() []Event { return c.traceEvents }
+
+func (c *Cluster) trace(e Event) {
+	if c.tracing {
+		c.traceEvents = append(c.traceEvents, e)
+	}
+}
+
+// WriteChromeTrace serializes events in the Chrome tracing (catapult) JSON
+// array format: open chrome://tracing or https://ui.perfetto.dev and load
+// the file. Devices map to process IDs; kernel and copy queues to threads.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		tid := 0 // kernel queue
+		if e.Kind != EventKernel {
+			tid = 1 // copy/eviction queue
+		}
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"  {\"name\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"+
+				"\"args\":{\"tensor\":%d,\"bytes\":%d,\"flops\":%d}}%s\n",
+			fmt.Sprintf("%s t%d", e.Kind, e.Tensor),
+			e.Start*1e6, e.Duration()*1e6, e.Device, tid,
+			e.Tensor, e.Bytes, e.FLOPs, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// TraceSummary aggregates events into per-device, per-kind busy time and
+// writes a compact text report.
+func TraceSummary(w io.Writer, events []Event) error {
+	type key struct {
+		dev  int
+		kind EventKind
+	}
+	busy := map[key]float64{}
+	count := map[key]int{}
+	devs := map[int]bool{}
+	for _, e := range events {
+		k := key{e.Device, e.Kind}
+		busy[k] += e.Duration()
+		count[k]++
+		devs[e.Device] = true
+	}
+	var devices []int
+	for d := range devs {
+		devices = append(devices, d)
+	}
+	sort.Ints(devices)
+	kinds := []EventKind{EventKernel, EventH2D, EventD2H, EventP2P, EventEvict}
+	if _, err := fmt.Fprintf(w, "%-7s", "device"); err != nil {
+		return err
+	}
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, " %14s", k.String()+" (n,s)"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, d := range devices {
+		if _, err := fmt.Fprintf(w, "%-7d", d); err != nil {
+			return err
+		}
+		for _, k := range kinds {
+			kk := key{d, k}
+			if _, err := fmt.Fprintf(w, " %5d %8.4fs", count[kk], busy[kk]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsAllEventKinds(t *testing.T) {
+	cfg := testConfig(1)
+	sz := desc(0, 64, 1).Bytes()
+	cfg.MemoryBytes = 3 * sz
+	c, _ := NewCluster(cfg)
+	c.StartTrace()
+	a, b, out := desc(1, 64, 1), desc(2, 64, 1), desc(3, 64, 1)
+	c.RegisterHostTensor(a)
+	c.RegisterHostTensor(b)
+	if _, err := c.ExecContraction(0, a, b, out); err != nil {
+		t.Fatal(err)
+	}
+	// Force an eviction of the dirty output: bring in a fourth tensor.
+	if err := c.EnsureResident(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureResident(0, b); err != nil {
+		t.Fatal(err)
+	}
+	d4 := desc(4, 64, 1)
+	c.RegisterHostTensor(d4)
+	if err := c.EnsureResident(0, d4); err != nil {
+		t.Fatal(err)
+	}
+	events := c.TraceEvents()
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.End < e.Start {
+			t.Errorf("event %v ends before it starts", e)
+		}
+		if e.Device != 0 {
+			t.Errorf("event on unexpected device %d", e.Device)
+		}
+	}
+	if kinds[EventKernel] != 1 {
+		t.Errorf("kernel events = %d, want 1", kinds[EventKernel])
+	}
+	if kinds[EventH2D] != 3 { // a, b, d4
+		t.Errorf("h2d events = %d, want 3", kinds[EventH2D])
+	}
+	if kinds[EventEvict] != 1 || kinds[EventD2H] != 1 {
+		t.Errorf("evict/d2h events = %d/%d, want 1/1", kinds[EventEvict], kinds[EventD2H])
+	}
+	// StopTrace drains and stops.
+	got := c.StopTrace()
+	if len(got) != len(events) {
+		t.Error("StopTrace should return the recorded events")
+	}
+	if c.TraceEvents() != nil {
+		t.Error("events should be cleared after StopTrace")
+	}
+	c.RegisterHostTensor(desc(9, 64, 1))
+	if err := c.EnsureResident(0, desc(9, 64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.TraceEvents()) != 0 {
+		t.Error("recording should have stopped")
+	}
+}
+
+func TestTraceSurvivesResetWhileEnabled(t *testing.T) {
+	c, _ := NewCluster(testConfig(1))
+	c.StartTrace()
+	d1 := desc(1, 64, 1)
+	c.RegisterHostTensor(d1)
+	if err := c.EnsureResident(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.TraceEvents()) == 0 {
+		t.Fatal("no events before reset")
+	}
+	c.Reset()
+	if len(c.TraceEvents()) != 0 {
+		t.Error("Reset should clear events")
+	}
+	c.RegisterHostTensor(d1)
+	if err := c.EnsureResident(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.TraceEvents()) == 0 {
+		t.Error("recording should continue after Reset")
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	events := []Event{
+		{Kind: EventH2D, Device: 0, Tensor: 1, Start: 0, End: 0.001, Bytes: 100},
+		{Kind: EventKernel, Device: 0, Tensor: 2, Start: 0.001, End: 0.002, FLOPs: 5000},
+		{Kind: EventP2P, Device: 1, Tensor: 1, Start: 0.002, End: 0.003, Bytes: 100},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" || parsed[0]["name"] != "h2d t1" {
+		t.Errorf("first event malformed: %v", parsed[0])
+	}
+	// Kernel goes to tid 0, transfers to tid 1.
+	if parsed[1]["tid"].(float64) != 0 || parsed[0]["tid"].(float64) != 1 {
+		t.Error("thread assignment wrong")
+	}
+	// Empty event list is still valid JSON.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	events := []Event{
+		{Kind: EventKernel, Device: 0, Start: 0, End: 0.5},
+		{Kind: EventKernel, Device: 0, Start: 0.5, End: 1.5},
+		{Kind: EventH2D, Device: 1, Start: 0, End: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := TraceSummary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "1.5000s") {
+		t.Errorf("summary missing aggregates:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 devices
+		t.Errorf("summary lines = %d, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EventKernel: "kernel", EventH2D: "h2d", EventD2H: "d2h",
+		EventP2P: "p2p", EventEvict: "evict",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+	e := Event{Start: 1, End: 3}
+	if e.Duration() != 2 {
+		t.Error("duration")
+	}
+}

@@ -1,0 +1,139 @@
+// Package graph models the contraction graphs of many-body correlation
+// functions (paper Section II): small undirected graphs whose vertices are
+// hadron nodes (batched tensors) and whose edges are quark propagations.
+// A graph contraction deletes one edge after another — each deletion is a
+// hadron contraction of the two endpoint tensors — until two nodes remain.
+//
+// The package also performs the pre-processing the paper attributes to
+// Redstar: dependency analysis across many graphs that partitions all
+// hadron contractions into sequential stages of mutually independent
+// pairs, with identical sub-contractions deduplicated so that shared
+// hadron nodes and shared intermediates appear exactly once.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"micco/internal/tensor"
+)
+
+// Node is a hadron node in a contraction graph.
+type Node struct {
+	// ID is the node's index within its graph.
+	ID int
+	// Tensor identifies the hadron block. Shared hadron nodes across
+	// graphs carry the same tensor ID — that sharing is the data-reuse
+	// opportunity MICCO exploits.
+	Tensor tensor.Desc
+}
+
+// Edge is a quark propagation between two hadron nodes of one graph.
+type Edge struct {
+	U, V int
+}
+
+// Graph is one contraction graph.
+type Graph struct {
+	ID    int
+	Nodes []Node
+	Edges []Edge
+}
+
+// Validate checks structural soundness: edges reference existing distinct
+// nodes and every node tensor is valid and shape-compatible.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("graph %d: no nodes", g.ID)
+	}
+	ref := g.Nodes[0].Tensor
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("graph %d: node %d has ID %d", g.ID, i, n.ID)
+		}
+		if !n.Tensor.Valid() {
+			return fmt.Errorf("graph %d: node %d has invalid tensor %v", g.ID, i, n.Tensor)
+		}
+		if n.Tensor.Rank != ref.Rank || n.Tensor.Dim != ref.Dim || n.Tensor.Batch != ref.Batch {
+			return fmt.Errorf("graph %d: node %d tensor %v incompatible with %v", g.ID, i, n.Tensor, ref)
+		}
+	}
+	for _, e := range g.Edges {
+		if e.U < 0 || e.U >= len(g.Nodes) || e.V < 0 || e.V >= len(g.Nodes) {
+			return fmt.Errorf("graph %d: edge (%d,%d) out of range", g.ID, e.U, e.V)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph %d: self-loop at node %d", g.ID, e.U)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the graph is a single connected component
+// (required for a contraction to reduce it to a single product chain).
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return false
+	}
+	adj := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(g.Nodes)
+}
+
+// Signature returns a canonical string identifying the graph up to node
+// relabeling by tensor identity: the sorted multiset of edge tensor-ID
+// pairs plus the sorted multiset of node tensor IDs. Two graphs with equal
+// signatures perform identical contractions, so the Wick front end uses it
+// to deduplicate ("unique contraction graphs").
+func (g *Graph) Signature() string {
+	edges := make([]string, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		a := g.Nodes[e.U].Tensor.ID
+		b := g.Nodes[e.V].Tensor.ID
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, fmt.Sprintf("%d-%d", a, b))
+	}
+	sort.Strings(edges)
+	nodes := make([]uint64, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n.Tensor.ID)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return fmt.Sprintf("n%v|e%v", nodes, edges)
+}
+
+// Dedup returns the unique graphs of gs by Signature, preserving first-seen
+// order.
+func Dedup(gs []*Graph) []*Graph {
+	seen := make(map[string]bool, len(gs))
+	var out []*Graph
+	for _, g := range gs {
+		sig := g.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"fmt"
+
+	"micco/internal/tensor"
+)
+
+// Op is one hadron contraction in an execution plan: Out = A contracted
+// with B, runnable in stage Stage (0-based) once both operands exist.
+type Op struct {
+	A, B, Out tensor.Desc
+	Stage     int
+}
+
+// Plan is the staged, deduplicated execution plan for a set of contraction
+// graphs. Identical contractions (same ordered operand tensor IDs) across
+// graphs are performed once and their outputs shared.
+type Plan struct {
+	Ops []Op
+	// StageOps indexes Ops by stage.
+	StageOps [][]int
+	// Inputs are the distinct leaf hadron-node tensors.
+	Inputs []tensor.Desc
+	// Finals maps each graph's ID to the tensor concluding its
+	// contraction (the correlator term before the trace).
+	Finals map[int]tensor.Desc
+	// SharedOps counts how many per-graph contractions were satisfied by
+	// an already-planned op (the cross-graph reuse the paper highlights).
+	SharedOps int
+}
+
+// planner carries the cross-graph memoization state.
+type planner struct {
+	plan   *Plan
+	memo   map[[2]uint64]tensor.Desc // ordered operand IDs -> output
+	depth  map[uint64]int            // tensor ID -> earliest stage+1 it exists
+	inputs map[uint64]bool
+	nextID uint64
+}
+
+// BuildPlan compiles graphs into a staged plan. Fresh intermediate tensor
+// IDs are allocated starting at nextID (which must exceed every leaf
+// tensor ID). Every graph must be valid and connected.
+func BuildPlan(graphs []*Graph, nextID uint64) (*Plan, error) {
+	p := &planner{
+		plan:   &Plan{Finals: make(map[int]tensor.Desc)},
+		memo:   make(map[[2]uint64]tensor.Desc),
+		depth:  make(map[uint64]int),
+		inputs: make(map[uint64]bool),
+		nextID: nextID,
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("graph %d: not connected", g.ID)
+		}
+		for _, n := range g.Nodes {
+			if n.Tensor.ID >= nextID {
+				return nil, fmt.Errorf("graph %d: leaf tensor ID %d >= nextID %d",
+					g.ID, n.Tensor.ID, nextID)
+			}
+			if !p.inputs[n.Tensor.ID] {
+				p.inputs[n.Tensor.ID] = true
+				p.plan.Inputs = append(p.plan.Inputs, n.Tensor)
+			}
+		}
+		final, err := p.reduce(g)
+		if err != nil {
+			return nil, err
+		}
+		p.plan.Finals[g.ID] = final
+	}
+	// Index ops by stage.
+	maxStage := -1
+	for _, op := range p.plan.Ops {
+		if op.Stage > maxStage {
+			maxStage = op.Stage
+		}
+	}
+	p.plan.StageOps = make([][]int, maxStage+1)
+	for i, op := range p.plan.Ops {
+		p.plan.StageOps[op.Stage] = append(p.plan.StageOps[op.Stage], i)
+	}
+	return p.plan, nil
+}
+
+// reduce contracts graph g to a single node via rounds of maximal matching
+// (independent edges contract concurrently), memoizing each contraction.
+func (p *planner) reduce(g *Graph) (tensor.Desc, error) {
+	// live tensors per node; merged nodes alias a representative.
+	tensors := make([]tensor.Desc, len(g.Nodes))
+	for i, n := range g.Nodes {
+		tensors[i] = n.Tensor
+	}
+	edges := append([]Edge(nil), g.Edges...)
+	alive := len(g.Nodes)
+	for alive > 1 {
+		if len(edges) == 0 {
+			return tensor.Desc{}, fmt.Errorf("graph %d: ran out of edges with %d nodes left", g.ID, alive)
+		}
+		matched := make(map[int]bool)
+		contractedAny := false
+		var nextEdges []Edge
+		for _, e := range edges {
+			if e.U == e.V {
+				continue // self-loop created by an earlier merge this round
+			}
+			if matched[e.U] || matched[e.V] {
+				nextEdges = append(nextEdges, e)
+				continue
+			}
+			matched[e.U], matched[e.V] = true, true
+			contractedAny = true
+			out, err := p.emit(tensors[e.U], tensors[e.V])
+			if err != nil {
+				return tensor.Desc{}, fmt.Errorf("graph %d: %w", g.ID, err)
+			}
+			// Merge V into U: U carries the product tensor.
+			tensors[e.U] = out
+			tensors[e.V] = tensor.Desc{}
+			alive--
+			// Retarget V's remaining edges to U below via the rename map.
+			for i := range nextEdges {
+				if nextEdges[i].U == e.V {
+					nextEdges[i].U = e.U
+				}
+				if nextEdges[i].V == e.V {
+					nextEdges[i].V = e.U
+				}
+			}
+			// Also rename in the not-yet-scanned portion by deferring: we
+			// handle it when moving remaining edges to nextEdges.
+			for j := range edges {
+				if edges[j].U == e.V {
+					edges[j].U = e.U
+				}
+				if edges[j].V == e.V {
+					edges[j].V = e.U
+				}
+			}
+		}
+		if !contractedAny {
+			return tensor.Desc{}, fmt.Errorf("graph %d: no contractible edge among %d", g.ID, len(edges))
+		}
+		// Drop self-loops produced by merges.
+		edges = nextEdges[:0]
+		for _, e := range nextEdges {
+			if e.U != e.V {
+				edges = append(edges, e)
+			}
+		}
+	}
+	for _, t := range tensors {
+		if t.Valid() {
+			return t, nil
+		}
+	}
+	return tensor.Desc{}, fmt.Errorf("graph %d: no final tensor", g.ID)
+}
+
+// emit returns the output of contracting a with b, reusing a planned op
+// when the same ordered contraction was already emitted. Operands are
+// canonically ordered by tensor ID (contraction order is a convention of
+// the plan, applied consistently).
+func (p *planner) emit(a, b tensor.Desc) (tensor.Desc, error) {
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	key := [2]uint64{a.ID, b.ID}
+	if out, ok := p.memo[key]; ok {
+		p.plan.SharedOps++
+		return out, nil
+	}
+	stage := p.depth[a.ID]
+	if d := p.depth[b.ID]; d > stage {
+		stage = d
+	}
+	out, err := tensor.ContractOut(a, b, p.nextID)
+	if err != nil {
+		return tensor.Desc{}, err
+	}
+	p.nextID++
+	p.memo[key] = out
+	p.depth[out.ID] = stage + 1
+	p.plan.Ops = append(p.plan.Ops, Op{A: a, B: b, Out: out, Stage: stage})
+	return out, nil
+}
+
+// NumStages returns the number of sequential stages in the plan.
+func (p *Plan) NumStages() int { return len(p.StageOps) }
+
+// TotalFLOPs sums the kernel work over all planned ops.
+func (p *Plan) TotalFLOPs() int64 {
+	var total int64
+	for _, op := range p.Ops {
+		f, err := tensor.ContractFLOPs(op.A, op.B)
+		if err == nil {
+			total += f
+		}
+	}
+	return total
+}
+
+// TotalUniqueBytes returns the combined footprint of all distinct tensors
+// the plan touches (leaves and intermediates).
+func (p *Plan) TotalUniqueBytes() int64 {
+	var total int64
+	for _, d := range p.Inputs {
+		total += d.Bytes()
+	}
+	for _, op := range p.Ops {
+		total += op.Out.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+// Package mlearn is a from-scratch regression substrate standing in for the
+// scikit-learn models of the MICCO paper's Section IV-C: linear (ridge)
+// regression, CART regression trees, Random Forests (150 trees) and
+// Gradient Boosting (150 stages, learning rate 0.1), together with dataset
+// splitting and R-squared evaluation. Only the Go standard library is used.
+package mlearn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"micco/internal/stats"
+)
+
+// ErrEmpty is returned when fitting or evaluating on an empty dataset.
+var ErrEmpty = errors.New("mlearn: empty dataset")
+
+// Dataset is a design matrix X with (possibly multi-output) targets Y.
+type Dataset struct {
+	X [][]float64
+	Y [][]float64
+}
+
+// Add appends one sample. The slices are copied.
+func (d *Dataset) Add(x, y []float64) {
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, append([]float64(nil), y...))
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature dimension (0 when empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// NumOutputs returns the target dimension (0 when empty).
+func (d *Dataset) NumOutputs() int {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	return len(d.Y[0])
+}
+
+// Column returns target column j across all samples.
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, len(d.Y))
+	for i := range d.Y {
+		out[i] = d.Y[i][j]
+	}
+	return out
+}
+
+// Split shuffles the dataset with the given seed and splits it into train
+// and test parts, with testFrac (clamped to [0,1]) of samples in test —
+// the paper holds out 20% of its 300-sample corpus.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	if testFrac < 0 {
+		testFrac = 0
+	}
+	if testFrac > 1 {
+		testFrac = 1
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(d.Len())
+	nTest := int(float64(d.Len()) * testFrac)
+	train, test = &Dataset{}, &Dataset{}
+	for i, k := range idx {
+		if i < nTest {
+			test.Add(d.X[k], d.Y[k])
+		} else {
+			train.Add(d.X[k], d.Y[k])
+		}
+	}
+	return train, test
+}
+
+// Validate checks the dataset is rectangular and non-empty.
+func (d *Dataset) Validate() error {
+	if d.Len() == 0 {
+		return ErrEmpty
+	}
+	nf, no := d.NumFeatures(), d.NumOutputs()
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("mlearn: %d samples but %d targets", len(d.X), len(d.Y))
+	}
+	for i := range d.X {
+		if len(d.X[i]) != nf {
+			return fmt.Errorf("mlearn: sample %d has %d features, want %d", i, len(d.X[i]), nf)
+		}
+		if len(d.Y[i]) != no {
+			return fmt.Errorf("mlearn: target %d has %d outputs, want %d", i, len(d.Y[i]), no)
+		}
+	}
+	return nil
+}
+
+// Regressor is a single-output regression model.
+type Regressor interface {
+	// Fit trains on rows X with targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model output for one feature row.
+	Predict(x []float64) float64
+}
+
+// Multi trains one Regressor per output column, turning any single-output
+// model into a multi-output one (the three reuse bounds are predicted
+// jointly this way).
+type Multi struct {
+	factory func() Regressor
+	models  []Regressor
+}
+
+// NewMulti builds a multi-output wrapper around the given model factory.
+func NewMulti(factory func() Regressor) *Multi { return &Multi{factory: factory} }
+
+// Fit trains the wrapper on dataset d.
+func (m *Multi) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	m.models = m.models[:0]
+	for j := 0; j < d.NumOutputs(); j++ {
+		r := m.factory()
+		if err := r.Fit(d.X, d.Column(j)); err != nil {
+			return fmt.Errorf("mlearn: output %d: %w", j, err)
+		}
+		m.models = append(m.models, r)
+	}
+	return nil
+}
+
+// Predict returns one value per output column.
+func (m *Multi) Predict(x []float64) []float64 {
+	out := make([]float64, len(m.models))
+	for j, r := range m.models {
+		out[j] = r.Predict(x)
+	}
+	return out
+}
+
+// R2 evaluates the wrapper on dataset d, returning the mean R-squared
+// across output columns (the convention used for Table IV).
+func (m *Multi) R2(d *Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if len(m.models) != d.NumOutputs() {
+		return 0, fmt.Errorf("mlearn: model has %d outputs, dataset %d", len(m.models), d.NumOutputs())
+	}
+	var sum float64
+	for j := 0; j < d.NumOutputs(); j++ {
+		pred := make([]float64, d.Len())
+		for i := range d.X {
+			pred[i] = m.models[j].Predict(d.X[i])
+		}
+		r2, err := stats.R2(d.Column(j), pred)
+		if err != nil {
+			return 0, err
+		}
+		sum += r2
+	}
+	return sum / float64(d.NumOutputs()), nil
+}

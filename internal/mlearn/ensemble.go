@@ -1,0 +1,165 @@
+package mlearn
+
+import (
+	"math/rand"
+)
+
+// ForestConfig parameterizes a Random Forest regressor. Defaults match the
+// paper's Section IV-C: 150 trees.
+type ForestConfig struct {
+	NumTrees    int   // default 150
+	MaxDepth    int   // per-tree depth bound; <=0 unbounded
+	MinLeaf     int   // per-tree min samples per leaf; default 1
+	MaxFeatures int   // features per split; <=0 uses all
+	Seed        int64 // drives bootstrap and subspace sampling
+}
+
+// Forest is a bagged ensemble of CART trees (bootstrap samples + random
+// feature subspaces), averaging tree predictions.
+type Forest struct {
+	Cfg   ForestConfig
+	trees []*Tree
+}
+
+// NewForest returns a Random Forest with cfg, applying paper defaults for
+// unset fields.
+func NewForest(cfg ForestConfig) *Forest {
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 150
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &Forest{Cfg: cfg}
+}
+
+// Fit implements Regressor.
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return ErrEmpty
+	}
+	rng := rand.New(rand.NewSource(f.Cfg.Seed))
+	n := len(X)
+	f.trees = f.trees[:0]
+	for t := 0; t < f.Cfg.NumTrees; t++ {
+		// Bootstrap sample with replacement.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(n)
+			bx[i] = X[k]
+			by[i] = y[k]
+		}
+		tree := NewTree(TreeConfig{
+			MaxDepth:    f.Cfg.MaxDepth,
+			MinLeaf:     f.Cfg.MinLeaf,
+			MaxFeatures: f.Cfg.MaxFeatures,
+			Seed:        rng.Int63(),
+		})
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Regressor: the mean over tree predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees returns the number of fitted trees.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// BoostingConfig parameterizes Gradient Boosting. Defaults match the
+// paper: 150 boosting stages with learning rate 0.1.
+type BoostingConfig struct {
+	Stages       int     // default 150
+	LearningRate float64 // default 0.1
+	MaxDepth     int     // per-stage tree depth; default 3
+	MinLeaf      int     // default 1
+	Seed         int64
+}
+
+// Boosting is gradient-boosted regression with squared loss: each stage
+// fits a shallow tree to the current residuals.
+type Boosting struct {
+	Cfg   BoostingConfig
+	base  float64
+	trees []*Tree
+}
+
+// NewBoosting returns a Gradient Boosting regressor with cfg, applying
+// paper defaults for unset fields.
+func NewBoosting(cfg BoostingConfig) *Boosting {
+	if cfg.Stages <= 0 {
+		cfg.Stages = 150
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 3
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &Boosting{Cfg: cfg}
+}
+
+// Fit implements Regressor.
+func (b *Boosting) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return ErrEmpty
+	}
+	rng := rand.New(rand.NewSource(b.Cfg.Seed))
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	b.base = sum / float64(len(y))
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range y {
+		pred[i] = b.base
+	}
+	b.trees = b.trees[:0]
+	for s := 0; s < b.Cfg.Stages; s++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := NewTree(TreeConfig{
+			MaxDepth: b.Cfg.MaxDepth,
+			MinLeaf:  b.Cfg.MinLeaf,
+			Seed:     rng.Int63(),
+		})
+		if err := tree.Fit(X, resid); err != nil {
+			return err
+		}
+		b.trees = append(b.trees, tree)
+		for i := range y {
+			pred[i] += b.Cfg.LearningRate * tree.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (b *Boosting) Predict(x []float64) float64 {
+	s := b.base
+	for _, t := range b.trees {
+		s += b.Cfg.LearningRate * t.Predict(x)
+	}
+	return s
+}
+
+// NumStages returns the number of fitted boosting stages.
+func (b *Boosting) NumStages() int { return len(b.trees) }

@@ -1,0 +1,117 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear is ordinary least squares with a small ridge penalty for
+// numerical stability, solved by Gaussian elimination on the normal
+// equations. It is the paper's weakest model (Table IV, R^2 = 0.57),
+// included to demonstrate that the reuse-bound relationship is non-linear.
+type Linear struct {
+	// Ridge is the L2 regularization strength; 0 selects a tiny default.
+	Ridge float64
+	// weights holds the fitted coefficients; weights[len-1] is the bias.
+	weights []float64
+}
+
+// NewLinear returns a ridge-regularized linear regressor.
+func NewLinear() *Linear { return &Linear{} }
+
+// Fit implements Regressor.
+func (l *Linear) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return ErrEmpty
+	}
+	p := len(X[0]) + 1 // +1 bias column
+	lambda := l.Ridge
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+	// Normal equations: (A^T A + lambda I) w = A^T y, with A = [X | 1].
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p+1) // augmented with A^T y
+	}
+	row := make([]float64, p)
+	for i, x := range X {
+		if len(x) != p-1 {
+			return fmt.Errorf("mlearn: sample %d has %d features, want %d", i, len(x), p-1)
+		}
+		copy(row, x)
+		row[p-1] = 1
+		for a := 0; a < p; a++ {
+			for b := 0; b < p; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+			ata[a][p] += row[a] * y[i]
+		}
+	}
+	for a := 0; a < p; a++ {
+		ata[a][a] += lambda
+	}
+	w, err := solve(ata)
+	if err != nil {
+		return err
+	}
+	l.weights = w
+	return nil
+}
+
+// Predict implements Regressor. An unfitted model predicts 0.
+func (l *Linear) Predict(x []float64) float64 {
+	if len(l.weights) == 0 {
+		return 0
+	}
+	var s float64
+	n := len(l.weights) - 1
+	for i := 0; i < n && i < len(x); i++ {
+		s += l.weights[i] * x[i]
+	}
+	return s + l.weights[n]
+}
+
+// Weights returns a copy of the fitted coefficients (bias last), or nil
+// before fitting.
+func (l *Linear) Weights() []float64 {
+	return append([]float64(nil), l.weights...)
+}
+
+// solve performs Gaussian elimination with partial pivoting on an n x (n+1)
+// augmented matrix, returning the solution vector.
+func solve(m [][]float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("mlearn: singular system at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * w[c]
+		}
+		w[r] = s / m[r][r]
+	}
+	return w, nil
+}

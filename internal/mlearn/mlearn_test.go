@@ -1,0 +1,396 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthDataset builds n samples of a known nonlinear 2-feature function
+// with mild noise.
+func synthDataset(n int, seed int64, noise float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		X[i] = []float64{a, b}
+		y[i] = 3*a - 2*b + a*b*b + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func fitAndScore(t *testing.T, r Regressor, X [][]float64, y []float64, Xt [][]float64, yt []float64) float64 {
+	t.Helper()
+	if err := r.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var ssRes, ssTot, mean float64
+	for _, v := range yt {
+		mean += v
+	}
+	mean /= float64(len(yt))
+	for i := range yt {
+		d := yt[i] - r.Predict(Xt[i])
+		ssRes += d * d
+		e := yt[i] - mean
+		ssTot += e * e
+	}
+	return 1 - ssRes/ssTot
+}
+
+func TestLinearRecoversLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range X {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{a, b}
+		y[i] = 2*a - 3*b + 5
+	}
+	l := NewLinear()
+	if err := l.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	w := l.Weights()
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	for i, want := range []float64{2, -3, 5} {
+		if math.Abs(w[i]-want) > 1e-6 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want)
+		}
+	}
+	if got := l.Predict([]float64{1, 1}); math.Abs(got-4) > 1e-6 {
+		t.Errorf("Predict = %v, want 4", got)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	l := NewLinear()
+	if err := l.Fit(nil, nil); err == nil {
+		t.Error("empty fit: want error")
+	}
+	if err := l.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if got := NewLinear().Predict([]float64{1}); got != 0 {
+		t.Error("unfitted linear should predict 0")
+	}
+	// Ragged rows must be rejected.
+	if err := l.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged features: want error")
+	}
+}
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{5, 5, 5, 9, 9, 9}
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{2}); got != 5 {
+		t.Errorf("Predict(2) = %v, want 5", got)
+	}
+	if got := tr.Predict([]float64{11}); got != 9 {
+		t.Errorf("Predict(11) = %v, want 9", got)
+	}
+	if tr.Depth() != 1 || tr.LeafCount() != 2 {
+		t.Errorf("Depth = %d, LeafCount = %d; want 1, 2", tr.Depth(), tr.LeafCount())
+	}
+}
+
+func TestTreeRespectsMaxDepthAndMinLeaf(t *testing.T) {
+	X, y := synthDataset(200, 2, 0)
+	shallow := NewTree(TreeConfig{MaxDepth: 2})
+	if err := shallow.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := shallow.Depth(); d > 2 {
+		t.Errorf("depth %d exceeds MaxDepth 2", d)
+	}
+	if n := shallow.LeafCount(); n > 4 {
+		t.Errorf("leaf count %d exceeds 2^2", n)
+	}
+	big := NewTree(TreeConfig{MinLeaf: 50})
+	if err := big.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if n := big.LeafCount(); n > 4 {
+		t.Errorf("MinLeaf 50 on 200 samples allows at most 4 leaves, got %d", n)
+	}
+}
+
+func TestTreeInterpolatesTrainingData(t *testing.T) {
+	X, y := synthDataset(80, 3, 0)
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// A fully grown tree on noiseless distinct samples should fit
+	// training data (nearly) exactly.
+	for i := range X {
+		if math.Abs(tr.Predict(X[i])-y[i]) > 1e-9 {
+			t.Fatalf("training point %d not interpolated", i)
+		}
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{99}); got != 7 {
+		t.Errorf("constant tree predicts %v, want 7", got)
+	}
+	if tr.LeafCount() != 1 {
+		t.Errorf("constant target should produce a single leaf, got %d", tr.LeafCount())
+	}
+}
+
+func TestModelsOnNonlinearData(t *testing.T) {
+	X, y := synthDataset(400, 4, 0.1)
+	Xt, yt := synthDataset(100, 5, 0.1)
+
+	linR2 := fitAndScore(t, NewLinear(), X, y, Xt, yt)
+	treeR2 := fitAndScore(t, NewTree(TreeConfig{MinLeaf: 3}), X, y, Xt, yt)
+	forestR2 := fitAndScore(t, NewForest(ForestConfig{NumTrees: 40, MinLeaf: 2, Seed: 6}), X, y, Xt, yt)
+	gbtR2 := fitAndScore(t, NewBoosting(BoostingConfig{Stages: 80, Seed: 7}), X, y, Xt, yt)
+
+	// Table IV's ordering: nonlinear ensembles beat linear regression on a
+	// nonlinear relationship.
+	if forestR2 <= linR2 || gbtR2 <= linR2 {
+		t.Errorf("ensembles should beat linear: lin=%.3f tree=%.3f forest=%.3f gbt=%.3f",
+			linR2, treeR2, forestR2, gbtR2)
+	}
+	if forestR2 < 0.85 {
+		t.Errorf("forest R2 = %.3f, want >= 0.85", forestR2)
+	}
+	if gbtR2 < 0.85 {
+		t.Errorf("boosting R2 = %.3f, want >= 0.85", gbtR2)
+	}
+}
+
+func TestForestDefaultsAndDeterminism(t *testing.T) {
+	f := NewForest(ForestConfig{})
+	if f.Cfg.NumTrees != 150 {
+		t.Errorf("default NumTrees = %d, want 150", f.Cfg.NumTrees)
+	}
+	X, y := synthDataset(60, 8, 0.05)
+	f1 := NewForest(ForestConfig{NumTrees: 10, Seed: 9})
+	f2 := NewForest(ForestConfig{NumTrees: 10, Seed: 9})
+	if err := f1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if f1.NumTrees() != 10 {
+		t.Errorf("NumTrees = %d", f1.NumTrees())
+	}
+	probe := []float64{0.3, -0.7}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Error("same seed should give identical forests")
+	}
+	if err := f1.Fit(nil, nil); err == nil {
+		t.Error("empty fit: want error")
+	}
+	if NewForest(ForestConfig{}).Predict(probe) != 0 {
+		t.Error("unfitted forest should predict 0")
+	}
+}
+
+func TestBoostingDefaultsAndResidualShrink(t *testing.T) {
+	b := NewBoosting(BoostingConfig{})
+	if b.Cfg.Stages != 150 || b.Cfg.LearningRate != 0.1 || b.Cfg.MaxDepth != 3 {
+		t.Errorf("defaults = %+v", b.Cfg)
+	}
+	X, y := synthDataset(150, 10, 0)
+	short := NewBoosting(BoostingConfig{Stages: 5, Seed: 11})
+	long := NewBoosting(BoostingConfig{Stages: 120, Seed: 11})
+	if err := short.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sse := func(m Regressor) float64 {
+		var s float64
+		for i := range X {
+			d := y[i] - m.Predict(X[i])
+			s += d * d
+		}
+		return s
+	}
+	if sse(long) >= sse(short) {
+		t.Errorf("more stages should reduce training SSE: %v vs %v", sse(long), sse(short))
+	}
+	if long.NumStages() != 120 {
+		t.Errorf("NumStages = %d", long.NumStages())
+	}
+	if err := b.Fit(nil, nil); err == nil {
+		t.Error("empty fit: want error")
+	}
+}
+
+func TestDatasetSplitAndValidate(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 100; i++ {
+		d.Add([]float64{float64(i)}, []float64{float64(2 * i), float64(3 * i)})
+	}
+	if d.Len() != 100 || d.NumFeatures() != 1 || d.NumOutputs() != 2 {
+		t.Fatalf("dataset shape wrong: %d %d %d", d.Len(), d.NumFeatures(), d.NumOutputs())
+	}
+	train, test := d.Split(0.2, 42)
+	if test.Len() != 20 || train.Len() != 80 {
+		t.Errorf("split sizes = %d/%d, want 80/20", train.Len(), test.Len())
+	}
+	// Same seed reproduces the split.
+	tr2, te2 := d.Split(0.2, 42)
+	if tr2.X[0][0] != train.X[0][0] || te2.X[0][0] != test.X[0][0] {
+		t.Error("split not deterministic")
+	}
+	// All samples preserved exactly once.
+	seen := make(map[float64]int)
+	for _, x := range train.X {
+		seen[x[0]]++
+	}
+	for _, x := range test.X {
+		seen[x[0]]++
+	}
+	if len(seen) != 100 {
+		t.Errorf("split lost samples: %d unique", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %v appears %d times", v, n)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Error("empty dataset should fail validation")
+	}
+	bad := &Dataset{X: [][]float64{{1}, {1, 2}}, Y: [][]float64{{1}, {1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged dataset should fail validation")
+	}
+	column := d.Column(1)
+	if column[5] != 15 {
+		t.Errorf("Column(1)[5] = %v, want 15", column[5])
+	}
+}
+
+func TestMultiOutput(t *testing.T) {
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 150; i++ {
+		a := rng.Float64() * 5
+		d.Add([]float64{a}, []float64{2 * a, a * a})
+	}
+	m := NewMulti(func() Regressor { return NewTree(TreeConfig{MinLeaf: 2}) })
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Predict([]float64{2})
+	if len(out) != 2 {
+		t.Fatalf("Predict outputs = %d, want 2", len(out))
+	}
+	if math.Abs(out[0]-4) > 0.5 || math.Abs(out[1]-4) > 1.0 {
+		t.Errorf("Predict(2) = %v, want approx [4, 4]", out)
+	}
+	r2, err := m.R2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.95 {
+		t.Errorf("training R2 = %.3f, want >= 0.95", r2)
+	}
+	if err := m.Fit(&Dataset{}); err == nil {
+		t.Error("empty multi fit: want error")
+	}
+	// Mismatched outputs at scoring time.
+	other := &Dataset{}
+	other.Add([]float64{1}, []float64{1})
+	if _, err := m.R2(other); err == nil {
+		t.Error("output-count mismatch in R2: want error")
+	}
+}
+
+// Property: tree predictions always lie within the range of training
+// targets (means of subsets cannot escape the hull).
+func TestTreePredictionWithinTargetRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.NormFloat64() * 10
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tr := NewTree(TreeConfig{MaxDepth: 6})
+		if err := tr.Fit(X, y); err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := tr.Predict([]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forest predictions are convex combinations of tree predictions,
+// hence also within the training target range.
+func TestForestPredictionWithinTargetRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			X[i] = []float64{rng.Float64() * 10}
+			y[i] = rng.Float64() * 100
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		fr := NewForest(ForestConfig{NumTrees: 8, Seed: seed})
+		if err := fr.Fit(X, y); err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			p := fr.Predict([]float64{rng.Float64() * 20})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}

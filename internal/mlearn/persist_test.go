@@ -1,0 +1,149 @@
+package mlearn
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func roundTrip(t *testing.T, r Regressor) Regressor {
+	t.Helper()
+	raw, err := MarshalRegressor(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRegressor(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func assertSamePredictions(t *testing.T, a, b Regressor, X [][]float64) {
+	t.Helper()
+	for i, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("prediction %d differs after round-trip: %v vs %v",
+				i, a.Predict(x), b.Predict(x))
+		}
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	X, y := synthDataset(120, 21, 0.05)
+	tr := NewTree(TreeConfig{MaxDepth: 5, MinLeaf: 2})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, tr)
+	assertSamePredictions(t, tr, back, X)
+	bt := back.(*Tree)
+	if bt.Depth() != tr.Depth() || bt.LeafCount() != tr.LeafCount() {
+		t.Error("tree structure changed in round-trip")
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	X, y := synthDataset(80, 22, 0.05)
+	f := NewForest(ForestConfig{NumTrees: 12, Seed: 5})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, f)
+	assertSamePredictions(t, f, back, X)
+	if back.(*Forest).NumTrees() != 12 {
+		t.Error("tree count changed")
+	}
+}
+
+func TestBoostingRoundTrip(t *testing.T) {
+	X, y := synthDataset(80, 23, 0.05)
+	bo := NewBoosting(BoostingConfig{Stages: 15, Seed: 6})
+	if err := bo.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, bo)
+	assertSamePredictions(t, bo, back, X)
+	if back.(*Boosting).NumStages() != 15 {
+		t.Error("stage count changed")
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	X, y := synthDataset(60, 24, 0)
+	l := NewLinear()
+	if err := l.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, l)
+	assertSamePredictions(t, l, back, X)
+}
+
+func TestMultiRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	X, y := synthDataset(100, 25, 0.02)
+	for i := range X {
+		d.Add(X[i], []float64{y[i], -y[i], 2 * y[i]})
+	}
+	m := NewMulti(func() Regressor { return NewForest(ForestConfig{NumTrees: 6, Seed: 9}) })
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Multi
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:10] {
+		a, b := m.Predict(x), back.Predict(x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("multi prediction differs: %v vs %v", a, b)
+			}
+		}
+	}
+	r2a, err := m.R2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2b, err := back.R2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2a != r2b {
+		t.Errorf("R2 differs after round-trip: %v vs %v", r2a, r2b)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalRegressor([]byte(`{"type":"nope","data":{}}`)); err == nil {
+		t.Error("unknown type: want error")
+	}
+	if _, err := UnmarshalRegressor([]byte(`not json`)); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := UnmarshalRegressor([]byte(`{"type":"tree","data":"not-a-tree"}`)); err == nil {
+		t.Error("bad payload: want error")
+	}
+	type fake struct{ Regressor }
+	if _, err := MarshalRegressor(fake{}); err == nil {
+		t.Error("unknown concrete type: want error")
+	}
+	var m Multi
+	if err := json.Unmarshal([]byte(`{"models":["bad"]}`), &m); err == nil {
+		t.Error("bad multi payload: want error")
+	}
+}
+
+func TestUnfittedModelsRoundTrip(t *testing.T) {
+	// Serializing unfitted models must not panic and must round-trip to
+	// zero-predicting models.
+	for _, r := range []Regressor{NewTree(TreeConfig{}), NewForest(ForestConfig{NumTrees: 3}), NewBoosting(BoostingConfig{Stages: 2}), NewLinear()} {
+		back := roundTrip(t, r)
+		if got := back.Predict([]float64{1, 2}); got != 0 {
+			t.Errorf("%T unfitted round-trip predicts %v, want 0", r, got)
+		}
+	}
+}

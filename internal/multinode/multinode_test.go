@@ -1,0 +1,231 @@
+package multinode
+
+import (
+	"testing"
+
+	"micco/internal/core"
+	"micco/internal/gpusim"
+	"micco/internal/sched"
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+func testWorkload(t *testing.T, rate float64) *workload.Workload {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{
+		Seed: 5, Stages: 8, VectorSize: 32, TensorDim: 256, Batch: 8,
+		Rank: tensor.RankMeson, RepeatRate: rate, Dist: workload.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func fitConfig(w *workload.Workload, nodes, gpus int) Config {
+	cfg := DefaultConfig(nodes, gpus)
+	cfg.Node.MemoryBytes = int64(1.2 * float64(w.TotalUniqueBytes()))
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(2, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		func() Config { c := DefaultConfig(0, 4); return c }(),
+		func() Config { c := DefaultConfig(2, 4); c.NetworkBandwidth = 0; return c }(),
+		func() Config { c := DefaultConfig(2, 4); c.NetworkLatency = -1; return c }(),
+		func() Config { c := DefaultConfig(2, 4); c.NodeReuseBound = -1; return c }(),
+		func() Config { c := DefaultConfig(2, 4); c.Node.FLOPS = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := NewCluster(c); err == nil {
+			t.Errorf("NewCluster accepted bad config %d", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	w := testWorkload(t, 0.5)
+	cfg := fitConfig(w, 2, 4)
+	cfg.NodeReuseBound = 2 // force cross-node spreading for this test
+	mc, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFLOPS <= 0 || res.Makespan <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if len(res.NodeStats) != 2 || len(res.PairsPerNode) != 2 {
+		t.Fatalf("node accounting wrong: %+v", res)
+	}
+	total := 0
+	var kernels int64
+	for i := range res.NodeStats {
+		total += res.PairsPerNode[i]
+		kernels += res.NodeStats[i].Kernels
+	}
+	if total != w.NumPairs() || kernels != int64(w.NumPairs()) {
+		t.Errorf("pairs %d / kernels %d, want %d", total, kernels, w.NumPairs())
+	}
+	// Inputs start only on node 0, so some network traffic is inevitable
+	// with two nodes sharing the work.
+	if res.NetBytes == 0 {
+		t.Error("expected inter-node traffic")
+	}
+	if _, err := Run(nil, mc); err == nil {
+		t.Error("nil workload: want error")
+	}
+	if _, err := Run(w, nil); err == nil {
+		t.Error("nil cluster: want error")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	w := testWorkload(t, 0.5)
+	mc, err := NewCluster(fitConfig(w, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.GFLOPS != r2.GFLOPS || r1.NetBytes != r2.NetBytes {
+		t.Error("multi-node run not deterministic")
+	}
+}
+
+func TestLocalityPolicyBeatsGrouteNodes(t *testing.T) {
+	w := testWorkload(t, 0.7)
+	cfg := fitConfig(w, 4, 2)
+	reuse, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micco, err := Run(w, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GrouteNodes = true
+	base, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groute, err := Run(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micco.GFLOPS <= groute.GFLOPS {
+		t.Errorf("hierarchical MICCO (%.0f GF) should beat node-Groute (%.0f GF)",
+			micco.GFLOPS, groute.GFLOPS)
+	}
+	if micco.NetBytes >= groute.NetBytes {
+		t.Errorf("locality-aware nodes should move fewer bytes: %d vs %d",
+			micco.NetBytes, groute.NetBytes)
+	}
+}
+
+func TestNodeReuseBoundKeepsNodesBalanced(t *testing.T) {
+	w := testWorkload(t, 1.0) // maximally reusable: locality wants one node
+	cfg := fitConfig(w, 4, 2)
+	cfg.NodeReuseBound = 1
+	mc, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-stage node load is capped at balance+bound, so overall shares
+	// cannot collapse onto one node.
+	perStageCap := (32+3)/4 + 1
+	maxTotal := perStageCap * len(w.Stages)
+	for n, pairs := range res.PairsPerNode {
+		if pairs > maxTotal {
+			t.Errorf("node %d took %d pairs, cap %d", n, pairs, maxTotal)
+		}
+	}
+}
+
+func TestSingleNodeMatchesIntraNodeEngine(t *testing.T) {
+	// With one node and no network use, the hierarchical engine must agree
+	// closely with the plain intra-node engine under the same scheduler.
+	w := testWorkload(t, 0.5)
+	cfg := fitConfig(w, 1, 4)
+	mc, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.NetBytes != 0 {
+		t.Errorf("single node should use no network, moved %d bytes", multi.NetBytes)
+	}
+	single, err := gpusim.NewCluster(cfg.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := runIntra(w, single, cfg.DeviceBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical policies and cost model: the makespans must match.
+	if !almostEqual(multi.Makespan, intra, 1e-9) {
+		t.Errorf("single-node multi engine %v != intra engine %v", multi.Makespan, intra)
+	}
+}
+
+func runIntra(w *workload.Workload, c *gpusim.Cluster, b core.Bounds) (float64, error) {
+	res, err := sched.Run(w, core.NewFixed(b), c, sched.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+func almostEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+a+b)
+}
+
+func TestNetworkScalingShapes(t *testing.T) {
+	// More nodes add compute but also fabric pressure; makespan must not
+	// increase when going from 1 to 2 nodes on a reuse-friendly workload.
+	w := testWorkload(t, 0.6)
+	get := func(nodes int) *Result {
+		mc, err := NewCluster(fitConfig(w, nodes, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, two := get(1), get(2)
+	if two.Makespan > one.Makespan*1.02 {
+		t.Errorf("2 nodes (%v s) should not be slower than 1 (%v s)",
+			two.Makespan, one.Makespan)
+	}
+}

@@ -1,0 +1,229 @@
+// Package redstar is the reproduction's stand-in for Jefferson Lab's
+// Redstar correlation-function front end: it bundles correlator
+// specifications (operator bases for the a1 and f0 meson systems of the
+// paper's Table VI), expands them through Wick contraction into unique
+// contraction graphs over many time slices, compiles a staged and
+// deduplicated contraction plan, and exposes it as the tensor-pair
+// workload the schedulers consume. It can also evaluate correlators
+// numerically with real complex arithmetic.
+package redstar
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"micco/internal/graph"
+	"micco/internal/tensor"
+	"micco/internal/wick"
+	"micco/internal/workload"
+)
+
+// Construction is one interpolating-operator construction in a correlator
+// basis: a single- or multi-particle operator set that is overall
+// flavor-neutral.
+type Construction struct {
+	Name string
+	Ops  []wick.Operator
+}
+
+// Correlator is a correlation-function specification: a basis of
+// constructions correlated pairwise (every source construction against
+// every sink construction) over a range of sink time slices.
+type Correlator struct {
+	Name          string
+	Constructions []Construction
+	// Momenta is the number of momentum projections per sink operator.
+	Momenta int
+	// TimeSlices is the number of sink times (sources sit at time 0).
+	TimeSlices int
+	// TensorDim and Batch shape the hadron-block tensors.
+	TensorDim, Batch int
+	// Rank selects the hadron-block tensor rank: tensor.RankMeson
+	// (default when zero) for meson systems, tensor.RankBaryon for baryon
+	// systems whose blocks are batched rank-3 tensors.
+	Rank int
+}
+
+// blockRank resolves the configured rank, defaulting to meson blocks.
+func (c *Correlator) blockRank() int {
+	if c.Rank == 0 {
+		return tensor.RankMeson
+	}
+	return c.Rank
+}
+
+// Build is the compiled form of a correlator.
+type Build struct {
+	Correlator *Correlator
+	Workload   *workload.Workload
+	Plan       *graph.Plan
+	// NumGraphs counts unique contraction graphs across all construction
+	// pairs and time slices.
+	NumGraphs int
+	// Blocks counts distinct hadron-block tensors.
+	Blocks int
+	// FinalsByTime maps each sink time to the final tensors of the graphs
+	// evaluated at that time (one correlator term each).
+	FinalsByTime map[int][]tensor.Desc
+	// InputsByID resolves leaf tensors for numeric evaluation.
+	InputsByID map[uint64]tensor.Desc
+}
+
+// conjugate flips every quark to the antiquark of the same flavor and vice
+// versa, producing the sink-side (daggered) version of an operator.
+func conjugate(op wick.Operator) wick.Operator {
+	out := wick.Operator{Name: op.Name + "†"}
+	for _, q := range op.Quarks {
+		out.Quarks = append(out.Quarks, wick.Quark{Flavor: q.Flavor, Bar: !q.Bar})
+	}
+	return out
+}
+
+// Validate checks the correlator is buildable.
+func (c *Correlator) Validate() error {
+	if len(c.Constructions) == 0 {
+		return fmt.Errorf("redstar: %s: no constructions", c.Name)
+	}
+	if c.TimeSlices <= 0 {
+		return fmt.Errorf("redstar: %s: TimeSlices must be positive", c.Name)
+	}
+	for _, src := range c.Constructions {
+		for _, snk := range c.Constructions {
+			spec := c.specFor(src, snk)
+			if err := spec.Validate(); err != nil {
+				return fmt.Errorf("redstar: %s: %s x %s: %w", c.Name, src.Name, snk.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Correlator) specFor(src, snk Construction) wick.Spec {
+	sink := make([]wick.Operator, 0, len(snk.Ops))
+	for _, op := range snk.Ops {
+		sink = append(sink, conjugate(op))
+	}
+	return wick.Spec{
+		Name:      fmt.Sprintf("%s:%s->%s", c.Name, src.Name, snk.Name),
+		Source:    src.Ops,
+		Sink:      sink,
+		Momenta:   c.Momenta,
+		TensorDim: c.TensorDim,
+		Batch:     c.Batch,
+	}
+}
+
+// BuildPlan expands, deduplicates and stages the correlator.
+func (c *Correlator) BuildPlan() (*Build, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	bt := wick.NewBlockTableWithRank(c.TensorDim, c.Batch, c.blockRank())
+	var all []*graph.Graph
+	graphTime := make(map[int]int) // graph ID -> sink time
+	var gid int
+	for t := 1; t <= c.TimeSlices; t++ {
+		for _, src := range c.Constructions {
+			for _, snk := range c.Constructions {
+				spec := c.specFor(src, snk)
+				gs, err := wick.Expand(spec, 0, t, bt, &gid)
+				if err != nil {
+					return nil, err
+				}
+				for _, g := range gs {
+					graphTime[g.ID] = t
+				}
+				all = append(all, gs...)
+			}
+		}
+	}
+	all = graph.Dedup(all)
+	plan, err := graph.BuildPlan(all, bt.NextID())
+	if err != nil {
+		return nil, err
+	}
+	b := &Build{
+		Correlator:   c,
+		Plan:         plan,
+		NumGraphs:    len(all),
+		Blocks:       bt.Len(),
+		FinalsByTime: make(map[int][]tensor.Desc),
+		InputsByID:   make(map[uint64]tensor.Desc),
+	}
+	for _, g := range all {
+		b.FinalsByTime[graphTime[g.ID]] = append(b.FinalsByTime[graphTime[g.ID]], plan.Finals[g.ID])
+	}
+	for _, d := range plan.Inputs {
+		b.InputsByID[d.ID] = d
+	}
+	// Convert plan stages to the scheduler workload format.
+	stages := make([][]workload.Pair, 0, plan.NumStages())
+	for _, ops := range plan.StageOps {
+		pairs := make([]workload.Pair, 0, len(ops))
+		for _, oi := range ops {
+			op := plan.Ops[oi]
+			pairs = append(pairs, workload.Pair{A: op.A, B: op.B, Out: op.Out})
+		}
+		stages = append(stages, pairs)
+	}
+	w, err := workload.FromStages(c.Name, stages, plan.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	b.Workload = w
+	return b, nil
+}
+
+// EvaluateNumeric executes the full plan with real complex128 arithmetic
+// (random hadron blocks from seed) and returns the correlator value per
+// sink time: the sum over that time's graphs of the traced final tensors.
+// Intended for examples and validation on small correlators.
+func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, error) {
+	rng := rand.New(rand.NewSource(seed))
+	store := make(map[uint64]*tensor.Tensor, len(b.Plan.Inputs))
+	for _, d := range b.Plan.Inputs {
+		t, err := tensor.NewRandom(d, rng)
+		if err != nil {
+			return nil, err
+		}
+		store[d.ID] = t
+	}
+	for _, op := range b.Plan.Ops {
+		a, ok := store[op.A.ID]
+		if !ok {
+			return nil, fmt.Errorf("redstar: operand t%d missing", op.A.ID)
+		}
+		bb, ok := store[op.B.ID]
+		if !ok {
+			return nil, fmt.Errorf("redstar: operand t%d missing", op.B.ID)
+		}
+		out, err := tensor.Contract(a, bb, op.Out.ID, workers)
+		if err != nil {
+			return nil, err
+		}
+		store[op.Out.ID] = out
+	}
+	corr := make(map[int]complex128, len(b.FinalsByTime))
+	times := make([]int, 0, len(b.FinalsByTime))
+	for t := range b.FinalsByTime {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	for _, t := range times {
+		var sum complex128
+		for _, fd := range b.FinalsByTime[t] {
+			ft, ok := store[fd.ID]
+			if !ok {
+				return nil, fmt.Errorf("redstar: final t%d missing", fd.ID)
+			}
+			tr, err := ft.Trace()
+			if err != nil {
+				return nil, err
+			}
+			sum += tr
+		}
+		corr[t] = sum
+	}
+	return corr, nil
+}

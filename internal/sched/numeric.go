@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+// numericStore executes the contraction stream with real complex128
+// arithmetic so tests and examples can validate that scheduling decisions
+// never change numerical results.
+type numericStore struct {
+	tensors map[uint64]*tensor.Tensor
+	workers int
+}
+
+func newNumericStore(w *workload.Workload, seed int64, workers int) (*numericStore, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &numericStore{tensors: make(map[uint64]*tensor.Tensor), workers: workers}
+	for _, d := range w.Inputs {
+		t, err := tensor.NewRandom(d, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sched: numeric input %v: %w", d, err)
+		}
+		s.tensors[d.ID] = t
+	}
+	return s, nil
+}
+
+func (s *numericStore) exec(p workload.Pair) error {
+	a, ok := s.tensors[p.A.ID]
+	if !ok {
+		return fmt.Errorf("sched: numeric operand t%d missing", p.A.ID)
+	}
+	b, ok := s.tensors[p.B.ID]
+	if !ok {
+		return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
+	}
+	out, err := tensor.Contract(a, b, p.Out.ID, s.workers)
+	if err != nil {
+		return fmt.Errorf("sched: numeric contraction: %w", err)
+	}
+	s.tensors[p.Out.ID] = out
+	return nil
+}
+
+// fingerprint sums the Frobenius norms of every stored tensor in ID order
+// (float addition is not associative, so the order must be deterministic);
+// a compact scheduler-independent checksum of the run's numerics.
+func (s *numericStore) fingerprint() float64 {
+	ids := make([]uint64, 0, len(s.tensors))
+	for id := range s.tensors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sum float64
+	for _, id := range ids {
+		sum += s.tensors[id].Norm()
+	}
+	return sum
+}

@@ -1,0 +1,215 @@
+// Package sched defines the multi-GPU scheduling framework of the MICCO
+// reproduction: the Scheduler interface, the per-stage bookkeeping state the
+// paper's algorithms read (mapGPUTensor load counts, mapGPUCom compute
+// costs, mapGPUMem memory projections), and the execution engine that
+// replays scheduler decisions onto the simulated cluster (and, optionally,
+// onto real CPU tensor kernels for numeric validation).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"micco/internal/gpusim"
+	"micco/internal/workload"
+)
+
+// Context is the scheduler-visible state, refreshed by the engine.
+//
+// Residency questions ("which GPUs hold tensor X?") are answered by the
+// Cluster, which is ground truth across stages. Load questions ("how many
+// tensors has GPU i been assigned?") use StageLoad, which resets at each
+// stage boundary: the paper's reuse bounds are defined against the
+// per-vector balance point numTensor/numGPU.
+type Context struct {
+	Cluster *gpusim.Cluster
+	NumGPU  int
+	// BalanceNum is ceil(stage tensor slots / NumGPU): the perfectly
+	// balanced per-GPU tensor count for the current stage.
+	BalanceNum int
+	// StageLoad[i] is the number of tensor slots assigned to GPU i within
+	// the current stage (the size of the paper's mapGPUTensor entry).
+	StageLoad []int
+	// Comp[i] is the cumulative kernel time (seconds) assigned to GPU i
+	// (the paper's mapGPUCom). Schedulers that want the device's live
+	// queue position — kernel plus memory-operation cost, realigned at
+	// each stage barrier — should read Cluster.Device(i).Clock() instead.
+	Comp []float64
+	// Features are the current stage's data characteristics, for
+	// schedulers that consult a reuse-bound model.
+	Features workload.Features
+	// StageIndex is the index of the current stage.
+	StageIndex int
+}
+
+// Holders returns the devices on which tensor id is currently resident.
+func (c *Context) Holders(id uint64) []int { return c.Cluster.HoldersOf(id) }
+
+// ProjectedMem returns the bytes GPU dev would hold after executing pair p
+// there: current usage plus any non-resident input plus the output.
+func (c *Context) ProjectedMem(dev int, p workload.Pair) int64 {
+	d := c.Cluster.Device(dev)
+	m := d.MemUsed()
+	if !d.Holds(p.A.ID) {
+		m += p.A.Bytes()
+	}
+	if !d.Holds(p.B.ID) && p.B.ID != p.A.ID {
+		m += p.B.Bytes()
+	}
+	m += p.Out.Bytes()
+	return m
+}
+
+// WouldOversubscribe reports whether executing p on dev would exceed the
+// device's memory pool (forcing evictions).
+func (c *Context) WouldOversubscribe(dev int, p workload.Pair) bool {
+	return c.ProjectedMem(dev, p) > c.Cluster.Config().MemoryBytes
+}
+
+// Scheduler assigns tensor pairs to GPUs. Implementations must be
+// deterministic given their construction parameters.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// BeginStage is called once per stage before any Assign call, letting
+	// schedulers refresh per-stage state (e.g. predict reuse bounds).
+	BeginStage(ctx *Context)
+	// Assign returns the GPU (0..NumGPU-1) that should execute pair p.
+	Assign(p workload.Pair, ctx *Context) int
+}
+
+// Options controls engine behaviour.
+type Options struct {
+	// DiscardDeadInputs drops input tensors from all memories after their
+	// final consumer runs (workload LastUse marks). Off by default: the
+	// paper's memory-cost accounting keeps data live.
+	DiscardDeadInputs bool
+	// Numeric executes every contraction with real complex128 arithmetic
+	// on the CPU in addition to the timing simulation, enabling numeric
+	// validation. Expensive; use small workloads.
+	Numeric bool
+	// NumericSeed seeds the random input data in numeric mode.
+	NumericSeed int64
+	// NumericWorkers bounds kernel parallelism in numeric mode
+	// (<=0 selects GOMAXPROCS).
+	NumericWorkers int
+	// RecordAssignments retains the per-pair device choices in the result.
+	RecordAssignments bool
+}
+
+// Result summarizes one engine run.
+type Result struct {
+	Scheduler string
+	Workload  string
+	// Makespan is the simulated wall time in seconds.
+	Makespan float64
+	// GFLOPS is total kernel FLOPs divided by makespan.
+	GFLOPS float64
+	// SchedOverhead is the real (host) time spent inside scheduler calls,
+	// the paper's "scheduling overhead" (Table V).
+	SchedOverhead time.Duration
+	// Total aggregates device counters; PerDevice retains each device's.
+	Total     gpusim.DeviceStats
+	PerDevice []gpusim.DeviceStats
+	// Assignments holds the chosen device per pair, stage-major, when
+	// Options.RecordAssignments is set.
+	Assignments [][]int
+	// NumericFingerprint is the sum of Frobenius norms of all outputs in
+	// numeric mode (0 otherwise). Scheduler choices must not change it.
+	NumericFingerprint float64
+}
+
+// Run replays workload w through scheduler s on cluster c. The cluster is
+// reset first, so each Run is independent and deterministic.
+func Run(w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*Result, error) {
+	if w == nil || s == nil || c == nil {
+		return nil, fmt.Errorf("sched: nil argument")
+	}
+	c.Reset()
+	for _, d := range w.Inputs {
+		c.RegisterHostTensor(d)
+	}
+	var store *numericStore
+	if opts.Numeric {
+		var err error
+		store, err = newNumericStore(w, opts.NumericSeed, opts.NumericWorkers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := c.NumDevices()
+	ctx := &Context{
+		Cluster:   c,
+		NumGPU:    n,
+		StageLoad: make([]int, n),
+		Comp:      make([]float64, n),
+	}
+	res := &Result{Scheduler: s.Name(), Workload: w.Name}
+	var overhead time.Duration
+	for si := range w.Stages {
+		st := &w.Stages[si]
+		ctx.StageIndex = si
+		ctx.BalanceNum = (st.NumTensors() + n - 1) / n
+		for i := range ctx.StageLoad {
+			ctx.StageLoad[i] = 0
+		}
+		ctx.Features = w.StageFeatures(si)
+		t0 := time.Now()
+		s.BeginStage(ctx)
+		overhead += time.Since(t0)
+		var stageAssign []int
+		for _, p := range st.Pairs {
+			t0 = time.Now()
+			dev := s.Assign(p, ctx)
+			overhead += time.Since(t0)
+			if dev < 0 || dev >= n {
+				return nil, fmt.Errorf("sched: %s assigned pair to invalid device %d", s.Name(), dev)
+			}
+			flops, err := c.ExecContraction(dev, p.A, p.B, p.Out)
+			if err != nil {
+				return nil, fmt.Errorf("sched: stage %d: %w", si, err)
+			}
+			ctx.StageLoad[dev] += 2
+			ctx.Comp[dev] += float64(flops) / c.Config().FLOPS
+			if opts.DiscardDeadInputs {
+				if p.LastUse[0] {
+					c.Discard(p.A.ID)
+				}
+				if p.LastUse[1] && p.B.ID != p.A.ID {
+					c.Discard(p.B.ID)
+				}
+			}
+			if store != nil {
+				if err := store.exec(p); err != nil {
+					return nil, err
+				}
+			}
+			if opts.RecordAssignments {
+				stageAssign = append(stageAssign, dev)
+			}
+		}
+		if opts.RecordAssignments {
+			res.Assignments = append(res.Assignments, stageAssign)
+		}
+		c.Barrier()
+	}
+	res.Makespan = c.Makespan()
+	res.GFLOPS = c.GFLOPS()
+	res.SchedOverhead = overhead
+	res.Total = c.TotalStats()
+	for i := 0; i < n; i++ {
+		res.PerDevice = append(res.PerDevice, c.Device(i).Stats())
+	}
+	if store != nil {
+		res.NumericFingerprint = store.fingerprint()
+	}
+	return res, nil
+}
+
+// Speedup returns how much faster r is than baseline in throughput terms.
+func Speedup(r, baseline *Result) float64 {
+	if baseline.GFLOPS == 0 {
+		return 0
+	}
+	return r.GFLOPS / baseline.GFLOPS
+}

@@ -1,0 +1,122 @@
+// Package spectro provides the downstream spectroscopy analysis that
+// correlation functions exist to feed (the paper's motivation: "generating
+// physics observables"): effective-mass curves, plateau averages, and
+// single-exponential fits of correlator time series.
+package spectro
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrSeries is returned when a correlator series is too short or
+// ill-conditioned for the requested analysis.
+var ErrSeries = errors.New("spectro: series too short or ill-conditioned")
+
+// Series is a correlator time series C(t), as produced by
+// redstar.Build.EvaluateNumeric.
+type Series map[int]complex128
+
+// Times returns the sorted time slices of the series.
+func (s Series) Times() []int {
+	out := make([]int, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EffectiveMass returns m_eff(t) = log(|C(t)| / |C(t+1)|) for every t whose
+// successor exists and both magnitudes are positive. For a correlator
+// dominated by one state, m_eff plateaus at that state's mass.
+func EffectiveMass(s Series) map[int]float64 {
+	out := make(map[int]float64)
+	for t, v := range s {
+		next, ok := s[t+1]
+		if !ok {
+			continue
+		}
+		a, b := cmplx.Abs(v), cmplx.Abs(next)
+		if a <= 0 || b <= 0 {
+			continue
+		}
+		out[t] = math.Log(a / b)
+	}
+	return out
+}
+
+// Plateau averages m_eff over the window [t0, t1] (inclusive), returning
+// the mean and standard deviation. Every point in the window must exist.
+func Plateau(meff map[int]float64, t0, t1 int) (mean, stddev float64, err error) {
+	if t1 < t0 {
+		return 0, 0, ErrSeries
+	}
+	var xs []float64
+	for t := t0; t <= t1; t++ {
+		v, ok := meff[t]
+		if !ok {
+			return 0, 0, ErrSeries
+		}
+		xs = append(xs, v)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(len(xs)))
+	return mean, stddev, nil
+}
+
+// FitExponential performs a least-squares fit of |C(t)| to A*exp(-m*t)
+// over the whole series (linear regression on log-magnitudes), returning
+// the amplitude A and mass m. At least two points with positive magnitude
+// are required.
+func FitExponential(s Series) (amp, mass float64, err error) {
+	var ts, ys []float64
+	for t, v := range s {
+		a := cmplx.Abs(v)
+		if a <= 0 {
+			continue
+		}
+		ts = append(ts, float64(t))
+		ys = append(ys, math.Log(a))
+	}
+	if len(ts) < 2 {
+		return 0, 0, ErrSeries
+	}
+	// Least squares: y = logA - m t.
+	n := float64(len(ts))
+	var st, sy, stt, sty float64
+	for i := range ts {
+		st += ts[i]
+		sy += ys[i]
+		stt += ts[i] * ts[i]
+		sty += ts[i] * ys[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return 0, 0, ErrSeries
+	}
+	slope := (n*sty - st*sy) / den
+	inter := (sy - slope*st) / n
+	return math.Exp(inter), -slope, nil
+}
+
+// Synthetic builds a single-state correlator C(t) = amp*exp(-mass*t) over
+// times [t0, t1], useful for validation and examples.
+func Synthetic(amp, mass float64, t0, t1 int) Series {
+	s := make(Series, t1-t0+1)
+	for t := t0; t <= t1; t++ {
+		s[t] = complex(amp*math.Exp(-mass*float64(t)), 0)
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package spectro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticAndTimes(t *testing.T) {
+	s := Synthetic(2.0, 0.3, 1, 10)
+	if len(s) != 10 {
+		t.Fatalf("series length %d, want 10", len(s))
+	}
+	times := s.Times()
+	for i, want := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		if times[i] != want {
+			t.Fatalf("Times = %v", times)
+		}
+	}
+	if real(s[1]) >= real(s[0+1])*1.0001 || real(s[10]) >= real(s[1]) {
+		t.Error("synthetic series should decay")
+	}
+}
+
+func TestEffectiveMassOfSingleState(t *testing.T) {
+	const mass = 0.42
+	s := Synthetic(3.5, mass, 0, 12)
+	meff := EffectiveMass(s)
+	if len(meff) != 12 { // last point has no successor
+		t.Fatalf("meff points = %d, want 12", len(meff))
+	}
+	for tt, m := range meff {
+		if math.Abs(m-mass) > 1e-12 {
+			t.Errorf("m_eff(%d) = %v, want %v", tt, m, mass)
+		}
+	}
+}
+
+func TestPlateau(t *testing.T) {
+	meff := map[int]float64{1: 0.5, 2: 0.52, 3: 0.48, 4: 0.5}
+	mean, sd, err := Plateau(meff, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > 1e-12 {
+		t.Errorf("plateau mean = %v", mean)
+	}
+	if sd <= 0 || sd > 0.03 {
+		t.Errorf("plateau stddev = %v", sd)
+	}
+	if _, _, err := Plateau(meff, 1, 7); err == nil {
+		t.Error("missing window point: want error")
+	}
+	if _, _, err := Plateau(meff, 4, 1); err == nil {
+		t.Error("inverted window: want error")
+	}
+}
+
+func TestFitExponentialRecoversParameters(t *testing.T) {
+	s := Synthetic(7.25, 0.61, 2, 14)
+	amp, mass, err := FitExponential(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(amp-7.25) > 1e-9 || math.Abs(mass-0.61) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (7.25, 0.61)", amp, mass)
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, _, err := FitExponential(Series{}); err == nil {
+		t.Error("empty series: want error")
+	}
+	if _, _, err := FitExponential(Series{3: 1}); err == nil {
+		t.Error("single point: want error")
+	}
+	// Zero magnitudes are skipped; with only one usable point, error.
+	if _, _, err := FitExponential(Series{1: 0, 2: 0, 3: 5}); err == nil {
+		t.Error("degenerate series: want error")
+	}
+}
+
+// Property: for any positive amplitude and mass, the fit recovers them
+// and the effective mass is flat at the true mass.
+func TestFitProperty(t *testing.T) {
+	f := func(ampRaw, massRaw uint16) bool {
+		amp := 0.1 + float64(ampRaw%1000)/10
+		mass := 0.01 + float64(massRaw%300)/100
+		s := Synthetic(amp, mass, 0, 10)
+		a, m, err := FitExponential(s)
+		if err != nil {
+			return false
+		}
+		if math.Abs(m-mass) > 1e-9*(1+mass) {
+			return false
+		}
+		if math.Abs(a-amp) > 1e-6*(1+amp) {
+			return false
+		}
+		meff := EffectiveMass(s)
+		mean, sd, err := Plateau(meff, 0, 9)
+		return err == nil && math.Abs(mean-mass) < 1e-9*(1+mass) && sd < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Noisy data: the fit should still land near the truth.
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := make(Series)
+	for tt := 0; tt <= 20; tt++ {
+		c := 5 * math.Exp(-0.35*float64(tt)) * (1 + 0.01*rng.NormFloat64())
+		s[tt] = complex(c, 0)
+	}
+	_, mass, err := FitExponential(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mass-0.35) > 0.01 {
+		t.Errorf("noisy fit mass = %v, want ~0.35", mass)
+	}
+}

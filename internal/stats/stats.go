@@ -1,0 +1,158 @@
+// Package stats provides the small statistical toolbox the MICCO
+// reproduction needs: descriptive statistics, Pearson and Spearman rank
+// correlation (Fig. 5), and the R-squared score used to evaluate the
+// reuse-bound regression models (Table IV).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLength is returned when paired-sample inputs have mismatched or empty
+// lengths.
+var ErrLength = errors.New("stats: inputs must be non-empty and equal length")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive inputs yield NaN, matching the mathematical domain.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Pearson returns the Pearson product-moment correlation of the paired
+// samples (x, y). A zero-variance input yields 0 rather than NaN so that
+// correlation heatmaps over degenerate sweep axes remain renderable.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, ErrLength
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based, as used by Spearman's rank correlation.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// average 1-based rank across the tie group [i, j]
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient between the
+// paired samples (x, y): the Pearson correlation of their fractional ranks.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, ErrLength
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// R2 returns the coefficient of determination of predictions pred against
+// ground truth y: 1 - SS_res/SS_tot. A constant target yields 0 unless the
+// predictions are exact.
+func R2(y, pred []float64) (float64, error) {
+	if len(y) == 0 || len(y) != len(pred) {
+		return 0, ErrLength
+	}
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - pred[i]
+		ssRes += d * d
+		t := y[i] - my
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if !almost(Variance(xs), 4) {
+		t.Errorf("Variance = %v, want 4", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4, 16}), 4) {
+		t.Errorf("GeoMean = %v, want 4", GeoMean([]float64{1, 4, 16}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with non-positive input should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax(nil) should be (0,0)")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if !almost(r, -1) {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("zero-variance Pearson = %v, %v; want 0, nil", r, err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty input: want error")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman detects any monotone relation as +/-1 even when nonlinear.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // strictly increasing, very nonlinear
+	}
+	r, err := Spearman(x, y)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Spearman(exp) = %v, %v; want 1", r, err)
+	}
+	for i, v := range x {
+		y[i] = -v * v * v
+	}
+	r, _ = Spearman(x, y)
+	if !almost(r, -1) {
+		t.Errorf("Spearman(-x^3) = %v, want -1", r)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{3, -0.5, 2, 7}
+	pred := []float64{2.5, 0.0, 2, 8}
+	r2, err := R2(y, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r2, 0.9486081370449679) {
+		t.Errorf("R2 = %v", r2)
+	}
+	perfect, _ := R2(y, y)
+	if !almost(perfect, 1) {
+		t.Errorf("perfect R2 = %v, want 1", perfect)
+	}
+	constTarget, _ := R2([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if constTarget != 1 {
+		t.Errorf("constant target exact prediction R2 = %v, want 1", constTarget)
+	}
+	constMiss, _ := R2([]float64{5, 5, 5}, []float64{4, 5, 6})
+	if constMiss != 0 {
+		t.Errorf("constant target missed prediction R2 = %v, want 0", constMiss)
+	}
+	if _, err := R2(nil, nil); err == nil {
+		t.Error("empty input: want error")
+	}
+}
+
+// Property: correlations always fall in [-1, 1]; Spearman is invariant
+// under strictly monotone transforms of either variable.
+func TestCorrelationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		p, err := Pearson(x, y)
+		if err != nil || p < -1-1e-12 || p > 1+1e-12 {
+			return false
+		}
+		s1, err := Spearman(x, y)
+		if err != nil || s1 < -1-1e-12 || s1 > 1+1e-12 {
+			return false
+		}
+		// monotone transform of x must not change Spearman
+		tx := make([]float64, n)
+		for i, v := range x {
+			tx[i] = math.Atan(v) * 3
+		}
+		s2, err := Spearman(tx, y)
+		return err == nil && math.Abs(s1-s2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation-consistent relabeling — the multiset of
+// ranks always sums to n(n+1)/2.
+func TestRanksSumProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0
+			}
+		}
+		n := len(vals)
+		ranks := Ranks(vals)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		return almost(sum, float64(n*(n+1))/2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference O(n^3) triple loop used to validate the
+// blocked kernel.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	out := MustNew(Desc{ID: 1000, Rank: RankMeson, Dim: a.Dim, Batch: a.Batch})
+	n := a.Dim
+	for g := 0; g < a.Batch; g++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s complex128
+				for k := 0; k < n; k++ {
+					s += a.At2(g, i, k) * b.At2(g, k, j)
+				}
+				out.Set2(g, i, j, s)
+			}
+		}
+	}
+	return out
+}
+
+func TestContractMesonMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 2, 7, 16, 48, 49, 96, 113} {
+		d := Desc{ID: 1, Rank: RankMeson, Dim: dim, Batch: 3}
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: dim, Batch: 3}, rng)
+		got, err := Contract(a, b, 3, 4)
+		if err != nil {
+			t.Fatalf("dim=%d: %v", dim, err)
+		}
+		want := naiveMatMul(a, b)
+		if !AllClose(got, want, 1e-9) {
+			t.Errorf("dim=%d: blocked kernel disagrees with naive reference", dim)
+		}
+	}
+}
+
+func TestContractBaryonMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d := Desc{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 2}
+	a, _ := NewRandom(d, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankBaryon, Dim: 9, Batch: 2}, rng)
+	got, err := Contract(a, b, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C[b][i,j,k] = sum_l A[b][i,j,l] * B[b][i,l,k]
+	for g := 0; g < d.Batch; g++ {
+		for i := 0; i < d.Dim; i++ {
+			for j := 0; j < d.Dim; j++ {
+				for k := 0; k < d.Dim; k++ {
+					var s complex128
+					for l := 0; l < d.Dim; l++ {
+						s += a.At3(g, i, j, l) * b.At3(g, i, l, k)
+					}
+					diff := got.At3(g, i, j, k) - s
+					if real(diff)*real(diff)+imag(diff)*imag(diff) > 1e-18 {
+						t.Fatalf("baryon contraction mismatch at (%d,%d,%d,%d)", g, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestContractIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 33, Batch: 4}
+	a, _ := NewRandom(d, rng)
+	id, err := NewIdentity(Desc{ID: 2, Rank: RankMeson, Dim: 33, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Contract(a, id, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(right, a, 1e-12) {
+		t.Error("A * I != A")
+	}
+	left, err := Contract(id, a, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(left, a, 1e-12) {
+		t.Error("I * A != A")
+	}
+}
+
+func TestContractErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 8, Batch: 1}, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 9, Batch: 1}, rng)
+	if _, err := Contract(a, b, 3, 1); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+	meta := &Tensor{Desc: Desc{ID: 4, Rank: RankMeson, Dim: 8, Batch: 1}}
+	if _, err := Contract(a, meta, 5, 1); err == nil {
+		t.Error("metadata-only operand: want error")
+	}
+}
+
+func TestContractWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 40, Batch: 7}
+	a, _ := NewRandom(d, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 40, Batch: 7}, rng)
+	ref, err := Contract(a, b, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64} {
+		got, err := Contract(a, b, 3, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !AllClose(got, ref, 1e-12) {
+			t.Errorf("workers=%d: result differs from single-worker run", w)
+		}
+	}
+}
+
+// Property: contraction is bilinear — scaling an input scales the output.
+func TestContractLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := func(scaleRe, scaleIm int8) bool {
+		s := complex(float64(scaleRe)/16, float64(scaleIm)/16)
+		d := Desc{ID: 1, Rank: RankMeson, Dim: 12, Batch: 2}
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 12, Batch: 2}, rng)
+		ab, err := Contract(a, b, 3, 2)
+		if err != nil {
+			return false
+		}
+		scaled := a.Clone(4).Scale(s)
+		sab, err := Contract(scaled, b, 5, 2)
+		if err != nil {
+			return false
+		}
+		want := ab.Clone(6).Scale(s)
+		return AllClose(sab, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication is associative: (AB)C == A(BC).
+func TestContractAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	d := func(id uint64) Desc { return Desc{ID: id, Rank: RankMeson, Dim: 16, Batch: 2} }
+	a, _ := NewRandom(d(1), rng)
+	b, _ := NewRandom(d(2), rng)
+	c, _ := NewRandom(d(3), rng)
+	ab, _ := Contract(a, b, 4, 2)
+	abc1, _ := Contract(ab, c, 5, 2)
+	bc, _ := Contract(b, c, 6, 2)
+	abc2, _ := Contract(a, bc, 7, 2)
+	if !AllClose(abc1, abc2, 1e-7) {
+		t.Error("(AB)C != A(BC)")
+	}
+}
+
+func TestTraceOfIdentity(t *testing.T) {
+	id, err := NewIdentity(Desc{ID: 1, Rank: RankMeson, Dim: 21, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := id.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != complex(float64(21*3), 0) {
+		t.Errorf("Trace(I) = %v, want %v", tr, 21*3)
+	}
+	// Rank-3 generalized trace: sum of T[i,i,i].
+	b3 := MustNew(Desc{ID: 2, Rank: RankBaryon, Dim: 4, Batch: 2})
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 4; i++ {
+			b3.Set3(b, i, i, i, 1)
+		}
+	}
+	tr3, err := b3.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3 != complex(8, 0) {
+		t.Errorf("rank-3 Trace = %v, want 8", tr3)
+	}
+	bad := &Tensor{Desc: Desc{ID: 3, Rank: 5, Dim: 2, Batch: 1}}
+	if _, err := bad.Trace(); err == nil {
+		t.Error("Trace on unsupported rank: want error")
+	}
+}
+
+func TestAddToAndNorm(t *testing.T) {
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 3, Batch: 1}
+	a := MustNew(d)
+	a.Set2(0, 0, 0, 3)
+	a.Set2(0, 1, 1, 4i)
+	b := a.Clone(2)
+	if err := a.AddTo(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At2(0, 0, 0) != 6 || a.At2(0, 1, 1) != 8i {
+		t.Error("AddTo did not accumulate")
+	}
+	if got := b.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	c := MustNew(Desc{ID: 3, Rank: RankMeson, Dim: 4, Batch: 1})
+	if err := a.AddTo(c); err == nil {
+		t.Error("AddTo shape mismatch: want error")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Desc{Rank: 5, Dim: 2, Batch: 1}); err == nil {
+		t.Error("New(invalid): want error")
+	}
+	if _, err := NewIdentity(Desc{Rank: RankBaryon, Dim: 2, Batch: 1}); err == nil {
+		t.Error("NewIdentity(rank3): want error")
+	}
+	if _, err := NewRandom(Desc{Rank: 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("NewRandom(invalid): want error")
+	}
+}
+
+func TestAllCloseShapeMismatch(t *testing.T) {
+	a := MustNew(Desc{ID: 1, Rank: RankMeson, Dim: 2, Batch: 1})
+	b := MustNew(Desc{ID: 2, Rank: RankMeson, Dim: 3, Batch: 1})
+	if AllClose(a, b, 1) {
+		t.Error("AllClose across shapes should be false")
+	}
+}
+
+func BenchmarkContractMeson128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 128, Batch: 4}
+	x, _ := NewRandom(d, rng)
+	y, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 128, Batch: 4}, rng)
+	flops, _ := ContractFLOPs(x.Desc, y.Desc)
+	b.SetBytes(flops / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Contract(x, y, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

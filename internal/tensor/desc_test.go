@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescValid(t *testing.T) {
+	cases := []struct {
+		d    Desc
+		want bool
+	}{
+		{Desc{ID: 1, Rank: RankMeson, Dim: 4, Batch: 1}, true},
+		{Desc{ID: 2, Rank: RankBaryon, Dim: 4, Batch: 2}, true},
+		{Desc{ID: 3, Rank: 1, Dim: 4, Batch: 1}, false},
+		{Desc{ID: 4, Rank: 4, Dim: 4, Batch: 1}, false},
+		{Desc{ID: 5, Rank: RankMeson, Dim: 0, Batch: 1}, false},
+		{Desc{ID: 6, Rank: RankMeson, Dim: 4, Batch: 0}, false},
+		{Desc{ID: 7, Rank: RankMeson, Dim: -2, Batch: 3}, false},
+	}
+	for _, c := range cases {
+		if got := c.d.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDescElemsBytes(t *testing.T) {
+	d2 := Desc{Rank: RankMeson, Dim: 384, Batch: 3}
+	if got, want := d2.Elems(), int64(3*384*384); got != want {
+		t.Errorf("rank2 Elems = %d, want %d", got, want)
+	}
+	if got, want := d2.Bytes(), int64(3*384*384*16); got != want {
+		t.Errorf("rank2 Bytes = %d, want %d", got, want)
+	}
+	d3 := Desc{Rank: RankBaryon, Dim: 16, Batch: 2}
+	if got, want := d3.Elems(), int64(2*16*16*16); got != want {
+		t.Errorf("rank3 Elems = %d, want %d", got, want)
+	}
+}
+
+func TestContractFLOPs(t *testing.T) {
+	a := Desc{ID: 1, Rank: RankMeson, Dim: 128, Batch: 4}
+	b := Desc{ID: 2, Rank: RankMeson, Dim: 128, Batch: 4}
+	got, err := ContractFLOPs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4) * 8 * 128 * 128 * 128
+	if got != want {
+		t.Errorf("meson FLOPs = %d, want %d", got, want)
+	}
+
+	a3 := Desc{ID: 3, Rank: RankBaryon, Dim: 16, Batch: 2}
+	b3 := Desc{ID: 4, Rank: RankBaryon, Dim: 16, Batch: 2}
+	got3, err := ContractFLOPs(a3, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3 := int64(2) * 8 * 16 * 16 * 16 * 16
+	if got3 != want3 {
+		t.Errorf("baryon FLOPs = %d, want %d", got3, want3)
+	}
+}
+
+func TestContractFLOPsMismatch(t *testing.T) {
+	a := Desc{ID: 1, Rank: RankMeson, Dim: 128, Batch: 4}
+	for _, b := range []Desc{
+		{ID: 2, Rank: RankBaryon, Dim: 128, Batch: 4},
+		{ID: 2, Rank: RankMeson, Dim: 64, Batch: 4},
+		{ID: 2, Rank: RankMeson, Dim: 128, Batch: 2},
+		{},
+	} {
+		if _, err := ContractFLOPs(a, b); err == nil {
+			t.Errorf("ContractFLOPs(%v, %v): want error", a, b)
+		}
+	}
+}
+
+func TestContractOut(t *testing.T) {
+	a := Desc{ID: 1, Rank: RankBaryon, Dim: 8, Batch: 5}
+	b := Desc{ID: 2, Rank: RankBaryon, Dim: 8, Batch: 5}
+	out, err := ContractOut(a, b, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 99 || out.Rank != a.Rank || out.Dim != a.Dim || out.Batch != a.Batch {
+		t.Errorf("ContractOut = %v, want shape of %v with ID 99", out, a)
+	}
+}
+
+// Property: for any valid shape, output bytes equal input bytes (hadron
+// contraction preserves shape) and FLOPs are positive and scale linearly in
+// batch.
+func TestContractShapeProperties(t *testing.T) {
+	f := func(dimSeed, batchSeed uint8, baryon bool) bool {
+		dim := int(dimSeed%32) + 1
+		batch := int(batchSeed%8) + 1
+		rank := RankMeson
+		if baryon {
+			rank = RankBaryon
+		}
+		a := Desc{ID: 1, Rank: rank, Dim: dim, Batch: batch}
+		b := Desc{ID: 2, Rank: rank, Dim: dim, Batch: batch}
+		out, err := ContractOut(a, b, 3)
+		if err != nil {
+			return false
+		}
+		if out.Bytes() != a.Bytes() {
+			return false
+		}
+		f1, err1 := ContractFLOPs(a, b)
+		a2, b2 := a, b
+		a2.Batch *= 2
+		b2.Batch *= 2
+		f2, err2 := ContractFLOPs(a2, b2)
+		return err1 == nil && err2 == nil && f1 > 0 && f2 == 2*f1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}

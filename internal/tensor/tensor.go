@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Tensor is a dense batched complex tensor: a Desc plus its data laid out in
+// row-major order, batch-outermost. For rank 2 the element (b, i, j) lives at
+// b*Dim*Dim + i*Dim + j; for rank 3, (b, i, j, k) lives at
+// ((b*Dim+i)*Dim+j)*Dim + k.
+type Tensor struct {
+	Desc
+	Data []complex128
+}
+
+// New allocates a zero-filled tensor with the given description.
+func New(d Desc) (*Tensor, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("tensor: invalid desc %v", d)
+	}
+	return &Tensor{Desc: d, Data: make([]complex128, d.Elems())}, nil
+}
+
+// MustNew is New but panics on invalid descriptions; for tests and examples.
+func MustNew(d Desc) *Tensor {
+	t, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewRandom allocates a tensor with elements drawn i.i.d. from the complex
+// unit square via the supplied source, mimicking perambulator-style inputs.
+func NewRandom(d Desc, rng *rand.Rand) (*Tensor, error) {
+	t, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Data {
+		t.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return t, nil
+}
+
+// NewIdentity allocates a batched identity matrix (rank 2 only): each batch
+// slice is the Dim x Dim identity.
+func NewIdentity(d Desc) (*Tensor, error) {
+	if d.Rank != RankMeson {
+		return nil, fmt.Errorf("tensor: identity requires rank 2, got %v", d)
+	}
+	t, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Dim
+	for b := 0; b < d.Batch; b++ {
+		base := b * n * n
+		for i := 0; i < n; i++ {
+			t.Data[base+i*n+i] = 1
+		}
+	}
+	return t, nil
+}
+
+// Clone returns a deep copy of t, optionally with a new identity.
+func (t *Tensor) Clone(id uint64) *Tensor {
+	c := &Tensor{Desc: t.Desc}
+	c.ID = id
+	c.Data = make([]complex128, len(t.Data))
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At2 returns element (b, i, j) of a rank-2 tensor.
+func (t *Tensor) At2(b, i, j int) complex128 {
+	return t.Data[(b*t.Dim+i)*t.Dim+j]
+}
+
+// Set2 sets element (b, i, j) of a rank-2 tensor.
+func (t *Tensor) Set2(b, i, j int, v complex128) {
+	t.Data[(b*t.Dim+i)*t.Dim+j] = v
+}
+
+// At3 returns element (b, i, j, k) of a rank-3 tensor.
+func (t *Tensor) At3(b, i, j, k int) complex128 {
+	return t.Data[(((b*t.Dim)+i)*t.Dim+j)*t.Dim+k]
+}
+
+// Set3 sets element (b, i, j, k) of a rank-3 tensor.
+func (t *Tensor) Set3(b, i, j, k int, v complex128) {
+	t.Data[(((b*t.Dim)+i)*t.Dim+j)*t.Dim+k] = v
+}
+
+// Scale multiplies every element by s in place and returns t.
+func (t *Tensor) Scale(s complex128) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// AddTo accumulates src into t element-wise. Shapes must match.
+func (t *Tensor) AddTo(src *Tensor) error {
+	if t.Rank != src.Rank || t.Dim != src.Dim || t.Batch != src.Batch {
+		return fmt.Errorf("tensor: add shape mismatch %v vs %v", t.Desc, src.Desc)
+	}
+	for i, v := range src.Data {
+		t.Data[i] += v
+	}
+	return nil
+}
+
+// Norm returns the Frobenius norm over all batches.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Trace returns the sum over batches of the generalized diagonal trace:
+// sum_i T[i,i] for rank 2 and sum_i T[i,i,i] for rank 3. Correlator values
+// are traces of fully contracted graphs.
+func (t *Tensor) Trace() (complex128, error) {
+	var s complex128
+	n := t.Dim
+	switch t.Rank {
+	case RankMeson:
+		for b := 0; b < t.Batch; b++ {
+			base := b * n * n
+			for i := 0; i < n; i++ {
+				s += t.Data[base+i*n+i]
+			}
+		}
+	case RankBaryon:
+		for b := 0; b < t.Batch; b++ {
+			base := b * n * n * n
+			for i := 0; i < n; i++ {
+				s += t.Data[base+i*n*n+i*n+i]
+			}
+		}
+	default:
+		return 0, fmt.Errorf("tensor: trace unsupported for %v", t.Desc)
+	}
+	return s, nil
+}
+
+// AllClose reports whether a and b agree element-wise within tol (absolute,
+// per element, on the complex modulus of the difference).
+func AllClose(a, b *Tensor, tol float64) bool {
+	if a.Rank != b.Rank || a.Dim != b.Dim || a.Batch != b.Batch {
+		return false
+	}
+	for i := range a.Data {
+		if cmplx.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

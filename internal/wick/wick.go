@@ -1,0 +1,296 @@
+// Package wick expands correlation-function specifications into contraction
+// graphs, the front-end role Redstar plays in the paper: given source and
+// sink interpolating operators with quark content, it enumerates the Wick
+// contractions — all flavor-preserving pairings of quarks with antiquarks —
+// and emits one contraction graph per pairing, with hadron blocks shared
+// across graphs, momenta and time slices through a common block table.
+// Graphs that are disconnected (or contain self-contractions) are dropped,
+// and isomorphic duplicates are deduplicated, yielding the paper's "unique
+// contraction graphs".
+package wick
+
+import (
+	"errors"
+	"fmt"
+
+	"micco/internal/graph"
+	"micco/internal/tensor"
+)
+
+// Quark is one quark field inside an interpolating operator.
+type Quark struct {
+	Flavor string
+	Bar    bool // true for an antiquark
+}
+
+// Q returns a quark of the given flavor.
+func Q(flavor string) Quark { return Quark{Flavor: flavor} }
+
+// Qbar returns an antiquark of the given flavor.
+func Qbar(flavor string) Quark { return Quark{Flavor: flavor, Bar: true} }
+
+// Operator is an interpolating operator (a hadron): a named bundle of
+// quark fields. Meson returns the common quark-antiquark case.
+type Operator struct {
+	Name   string
+	Quarks []Quark
+}
+
+// Meson builds a quark-antiquark operator.
+func Meson(name, quark, antiquark string) Operator {
+	return Operator{Name: name, Quarks: []Quark{Q(quark), Qbar(antiquark)}}
+}
+
+// Baryon builds a three-quark operator (its conjugate, with three
+// antiquarks, is produced by the correlator front end for the sink side).
+func Baryon(name, q1, q2, q3 string) Operator {
+	return Operator{Name: name, Quarks: []Quark{Q(q1), Q(q2), Q(q3)}}
+}
+
+// Spec is a correlation-function specification.
+type Spec struct {
+	Name string
+	// Source and Sink operators. In a correlator the source is daggered;
+	// this front end expects callers to provide the quark content
+	// post-conjugation, so flavors must balance across Source+Sink.
+	Source, Sink []Operator
+	// Momenta is the number of momentum projections per sink operator;
+	// each combination produces its own graphs over distinct sink blocks.
+	Momenta int
+	// TensorDim and Batch shape every hadron-block tensor.
+	TensorDim, Batch int
+}
+
+// Validate checks the spec is expandable: operators exist, and every
+// flavor has equally many quarks and antiquarks.
+func (s Spec) Validate() error {
+	if len(s.Source) == 0 || len(s.Sink) == 0 {
+		return errors.New("wick: spec needs source and sink operators")
+	}
+	if s.Momenta <= 0 {
+		return errors.New("wick: Momenta must be positive")
+	}
+	if s.TensorDim <= 0 || s.Batch <= 0 {
+		return errors.New("wick: TensorDim and Batch must be positive")
+	}
+	counts := map[string]int{}
+	for _, op := range append(append([]Operator{}, s.Source...), s.Sink...) {
+		if len(op.Quarks) == 0 {
+			return fmt.Errorf("wick: operator %q has no quarks", op.Name)
+		}
+		for _, q := range op.Quarks {
+			if q.Flavor == "" {
+				return fmt.Errorf("wick: operator %q has a quark with empty flavor", op.Name)
+			}
+			if q.Bar {
+				counts[q.Flavor]--
+			} else {
+				counts[q.Flavor]++
+			}
+		}
+	}
+	for f, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("wick: flavor %q unbalanced by %d", f, c)
+		}
+	}
+	return nil
+}
+
+// BlockKey identifies a hadron block: an operator evaluated at a momentum
+// projection and a time slice.
+type BlockKey struct {
+	Op       string
+	Momentum int
+	Time     int
+}
+
+// BlockTable assigns stable tensor identities to hadron blocks so that the
+// same block is the same tensor across graphs, momenta and time slices.
+type BlockTable struct {
+	dim, batch, rank int
+	blocks           map[BlockKey]tensor.Desc
+	order            []BlockKey
+	next             uint64
+}
+
+// NewBlockTable creates a table of rank-2 (meson) blocks issuing tensor
+// IDs from 1.
+func NewBlockTable(dim, batch int) *BlockTable {
+	return NewBlockTableWithRank(dim, batch, tensor.RankMeson)
+}
+
+// NewBlockTableWithRank creates a table of blocks with the given tensor
+// rank: tensor.RankMeson for meson systems, tensor.RankBaryon for baryon
+// systems (batched rank-3 hadron blocks).
+func NewBlockTableWithRank(dim, batch, rank int) *BlockTable {
+	return &BlockTable{dim: dim, batch: batch, rank: rank,
+		blocks: make(map[BlockKey]tensor.Desc), next: 1}
+}
+
+// Get returns the tensor for key, creating it on first use.
+func (bt *BlockTable) Get(key BlockKey) tensor.Desc {
+	if d, ok := bt.blocks[key]; ok {
+		return d
+	}
+	d := tensor.Desc{ID: bt.next, Rank: bt.rank, Dim: bt.dim, Batch: bt.batch}
+	bt.next++
+	bt.blocks[key] = d
+	bt.order = append(bt.order, key)
+	return d
+}
+
+// Tensors returns every issued block tensor in creation order.
+func (bt *BlockTable) Tensors() []tensor.Desc {
+	out := make([]tensor.Desc, 0, len(bt.order))
+	for _, k := range bt.order {
+		out = append(out, bt.blocks[k])
+	}
+	return out
+}
+
+// NextID returns the first unissued tensor ID (for plan intermediates).
+func (bt *BlockTable) NextID() uint64 { return bt.next }
+
+// Len returns the number of issued blocks.
+func (bt *BlockTable) Len() int { return len(bt.order) }
+
+// quarkSlot locates one quark field: which operator (global index over
+// source then sink) it belongs to.
+type quarkSlot struct {
+	opIdx int
+}
+
+// Expand enumerates the unique contraction graphs of spec for one source
+// time (srcTime) and one sink time (snkTime), issuing hadron blocks from
+// bt and graph IDs from *nextGraphID (advanced as graphs are emitted).
+// Pairings that self-contract within one operator or leave the diagram
+// disconnected are dropped; isomorphic graphs are deduplicated.
+func Expand(spec Spec, srcTime, snkTime int, bt *BlockTable, nextGraphID *int) ([]*graph.Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ops := append(append([]Operator{}, spec.Source...), spec.Sink...)
+	numSrc := len(spec.Source)
+
+	// Collect quark and antiquark slots per flavor.
+	quarks := map[string][]quarkSlot{}
+	antis := map[string][]quarkSlot{}
+	var flavors []string
+	for i, op := range ops {
+		for _, q := range op.Quarks {
+			m := quarks
+			if q.Bar {
+				m = antis
+			}
+			if _, ok := m[q.Flavor]; !ok && len(quarks[q.Flavor]) == 0 && len(antis[q.Flavor]) == 0 {
+				flavors = append(flavors, q.Flavor)
+			}
+			m[q.Flavor] = append(m[q.Flavor], quarkSlot{opIdx: i})
+		}
+	}
+
+	// Enumerate momentum assignments for sink operators (sources fixed at
+	// momentum 0).
+	var all []*graph.Graph
+	momenta := make([]int, len(spec.Sink))
+	var emitMomentum func(pos int) error
+	emitMomentum = func(pos int) error {
+		if pos == len(spec.Sink) {
+			gs, err := expandPairings(spec, ops, numSrc, flavors, quarks, antis,
+				srcTime, snkTime, momenta, bt, nextGraphID)
+			if err != nil {
+				return err
+			}
+			all = append(all, gs...)
+			return nil
+		}
+		for m := 0; m < spec.Momenta; m++ {
+			momenta[pos] = m
+			if err := emitMomentum(pos + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emitMomentum(0); err != nil {
+		return nil, err
+	}
+	return graph.Dedup(all), nil
+}
+
+// expandPairings enumerates flavor-preserving bijections and emits one
+// graph per connected, self-contraction-free pairing.
+func expandPairings(spec Spec, ops []Operator, numSrc int, flavors []string,
+	quarks, antis map[string][]quarkSlot, srcTime, snkTime int, momenta []int,
+	bt *BlockTable, nextGraphID *int) ([]*graph.Graph, error) {
+
+	// Node tensors for this momentum/time instantiation.
+	nodes := make([]graph.Node, len(ops))
+	for i, op := range ops {
+		key := BlockKey{Op: op.Name, Momentum: 0, Time: srcTime}
+		if i >= numSrc {
+			key.Momentum = momenta[i-numSrc]
+			key.Time = snkTime
+		}
+		nodes[i] = graph.Node{ID: i, Tensor: bt.Get(key)}
+	}
+
+	var out []*graph.Graph
+	edges := []graph.Edge{}
+	var recurse func(fi int)
+	var emit func()
+	emit = func() {
+		g := &graph.Graph{ID: *nextGraphID, Nodes: nodes, Edges: append([]graph.Edge(nil), edges...)}
+		if !g.Connected() {
+			return
+		}
+		*nextGraphID++
+		out = append(out, g)
+	}
+	recurse = func(fi int) {
+		if fi == len(flavors) {
+			emit()
+			return
+		}
+		f := flavors[fi]
+		qs, as := quarks[f], antis[f]
+		// Permute antiquark assignment over quarks.
+		perm := make([]int, len(as))
+		used := make([]bool, len(as))
+		var permute func(k int)
+		permute = func(k int) {
+			if k == len(qs) {
+				// Append this flavor's edges, recurse to next flavor.
+				added := 0
+				ok := true
+				for qi, ai := range perm[:len(qs)] {
+					u, v := qs[qi].opIdx, as[ai].opIdx
+					if u == v {
+						ok = false // self-contraction within one operator
+						break
+					}
+					edges = append(edges, graph.Edge{U: u, V: v})
+					added++
+				}
+				if ok {
+					recurse(fi + 1)
+				}
+				edges = edges[:len(edges)-added]
+				return
+			}
+			for ai := range as {
+				if used[ai] {
+					continue
+				}
+				used[ai] = true
+				perm[k] = ai
+				permute(k + 1)
+				used[ai] = false
+			}
+		}
+		permute(0)
+	}
+	recurse(0)
+	return out, nil
+}

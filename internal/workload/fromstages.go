@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"micco/internal/tensor"
+)
+
+// FromStages builds a Workload from pre-staged pairs, as produced by the
+// Redstar front end's dependency analysis (rather than the synthetic
+// generator). inputs lists the distinct host-resident leaf tensors; pair
+// operands must be either inputs or outputs of earlier pairs.
+//
+// The per-stage repeated rate counts an operand slot as repeated when its
+// tensor has already appeared in the workload — as an earlier operand or as
+// an earlier output — since both represent reuse opportunities for the
+// scheduler.
+func FromStages(name string, stages [][]Pair, inputs []tensor.Desc) (*Workload, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("workload: no stages")
+	}
+	known := make(map[uint64]bool, len(inputs))
+	w := &Workload{Name: name}
+	for _, d := range inputs {
+		if !d.Valid() {
+			return nil, fmt.Errorf("workload: invalid input tensor %v", d)
+		}
+		if known[d.ID] {
+			return nil, fmt.Errorf("workload: duplicate input tensor %d", d.ID)
+		}
+		known[d.ID] = true
+		w.Inputs = append(w.Inputs, d)
+	}
+	seen := make(map[uint64]bool)
+	maxVec, dim := 0, 0
+	for si, pairs := range stages {
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("workload: stage %d is empty", si)
+		}
+		st := Stage{Index: si}
+		repeats := 0
+		for _, p := range pairs {
+			for _, op := range []tensor.Desc{p.A, p.B} {
+				if !known[op.ID] {
+					return nil, fmt.Errorf("workload: stage %d operand t%d unknown", si, op.ID)
+				}
+				if seen[op.ID] {
+					repeats++
+				}
+				seen[op.ID] = true
+			}
+			if known[p.Out.ID] {
+				return nil, fmt.Errorf("workload: stage %d output t%d already exists", si, p.Out.ID)
+			}
+			known[p.Out.ID] = true
+			seen[p.Out.ID] = true
+			w.Outputs = append(w.Outputs, p.Out)
+			st.Pairs = append(st.Pairs, p)
+			if p.A.Dim > dim {
+				dim = p.A.Dim
+			}
+		}
+		st.RepeatRate = float64(repeats) / float64(st.NumTensors())
+		if len(pairs) > maxVec {
+			maxVec = len(pairs)
+		}
+		w.Stages = append(w.Stages, st)
+	}
+	// Record the workload-level characteristics the regression features
+	// draw on. Real correlator data is biased (hot hadron blocks), so the
+	// distribution is marked Gaussian.
+	w.Cfg = Config{
+		Stages:     len(stages),
+		VectorSize: maxVec,
+		TensorDim:  dim,
+		Batch:      w.batchOf(),
+		Rank:       w.rankOf(),
+		Dist:       Gaussian,
+	}
+	markLastUses(w)
+	return w, nil
+}
+
+func (w *Workload) batchOf() int {
+	if len(w.Inputs) > 0 {
+		return w.Inputs[0].Batch
+	}
+	return 1
+}
+
+func (w *Workload) rankOf() int {
+	if len(w.Inputs) > 0 {
+		return w.Inputs[0].Rank
+	}
+	return tensor.RankMeson
+}

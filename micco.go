@@ -1,0 +1,360 @@
+// Package micco is a framework for scheduling many-body correlation
+// function calculations across multiple GPUs, reproducing "MICCO: An
+// Enhanced Multi-GPU Scheduling Framework for Many-Body Correlation
+// Functions" (Wang, Ren, Chen, Edwards — IPDPS 2022).
+//
+// The package exposes five layers:
+//
+//   - A tensor substrate: batched complex hadron-node tensors with real
+//     contraction kernels and exact cost accounting (Tensor, TensorDesc).
+//   - A deterministic multi-GPU simulator standing in for the paper's
+//     eight-MI100 node: per-device memory pools with LRU eviction, a
+//     shared host link, and kernel/transfer timing (Cluster).
+//   - Workload front ends: the paper's synthetic dataset generator
+//     (GenerateWorkload) and a Redstar-like correlation-function pipeline
+//     (Wick contraction, graph staging — A1RhoPi, F0D2, F0D4).
+//   - Schedulers: MICCO itself (local reuse patterns, reuse bounds,
+//     Algorithms 1-2) with naive/fixed/model-tuned bound settings, plus
+//     the Groute-like baseline and ablation schedulers.
+//   - The evaluation harness that regenerates every table and figure of
+//     the paper (NewHarness, RunExperiment).
+//
+// Quick start:
+//
+//	w, _ := micco.GenerateWorkload(micco.WorkloadConfig{
+//	    Seed: 1, Stages: 10, VectorSize: 64, TensorDim: 384, Batch: 8,
+//	    Rank: micco.RankMeson, RepeatRate: 0.5, Dist: micco.Uniform,
+//	})
+//	cluster, _ := micco.NewCluster(micco.MI100(8))
+//	res, _ := micco.Run(w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+//	fmt.Printf("%.0f GFLOPS\n", res.GFLOPS)
+package micco
+
+import (
+	"io"
+	"math/rand"
+
+	"micco/internal/autotune"
+	"micco/internal/baseline"
+	"micco/internal/core"
+	"micco/internal/experiment"
+	"micco/internal/gpusim"
+	"micco/internal/mlearn"
+	"micco/internal/multinode"
+	"micco/internal/redstar"
+	"micco/internal/sched"
+	"micco/internal/spectro"
+	"micco/internal/tensor"
+	"micco/internal/wick"
+	"micco/internal/workload"
+)
+
+// Tensor and shape types.
+type (
+	// Tensor is a dense batched complex tensor with real data.
+	Tensor = tensor.Tensor
+	// TensorDesc is tensor identity and shape metadata.
+	TensorDesc = tensor.Desc
+)
+
+// Tensor ranks.
+const (
+	// RankMeson marks batched matrices (meson systems).
+	RankMeson = tensor.RankMeson
+	// RankBaryon marks batched rank-3 tensors (baryon systems).
+	RankBaryon = tensor.RankBaryon
+)
+
+// Simulated cluster types.
+type (
+	// Cluster is the simulated multi-GPU node.
+	Cluster = gpusim.Cluster
+	// ClusterConfig describes the simulated hardware.
+	ClusterConfig = gpusim.Config
+	// Device is one simulated GPU.
+	Device = gpusim.Device
+	// DeviceStats are per-device simulation counters.
+	DeviceStats = gpusim.DeviceStats
+)
+
+// Workload types.
+type (
+	// Workload is a staged tensor-pair contraction stream.
+	Workload = workload.Workload
+	// WorkloadConfig parameterizes synthetic generation.
+	WorkloadConfig = workload.Config
+	// Distribution selects the repeated-data selection distribution.
+	Distribution = workload.Distribution
+	// Pair is one hadron contraction.
+	Pair = workload.Pair
+	// Stage is one dependency level of independent pairs.
+	Stage = workload.Stage
+	// Features are the per-stage data characteristics (Table I).
+	Features = workload.Features
+)
+
+// Repeated-data distributions.
+const (
+	// Uniform repeats tensors uniformly over previous data.
+	Uniform = workload.Uniform
+	// Gaussian concentrates repeats on a hot set (biased distribution).
+	Gaussian = workload.Gaussian
+)
+
+// Scheduling types.
+type (
+	// Scheduler assigns tensor pairs to GPUs.
+	Scheduler = sched.Scheduler
+	// SchedContext is the scheduler-visible engine state.
+	SchedContext = sched.Context
+	// RunOptions controls the execution engine.
+	RunOptions = sched.Options
+	// Result summarizes one run.
+	Result = sched.Result
+	// Bounds are the three reuse bounds of Table II.
+	Bounds = core.Bounds
+	// ReusePattern is the local reuse classification of a pair (Fig. 4).
+	ReusePattern = core.ReusePattern
+	// BoundsPredictor produces per-stage reuse bounds.
+	BoundsPredictor = core.BoundsPredictor
+	// Predictor is a trained reuse-bound regression model.
+	Predictor = autotune.Predictor
+	// TrainingCorpus is a reuse-bound training dataset.
+	TrainingCorpus = mlearn.Dataset
+	// CorpusConfig controls training-corpus generation.
+	CorpusConfig = autotune.CorpusConfig
+	// ModelKind selects a regression model family (Table IV).
+	ModelKind = autotune.ModelKind
+	// ModelScore is one Table IV row.
+	ModelScore = autotune.ModelScore
+)
+
+// Local reuse patterns (paper Fig. 4).
+const (
+	TwoRepeatedSame = core.TwoRepeatedSame
+	TwoRepeatedDiff = core.TwoRepeatedDiff
+	OneRepeated     = core.OneRepeated
+	TwoNew          = core.TwoNew
+)
+
+// Regression model families (paper Table IV).
+const (
+	LinearModel   = autotune.LinearModel
+	BoostingModel = autotune.BoostingModel
+	ForestModel   = autotune.ForestModel
+)
+
+// Correlation-function front-end types.
+type (
+	// Correlator is a correlation-function specification.
+	Correlator = redstar.Correlator
+	// Construction is one operator construction in a correlator basis.
+	Construction = redstar.Construction
+	// CorrelatorBuild is a compiled correlator: plan plus workload.
+	CorrelatorBuild = redstar.Build
+	// Operator is an interpolating operator (hadron) with quark content.
+	Operator = wick.Operator
+	// Quark is one quark field.
+	Quark = wick.Quark
+)
+
+// Experiment types.
+type (
+	// Harness runs the paper's evaluation experiments.
+	Harness = experiment.Harness
+	// HarnessOptions configures a harness.
+	HarnessOptions = experiment.Options
+	// ExperimentTable is one rendered experiment result.
+	ExperimentTable = experiment.Table
+)
+
+// MI100 returns the cluster configuration calibrated to the paper's
+// testbed: n MI100-class devices with a shared host link.
+func MI100(n int) ClusterConfig { return gpusim.MI100(n) }
+
+// NewCluster builds a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return gpusim.NewCluster(cfg) }
+
+// GenerateWorkload builds a deterministic synthetic workload.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) { return workload.Generate(cfg) }
+
+// WorkloadFromStages builds a workload from pre-staged pairs (front ends).
+func WorkloadFromStages(name string, stages [][]Pair, inputs []TensorDesc) (*Workload, error) {
+	return workload.FromStages(name, stages, inputs)
+}
+
+// NewMICCONaive returns the MICCO scheduler with all reuse bounds zero.
+func NewMICCONaive() Scheduler { return core.NewNaive() }
+
+// NewMICCOFixed returns the MICCO scheduler with constant reuse bounds.
+func NewMICCOFixed(b Bounds) Scheduler { return core.NewFixed(b) }
+
+// NewMICCOOptimal returns the MICCO scheduler with per-stage bounds from a
+// trained predictor (the paper's MICCO-optimal).
+func NewMICCOOptimal(p BoundsPredictor) Scheduler { return core.NewOptimal(p) }
+
+// NewGroute returns the earliest-available-device baseline scheduler.
+func NewGroute() Scheduler { return baseline.NewGroute() }
+
+// NewRoundRobin returns the round-robin ablation scheduler.
+func NewRoundRobin() Scheduler { return baseline.NewRoundRobin() }
+
+// NewLocalityOnly returns the reuse-only ablation scheduler.
+func NewLocalityOnly() Scheduler { return baseline.NewLocalityOnly() }
+
+// ClassifyPair returns the local reuse pattern of p under ctx's residency.
+func ClassifyPair(p Pair, ctx *SchedContext) ReusePattern { return core.Classify(p, ctx) }
+
+// Run replays workload w through scheduler s on cluster c.
+func Run(w *Workload, s Scheduler, c *Cluster, opts RunOptions) (*Result, error) {
+	return sched.Run(w, s, c, opts)
+}
+
+// Speedup returns r's throughput advantage over baseline.
+func Speedup(r, baseline *Result) float64 { return sched.Speedup(r, baseline) }
+
+// BuildCorpus sweeps reuse-bound settings over randomized workloads to
+// produce a training corpus (Section IV-C).
+func BuildCorpus(cfg CorpusConfig) (*TrainingCorpus, error) { return autotune.BuildCorpus(cfg) }
+
+// TrainPredictor fits a reuse-bound model of the given kind on corpus,
+// holding out testFrac for the reported R-squared.
+func TrainPredictor(corpus *TrainingCorpus, kind ModelKind, testFrac float64, seed int64) (*Predictor, error) {
+	return autotune.Train(corpus, kind, testFrac, seed)
+}
+
+// EvaluateModels scores all three regression families on corpus (Table IV).
+func EvaluateModels(corpus *TrainingCorpus, testFrac float64, seed int64) ([]ModelScore, error) {
+	return autotune.EvaluateModels(corpus, testFrac, seed)
+}
+
+// A1RhoPi returns the bundled a1 -> rho pi correlator (Table VI row 1).
+func A1RhoPi() *Correlator { return redstar.A1RhoPi() }
+
+// F0D2 returns the bundled f0 (dimension-2 basis) correlator (row 2).
+func F0D2() *Correlator { return redstar.F0D2() }
+
+// F0D4 returns the bundled f0 (dimension-4 basis) correlator (row 3).
+func F0D4() *Correlator { return redstar.F0D4() }
+
+// BundledCorrelators returns the three Table VI correlators.
+func BundledCorrelators() []*Correlator { return redstar.Bundled() }
+
+// Meson builds a quark-antiquark interpolating operator.
+func Meson(name, quark, antiquark string) Operator { return wick.Meson(name, quark, antiquark) }
+
+// Baryon builds a three-quark interpolating operator. Baryon systems use
+// rank-3 hadron blocks: set Correlator.Rank = RankBaryon.
+func Baryon(name, q1, q2, q3 string) Operator { return wick.Baryon(name, q1, q2, q3) }
+
+// Q returns a quark field of the given flavor; Qbar an antiquark.
+func Q(flavor string) Quark    { return wick.Q(flavor) }
+func Qbar(flavor string) Quark { return wick.Qbar(flavor) }
+
+// NewHarness returns an experiment harness.
+func NewHarness(opts HarnessOptions) *Harness { return experiment.New(opts) }
+
+// ExperimentIDs lists the runnable experiments in paper order.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// Contract performs one hadron contraction with real arithmetic.
+func Contract(a, b *Tensor, outID uint64, workers int) (*Tensor, error) {
+	return tensor.Contract(a, b, outID, workers)
+}
+
+// NewRandomTensor allocates a tensor with random complex entries.
+func NewRandomTensor(d TensorDesc, seed int64) (*Tensor, error) {
+	return tensor.NewRandom(d, newRand(seed))
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Trace types (simulator event recording).
+type (
+	// TraceEvent is one recorded simulator operation.
+	TraceEvent = gpusim.Event
+	// TraceEventKind classifies trace events.
+	TraceEventKind = gpusim.EventKind
+	// FeatureImportance is one feature's permutation importance.
+	FeatureImportance = autotune.Importance
+)
+
+// Trace event kinds.
+const (
+	TraceKernel = gpusim.EventKernel
+	TraceH2D    = gpusim.EventH2D
+	TraceD2H    = gpusim.EventD2H
+	TraceP2P    = gpusim.EventP2P
+	TraceEvict  = gpusim.EventEvict
+)
+
+// WriteChromeTrace serializes trace events in the Chrome tracing JSON
+// format (load in chrome://tracing or ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return gpusim.WriteChromeTrace(w, events)
+}
+
+// WriteTraceSummary writes per-device busy-time aggregates of a trace.
+func WriteTraceSummary(w io.Writer, events []TraceEvent) error {
+	return gpusim.TraceSummary(w, events)
+}
+
+// LoadPredictor deserializes a predictor saved with Predictor.Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return autotune.LoadPredictor(r) }
+
+// Multi-node extension types (the paper's stated future work).
+type (
+	// MultiNodeConfig describes a simulated multi-node system.
+	MultiNodeConfig = multinode.Config
+	// MultiNodeCluster is a set of simulated nodes behind a shared fabric.
+	MultiNodeCluster = multinode.Cluster
+	// MultiNodeResult summarizes a multi-node run.
+	MultiNodeResult = multinode.Result
+)
+
+// DefaultMultiNodeConfig returns n nodes of g MI100-class GPUs behind an
+// InfiniBand-class fabric.
+func DefaultMultiNodeConfig(n, g int) MultiNodeConfig { return multinode.DefaultConfig(n, g) }
+
+// NewMultiNodeCluster builds a multi-node cluster.
+func NewMultiNodeCluster(cfg MultiNodeConfig) (*MultiNodeCluster, error) {
+	return multinode.NewCluster(cfg)
+}
+
+// RunMultiNode executes a workload hierarchically across nodes: a
+// node-level reuse-aware policy picks the node, a per-node MICCO instance
+// picks the device, and missing operands stage over the shared fabric.
+func RunMultiNode(w *Workload, mc *MultiNodeCluster) (*MultiNodeResult, error) {
+	return multinode.Run(w, mc)
+}
+
+// Spectroscopy analysis types (downstream physics observables).
+type (
+	// CorrelatorSeries is a correlator time series C(t).
+	CorrelatorSeries = spectro.Series
+)
+
+// EffectiveMass returns the effective-mass curve of a correlator series.
+func EffectiveMass(s CorrelatorSeries) map[int]float64 { return spectro.EffectiveMass(s) }
+
+// PlateauFit averages an effective-mass curve over [t0, t1].
+func PlateauFit(meff map[int]float64, t0, t1 int) (mean, stddev float64, err error) {
+	return spectro.Plateau(meff, t0, t1)
+}
+
+// FitCorrelator fits |C(t)| to A*exp(-m*t), returning amplitude and mass.
+func FitCorrelator(s CorrelatorSeries) (amp, mass float64, err error) {
+	return spectro.FitExponential(s)
+}
+
+// SyntheticCorrelator builds a single-state correlator for validation.
+func SyntheticCorrelator(amp, mass float64, t0, t1 int) CorrelatorSeries {
+	return spectro.Synthetic(amp, mass, t0, t1)
+}
+
+// LoadDeck parses a JSON correlator deck (the reproduction's analog of
+// Redstar's XML input decks) into a validated Correlator.
+func LoadDeck(r io.Reader) (*Correlator, error) { return redstar.LoadDeck(r) }
+
+// SaveDeck serializes a correlator to the JSON deck format.
+func SaveDeck(w io.Writer, c *Correlator) error { return redstar.SaveDeck(w, c) }

@@ -1,0 +1,194 @@
+package micco_test
+
+import (
+	"strings"
+	"testing"
+
+	"micco"
+)
+
+func testWorkload(t *testing.T) *micco.Workload {
+	t.Helper()
+	w, err := micco.GenerateWorkload(micco.WorkloadConfig{
+		Seed: 1, Stages: 6, VectorSize: 16, TensorDim: 128, Batch: 4,
+		Rank: micco.RankMeson, RepeatRate: 0.6, Dist: micco.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := testWorkload(t)
+	cluster, err := micco.NewCluster(micco.MI100(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groute, err := micco.Run(w, micco.NewGroute(), cluster, micco.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := micco.Run(w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.GFLOPS <= 0 || groute.GFLOPS <= 0 {
+		t.Fatal("degenerate results through public API")
+	}
+	if micco.Speedup(naive, groute) <= 1.0 {
+		t.Errorf("MICCO-naive speedup %.2f over Groute, want > 1",
+			micco.Speedup(naive, groute))
+	}
+	fixed, err := micco.Run(w, micco.NewMICCOFixed(micco.Bounds{1, 1, 1}), cluster, micco.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.GFLOPS <= 0 {
+		t.Error("fixed-bounds run failed")
+	}
+	for _, s := range []micco.Scheduler{micco.NewRoundRobin(), micco.NewLocalityOnly()} {
+		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestPublicAPITrainAndOptimal(t *testing.T) {
+	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+		Samples: 20, Seed: 3, NumGPU: 4, Stages: 3, Batch: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := micco.TrainPredictor(corpus, micco.ForestModel, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.NumGPU = 4
+	w := testWorkload(t)
+	cluster, err := micco.NewCluster(micco.MI100(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := micco.Run(w, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFLOPS <= 0 {
+		t.Error("MICCO-optimal run failed through public API")
+	}
+	scores, err := micco.EvaluateModels(corpus, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Errorf("EvaluateModels returned %d scores", len(scores))
+	}
+}
+
+func TestPublicAPICorrelators(t *testing.T) {
+	cs := micco.BundledCorrelators()
+	if len(cs) != 3 {
+		t.Fatalf("bundled correlators = %d", len(cs))
+	}
+	c := micco.A1RhoPi()
+	c.TimeSlices = 2
+	c.Momenta = 2
+	c.TensorDim = 8
+	c.Batch = 1
+	b, err := c.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Workload == nil || b.NumGraphs == 0 {
+		t.Fatal("correlator build degenerate")
+	}
+	cluster, err := micco.NewCluster(micco.MI100(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := micco.Run(b.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	corr, err := b.EvaluateNumeric(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr) != 2 {
+		t.Errorf("correlator series length %d, want 2", len(corr))
+	}
+}
+
+func TestPublicAPITensors(t *testing.T) {
+	a, err := micco.NewRandomTensor(micco.TensorDesc{ID: 1, Rank: micco.RankMeson, Dim: 8, Batch: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := micco.NewRandomTensor(micco.TensorDesc{ID: 2, Rank: micco.RankMeson, Dim: 8, Batch: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := micco.Contract(a, b, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 3 || out.Dim != 8 {
+		t.Errorf("contract output %v", out.Desc)
+	}
+}
+
+func TestPublicAPICustomOperators(t *testing.T) {
+	pi := micco.Meson("pi", "u", "d")
+	if len(pi.Quarks) != 2 {
+		t.Error("Meson helper")
+	}
+	if micco.Q("u").Bar || !micco.Qbar("u").Bar {
+		t.Error("quark helpers")
+	}
+	custom := &micco.Correlator{
+		Name: "custom",
+		Constructions: []micco.Construction{
+			{Name: "pi", Ops: []micco.Operator{micco.Meson("pi", "u", "d")}},
+		},
+		Momenta: 1, TimeSlices: 2, TensorDim: 8, Batch: 1,
+	}
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := custom.BuildPlan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIHarnessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runs are slow")
+	}
+	h := micco.NewHarness(micco.HarnessOptions{Quick: true, Seed: 5})
+	ids := micco.ExperimentIDs()
+	if len(ids) != 9 {
+		t.Fatalf("experiments = %d, want 9 (every table and figure)", len(ids))
+	}
+	// Smoke-run the two fastest experiments through the public API.
+	for _, id := range []string{"tab5", "fig10"} {
+		tab, err := h.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var sb strings.Builder
+		if err := tab.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), tab.ID) {
+			t.Errorf("%s render missing ID", id)
+		}
+		var csv strings.Builder
+		if err := tab.CSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if len(csv.String()) == 0 {
+			t.Errorf("%s CSV empty", id)
+		}
+	}
+}
