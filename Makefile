@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrent engine, corpus builder and experiment harness all run
+# under the race detector; race is part of check and must stay clean.
+race:
+	$(GO) test -race ./...
+
+check: vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

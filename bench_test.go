@@ -1,6 +1,7 @@
 package micco_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -20,7 +21,7 @@ func harness(b *testing.B) *micco.Harness {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchH = micco.NewHarness(micco.HarnessOptions{Quick: true, Seed: 2022})
-		_, benchPrepErr = benchH.Predictor() // train once, outside timing
+		_, benchPrepErr = benchH.Predictor(context.Background()) // train once, outside timing
 	})
 	if benchPrepErr != nil {
 		b.Fatal(benchPrepErr)
@@ -32,7 +33,7 @@ func benchExperiment(b *testing.B, id string) {
 	h := harness(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := h.Run(id)
+		tab, err := h.RunExperiment(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkSchedulerMICCO(b *testing.B) {
 	s := micco.NewMICCOFixed(micco.Bounds{0, 2, 0})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+		if _, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkSchedulerGroute(b *testing.B) {
 	s := micco.NewGroute()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+		if _, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -146,7 +147,7 @@ func BenchmarkAblationPeerFetch(b *testing.B) {
 			var gflops float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+				res, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -177,7 +178,7 @@ func BenchmarkAblationDeadTensorDiscard(b *testing.B) {
 			var gflops float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := micco.Run(w, s, cluster, micco.RunOptions{DiscardDeadInputs: mode.discard})
+				res, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{DiscardDeadInputs: mode.discard})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -238,7 +239,7 @@ func BenchmarkAblationAsyncCopy(b *testing.B) {
 			var gflops float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+				res, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -268,7 +269,7 @@ func BenchmarkMultiNode(b *testing.B) {
 			var gflops float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := micco.RunMultiNode(w, mc)
+				res, err := micco.RunMultiNode(context.Background(), w, mc)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	miccobench [-run fig7,tab6] [-quick] [-seed N] [-csv DIR]
+//	miccobench [-run fig7,tab6] [-quick] [-seed N] [-parallel N] [-csv DIR]
 //
 // Without -run, every experiment runs in paper order. With -csv, each
 // table is additionally written as CSV into the given directory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"micco"
@@ -24,16 +27,19 @@ func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all paper experiments); available: "+strings.Join(micco.ExperimentIDs(), ",")+",ext")
 	quick := flag.Bool("quick", false, "shrink sweeps and the training corpus for a fast run")
 	seed := flag.Int64("seed", 2022, "random seed for workloads, corpus and models")
+	parallel := flag.Int("parallel", 0, "worker pool for independent sweep points (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	flag.Parse()
 
-	if err := run(*runList, *quick, *seed, *csvDir); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *runList, *quick, *seed, *parallel, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "miccobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runList string, quick bool, seed int64, csvDir string) error {
+func run(ctx context.Context, runList string, quick bool, seed int64, parallel int, csvDir string) error {
 	ids := micco.ExperimentIDs()
 	if runList != "" {
 		ids = strings.Split(runList, ",")
@@ -43,14 +49,14 @@ func run(runList string, quick bool, seed int64, csvDir string) error {
 			return err
 		}
 	}
-	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed})
+	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed, Parallelism: parallel})
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
 		start := time.Now()
-		tab, err := h.Run(id)
+		tab, err := h.RunExperiment(ctx, id)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

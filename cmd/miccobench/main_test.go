@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = run("tab5", true, 7, dir)
+	err = run(context.Background(), "tab5", true, 7, 0, dir)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -36,7 +37,7 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, ""); err == nil {
+	if err := run(context.Background(), "fig99", true, 1, 0, ""); err == nil {
 		t.Error("unknown experiment: want error")
 	}
 }

@@ -10,18 +10,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"micco"
 )
 
 func main() {
 	workloadPath := flag.String("workload", "", "workload JSON file (from wgen); required")
-	scheduler := flag.String("scheduler", "micco", "scheduler: micco, micco-naive, groute, roundrobin, locality")
+	scheduler := flag.String("scheduler", "micco", "scheduler: "+strings.Join(micco.SchedulerNames(), ", "))
 	bounds := flag.String("bounds", "0,2,0", "reuse bounds for the micco scheduler, e.g. 0,2,0")
 	gpus := flag.Int("gpus", 8, "simulated device count")
 	memGiB := flag.Float64("mem", 0, "per-device pool in GiB (0 = fit the working set with 10% headroom)")
@@ -29,7 +32,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of the primary run")
 	flag.Parse()
 
-	if err := run(*workloadPath, *scheduler, *bounds, *gpus, *memGiB, *compare, *traceOut); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *workloadPath, *scheduler, *bounds, *gpus, *memGiB, *compare, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "miccorun:", err)
 		os.Exit(1)
 	}
@@ -52,24 +57,7 @@ func parseBounds(s string) (micco.Bounds, error) {
 	return b, nil
 }
 
-func makeScheduler(name string, b micco.Bounds) (micco.Scheduler, error) {
-	switch name {
-	case "micco":
-		return micco.NewMICCOFixed(b), nil
-	case "micco-naive":
-		return micco.NewMICCONaive(), nil
-	case "groute":
-		return micco.NewGroute(), nil
-	case "roundrobin":
-		return micco.NewRoundRobin(), nil
-	case "locality":
-		return micco.NewLocalityOnly(), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
-	}
-}
-
-func run(workloadPath, scheduler, bounds string, gpus int, memGiB float64, compare bool, traceOut string) error {
+func run(ctx context.Context, workloadPath, scheduler, bounds string, gpus int, memGiB float64, compare bool, traceOut string) error {
 	if workloadPath == "" {
 		return fmt.Errorf("-workload is required")
 	}
@@ -88,7 +76,10 @@ func run(workloadPath, scheduler, bounds string, gpus int, memGiB float64, compa
 	if err != nil {
 		return err
 	}
-	primary, err := makeScheduler(scheduler, b)
+	if micco.SchedulerNeedsPredictor(scheduler) {
+		return fmt.Errorf("scheduler %q needs a trained predictor; use redstar or miccobench", scheduler)
+	}
+	primary, err := micco.NewSchedulerByName(scheduler, b, nil)
 	if err != nil {
 		return err
 	}
@@ -109,7 +100,7 @@ func run(workloadPath, scheduler, bounds string, gpus int, memGiB float64, compa
 	if traceOut != "" {
 		cluster.StartTrace()
 	}
-	res, err := micco.Run(&w, primary, cluster, micco.RunOptions{})
+	res, err := micco.Run(ctx, &w, primary, cluster, micco.RunOptions{})
 	if err != nil {
 		return err
 	}
@@ -135,15 +126,15 @@ func run(workloadPath, scheduler, bounds string, gpus int, memGiB float64, compa
 	}
 	report(res)
 	if compare {
-		for _, name := range []string{"micco", "micco-naive", "groute", "roundrobin", "locality"} {
-			if name == scheduler {
+		for _, name := range micco.SchedulerNames() {
+			if name == scheduler || micco.SchedulerNeedsPredictor(name) {
 				continue
 			}
-			s, err := makeScheduler(name, b)
+			s, err := micco.NewSchedulerByName(name, b, nil)
 			if err != nil {
 				return err
 			}
-			other, err := micco.Run(&w, s, cluster, micco.RunOptions{})
+			other, err := micco.Run(ctx, &w, s, cluster, micco.RunOptions{})
 			if err != nil {
 				return err
 			}

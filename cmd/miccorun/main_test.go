@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -60,15 +62,18 @@ func TestParseBounds(t *testing.T) {
 	}
 }
 
-func TestMakeScheduler(t *testing.T) {
-	for _, name := range []string{"micco", "micco-naive", "groute", "roundrobin", "locality"} {
-		s, err := makeScheduler(name, micco.Bounds{})
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range micco.SchedulerNames() {
+		if micco.SchedulerNeedsPredictor(name) {
+			continue
+		}
+		s, err := micco.NewSchedulerByName(name, micco.Bounds{}, nil)
 		if err != nil || s == nil {
-			t.Errorf("makeScheduler(%q): %v", name, err)
+			t.Errorf("NewSchedulerByName(%q): %v", name, err)
 		}
 	}
-	if _, err := makeScheduler("heft", micco.Bounds{}); err == nil {
-		t.Error("unknown scheduler: want error")
+	if _, err := micco.NewSchedulerByName("heft", micco.Bounds{}, nil); !errors.Is(err, micco.ErrUnknownScheduler) {
+		t.Errorf("unknown scheduler: want ErrUnknownScheduler, got %v", err)
 	}
 }
 
@@ -76,7 +81,7 @@ func TestRunWorkloadFileAndCompare(t *testing.T) {
 	path := workloadFile(t)
 	trace := filepath.Join(t.TempDir(), "trace.json")
 	err := silence(t, func() error {
-		return run(path, "micco", "0,2,0", 4, 0, true, trace)
+		return run(context.Background(), path, "micco", "0,2,0", 4, 0, true, trace)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,31 +100,31 @@ func TestRunWorkloadFileAndCompare(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), "", "micco", "0,0,0", 4, 0, false, ""); err == nil {
 		t.Error("missing workload: want error")
 	}
-	if err := run("/nonexistent.json", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), "/nonexistent.json", "micco", "0,0,0", 4, 0, false, ""); err == nil {
 		t.Error("missing file: want error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), bad, "micco", "0,0,0", 4, 0, false, ""); err == nil {
 		t.Error("bad JSON: want error")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), empty, "micco", "0,0,0", 4, 0, false, ""); err == nil {
 		t.Error("empty workload: want error")
 	}
 	good := workloadFile(t)
-	if err := run(good, "heft", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), good, "heft", "0,0,0", 4, 0, false, ""); err == nil {
 		t.Error("bad scheduler: want error")
 	}
-	if err := run(good, "micco", "x", 4, 0, false, ""); err == nil {
+	if err := run(context.Background(), good, "micco", "x", 4, 0, false, ""); err == nil {
 		t.Error("bad bounds: want error")
 	}
 }
@@ -127,7 +132,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithExplicitMemory(t *testing.T) {
 	path := workloadFile(t)
 	err := silence(t, func() error {
-		return run(path, "groute", "0,0,0", 2, 0.25, false, "")
+		return run(context.Background(), path, "groute", "0,0,0", 2, 0.25, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"micco"
@@ -25,16 +28,18 @@ func main() {
 	out := flag.String("o", "", "save the trained Random Forest predictor as JSON")
 	flag.Parse()
 
-	if err := run(*samples, *seed, *gpus, *testFrac, *out); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *samples, *seed, *gpus, *testFrac, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "miccotrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(samples int, seed int64, gpus int, testFrac float64, out string) error {
+func run(ctx context.Context, samples int, seed int64, gpus int, testFrac float64, out string) error {
 	fmt.Printf("building corpus: %d samples on %d simulated GPUs...\n", samples, gpus)
 	start := time.Now()
-	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+	corpus, err := micco.BuildCorpus(ctx, micco.CorpusConfig{
 		Samples: samples, Seed: seed, NumGPU: gpus,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,7 +17,7 @@ func TestTrainSaveAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = run(24, 7, 4, 0.2, out)
+	err = run(context.Background(), 24, 7, 4, 0.2, out)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {

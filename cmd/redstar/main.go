@@ -7,15 +7,19 @@
 //
 // Usage:
 //
-//	redstar [-function al_rhopi|f0d2|f0d4|all] [-gpus N] [-numeric]
+//	redstar [-function al_rhopi|f0d2|f0d4|all] [-gpus N] [-baseline NAME] [-numeric]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"micco"
@@ -29,15 +33,18 @@ func main() {
 	model := flag.String("model", "", "load a predictor saved by miccotrain -o instead of training")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the MICCO run for the first function")
 	deck := flag.String("deck", "", "run a correlator from a JSON deck file instead of the bundled ones")
+	baseline := flag.String("baseline", "groute", "baseline scheduler to compare MICCO against: "+strings.Join(micco.SchedulerNames(), ", "))
 	flag.Parse()
 
-	if err := run(*function, *gpus, *numeric, *seed, *model, *traceOut, *deck); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *function, *gpus, *numeric, *seed, *model, *traceOut, *deck, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "redstar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(function string, gpus int, numeric bool, seed int64, model, traceOut, deck string) error {
+func run(ctx context.Context, function string, gpus int, numeric bool, seed int64, model, traceOut, deck, baseline string) error {
 	var correlators []*micco.Correlator
 	if deck != "" {
 		f, err := os.Open(deck)
@@ -75,7 +82,7 @@ func run(function string, gpus int, numeric bool, seed int64, model, traceOut, d
 	} else {
 		h := micco.NewHarness(micco.HarnessOptions{Seed: seed, NumGPU: gpus})
 		var err error
-		pred, err = h.Predictor()
+		pred, err = h.Predictor(ctx)
 		if err != nil {
 			return err
 		}
@@ -83,7 +90,7 @@ func run(function string, gpus int, numeric bool, seed int64, model, traceOut, d
 	pred.NumGPU = gpus
 
 	fmt.Printf("%-10s %7s %7s %8s %9s %10s %10s %8s\n",
-		"function", "graphs", "blocks", "contract", "memory", "Groute GF", "MICCO GF", "speedup")
+		"function", "graphs", "blocks", "contract", "memory", baseline+" GF", "MICCO GF", "speedup")
 	for ci, c := range correlators {
 		start := time.Now()
 		b, err := c.BuildPlan()
@@ -96,14 +103,20 @@ func run(function string, gpus int, numeric bool, seed int64, model, traceOut, d
 		if err != nil {
 			return err
 		}
-		gr, err := micco.Run(b.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
+		// A fresh baseline instance per correlator: schedulers carry
+		// per-run tie-break state.
+		base, err := micco.NewSchedulerByName(baseline, micco.Bounds{}, pred)
+		if err != nil {
+			return err
+		}
+		gr, err := micco.Run(ctx, b.Workload, base, cluster, micco.RunOptions{})
 		if err != nil {
 			return err
 		}
 		if traceOut != "" && ci == 0 {
 			cluster.StartTrace()
 		}
-		mc, err := micco.Run(b.Workload, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
+		mc, err := micco.Run(ctx, b.Workload, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -58,7 +59,7 @@ func silence(t *testing.T, f func() error) error {
 }
 
 func TestRunUnknownFunction(t *testing.T) {
-	if err := run("nope", 4, false, 1, "", "", ""); err == nil {
+	if err := run(context.Background(), "nope", 4, false, 1, "", "", "", "groute"); err == nil {
 		t.Error("unknown function: want error")
 	}
 }
@@ -69,7 +70,7 @@ func TestRunWithTraceOutput(t *testing.T) {
 	}
 	trace := filepath.Join(t.TempDir(), "trace.json")
 	err := silence(t, func() error {
-		return run("al_rhopi", 4, false, 7, tinyModel(t), trace, "")
+		return run(context.Background(), "al_rhopi", 4, false, 7, tinyModel(t), trace, "", "groute")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +93,7 @@ func TestRunWithSavedModel(t *testing.T) {
 		t.Skip("builds a corpus")
 	}
 	err := silence(t, func() error {
-		return run("al_rhopi", 4, false, 7, tinyModel(t), "", "")
+		return run(context.Background(), "al_rhopi", 4, false, 7, tinyModel(t), "", "", "groute")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestRunWithSavedModel(t *testing.T) {
 
 // buildTinyCorpus trains a small predictor through the public API.
 func buildTinyCorpus() (*micco.Predictor, error) {
-	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+	corpus, err := micco.BuildCorpus(context.Background(), micco.CorpusConfig{
 		Samples: 16, Seed: 3, NumGPU: 4, Stages: 2, Batch: 2, Replicas: 1,
 	})
 	if err != nil {
@@ -127,7 +128,7 @@ func TestRunWithDeckFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := silence(t, func() error {
-		return run("ignored", 2, false, 7, tinyModel(t), "", deck)
+		return run(context.Background(), "ignored", 2, false, 7, tinyModel(t), "", deck, "groute")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +137,7 @@ func TestRunWithDeckFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Bad deck path errors cleanly.
-	if err := run("x", 2, false, 7, "", "", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if err := run(context.Background(), "x", 2, false, 7, "", "", filepath.Join(t.TempDir(), "missing.json"), "groute"); err == nil {
 		t.Error("missing deck: want error")
 	}
 }

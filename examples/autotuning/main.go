@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -15,7 +17,7 @@ func main() {
 	// A reduced corpus keeps this example fast; cmd/miccotrain builds the
 	// full 300-sample corpus of the paper.
 	fmt.Println("building training corpus (sweeping reuse bounds per sample)...")
-	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+	corpus, err := micco.BuildCorpus(context.Background(), micco.CorpusConfig{
 		Samples: 80, Seed: 11, NumGPU: 8, Stages: 3, Replicas: 3,
 	})
 	if err != nil {
@@ -58,11 +60,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			naive, err := micco.Run(w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+			naive, err := micco.Run(context.Background(), w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}
-			opt, err := micco.Run(w, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
+			opt, err := micco.Run(context.Background(), w, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

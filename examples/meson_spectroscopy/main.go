@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -51,11 +53,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gr, err := micco.Run(build.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
+	gr, err := micco.Run(context.Background(), build.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mc, err := micco.Run(build.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+	mc, err := micco.Run(context.Background(), build.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -29,7 +31,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := micco.RunMultiNode(w, mc)
+		res, err := micco.RunMultiNode(context.Background(), w, mc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -36,7 +38,7 @@ func main() {
 		}
 		var base *micco.Result
 		for _, s := range []micco.Scheduler{micco.NewGroute(), micco.NewMICCOFixed(micco.Bounds{0, 2, 0})} {
-			res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+			res, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

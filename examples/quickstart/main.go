@@ -4,6 +4,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -48,7 +50,7 @@ func main() {
 	fmt.Printf("%-14s %9s %10s %11s %10s %10s\n",
 		"scheduler", "GFLOPS", "makespan", "reuse hits", "H2D moved", "speedup")
 	for _, s := range schedulers {
-		res, err := micco.Run(w, s, cluster, micco.RunOptions{})
+		res, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package micco_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestFullPipelineIntegration(t *testing.T) {
 	}
 
 	// 1. Offline: build a corpus and train the Random Forest.
-	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+	corpus, err := micco.BuildCorpus(context.Background(), micco.CorpusConfig{
 		Samples: 30, Seed: 9, NumGPU: 4, Stages: 3, Batch: 2, Replicas: 2,
 	})
 	if err != nil {
@@ -59,12 +60,12 @@ func TestFullPipelineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groute, err := micco.Run(build.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
+	groute, err := micco.Run(context.Background(), build.Workload, micco.NewGroute(), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cluster.StartTrace()
-	opt, err := micco.Run(build.Workload, micco.NewMICCOOptimal(loaded), cluster, micco.RunOptions{})
+	opt, err := micco.Run(context.Background(), build.Workload, micco.NewMICCOOptimal(loaded), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFullPipelineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := micco.RunMultiNode(build.Workload, mc)
+	mres, err := micco.RunMultiNode(context.Background(), build.Workload, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestNumericSchedulingAgreement(t *testing.T) {
 	for _, s := range []micco.Scheduler{
 		micco.NewGroute(), micco.NewMICCONaive(), micco.NewRoundRobin(),
 	} {
-		res, err := micco.Run(w, s, cluster, opts)
+		res, err := micco.Run(context.Background(), w, s, cluster, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

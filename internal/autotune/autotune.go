@@ -7,9 +7,12 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"micco/internal/core"
 	"micco/internal/gpusim"
@@ -82,6 +85,20 @@ type CorpusConfig struct {
 	// in the throughput surface so labels reflect the data
 	// characteristics rather than one draw.
 	Replicas int
+	// Parallelism bounds the worker pool that labels corpus samples.
+	// Samples are independent sweeps over private clusters, so they fan
+	// out freely; all randomness is pre-drawn sequentially and results
+	// are collected by index, making the corpus bit-for-bit identical at
+	// any setting. 0 selects runtime.GOMAXPROCS(0); 1 labels serially.
+	Parallelism int
+}
+
+// poolSize resolves Parallelism to the effective worker count.
+func (c CorpusConfig) poolSize() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c *CorpusConfig) fillDefaults() {
@@ -130,20 +147,32 @@ type CorpusSample struct {
 // synthetic workloads. Each corpus row has the four data-characteristic
 // features (vector size, tensor size, distribution bias, measured repeated
 // rate) and the throughput-maximizing bounds as its three targets.
-func BuildCorpus(cfg CorpusConfig) (*mlearn.Dataset, error) {
-	ds, _, err := BuildCorpusDetailed(cfg)
+func BuildCorpus(ctx context.Context, cfg CorpusConfig) (*mlearn.Dataset, error) {
+	ds, _, err := BuildCorpusDetailed(ctx, cfg)
 	return ds, err
 }
 
+// corpusDraw is the pre-drawn randomness of one corpus sample: the
+// workload configuration and one generator seed per replica. Drawing
+// everything from a single sequential stream before fanning out keeps the
+// corpus independent of the pool size.
+type corpusDraw struct {
+	wcfg  workload.Config
+	seeds []int64
+}
+
 // BuildCorpusDetailed is BuildCorpus, additionally returning per-sample
-// provenance.
-func BuildCorpusDetailed(cfg CorpusConfig) (*mlearn.Dataset, []CorpusSample, error) {
+// provenance. Samples are labeled on a cfg.Parallelism-sized worker pool;
+// the corpus is bit-for-bit identical at every pool size.
+func BuildCorpusDetailed(ctx context.Context, cfg CorpusConfig) (*mlearn.Dataset, []CorpusSample, error) {
 	cfg.fillDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ds := &mlearn.Dataset{}
-	var samples []CorpusSample
-	for i := 0; i < cfg.Samples; i++ {
-		wcfg := workload.Config{
+	draws := make([]corpusDraw, cfg.Samples)
+	for i := range draws {
+		draws[i].wcfg = workload.Config{
 			Stages:     cfg.Stages,
 			VectorSize: vectorSizes[rng.Intn(len(vectorSizes))],
 			TensorDim:  tensorDims[rng.Intn(len(tensorDims))],
@@ -152,54 +181,108 @@ func BuildCorpusDetailed(cfg CorpusConfig) (*mlearn.Dataset, []CorpusSample, err
 			RepeatRate: repeatRates[rng.Intn(len(repeatRates))],
 			Dist:       workload.Distribution(rng.Intn(2)),
 		}
-		cands := TrainingCandidates(2*wcfg.VectorSize, cfg.NumGPU)
-		var label [3]float64
-		var rate, best float64
-		for rep := 0; rep < cfg.Replicas; rep++ {
-			wcfg.Seed = rng.Int63()
-			w, err := workload.Generate(wcfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("autotune: sample %d: %w", i, err)
-			}
-			gflops, err := sweepFixed(w, cfg.NumGPU, cfg.MemoryBytes, cands)
-			if err != nil {
-				return nil, nil, fmt.Errorf("autotune: sample %d: %w", i, err)
-			}
-			soft := SoftLabel(cands, gflops, LabelTemperature)
-			for j := range label {
-				label[j] += soft[j] / float64(cfg.Replicas)
-			}
-			rate += w.MeasuredRepeatRate() / float64(cfg.Replicas)
-			for _, g := range gflops {
-				if g > best {
-					best = g
+		draws[i].seeds = make([]int64, cfg.Replicas)
+		for r := range draws[i].seeds {
+			draws[i].seeds[r] = rng.Int63()
+		}
+	}
+	samples := make([]CorpusSample, cfg.Samples)
+	errs := make([]error, cfg.Samples)
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	indices := make(chan int, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		indices <- i
+	}
+	close(indices)
+	pool := cfg.poolSize()
+	if pool > cfg.Samples {
+		pool = cfg.Samples
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < pool; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if poolCtx.Err() != nil {
+					return
 				}
+				s, err := labelSample(poolCtx, cfg, draws[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("autotune: sample %d: %w", i, err)
+					cancel()
+					return
+				}
+				samples[i] = s
 			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
-		f := workload.Features{
-			VectorSize: float64(wcfg.VectorSize),
-			TensorDim:  float64(wcfg.TensorDim),
-			DistBias:   boolToFloat(wcfg.Dist.Biased()),
-			RepeatRate: rate,
-		}
-		slack := float64(MaxSlack(2*wcfg.VectorSize, cfg.NumGPU))
-		sample := CorpusSample{Features: f, Bounds: label, BestGFLOPS: best}
-		for j := range label {
-			sample.BoundFracs[j] = label[j] / slack
-		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ds := &mlearn.Dataset{}
+	for i := range samples {
 		// The model trains on the scale-free fractions; PredictBounds
 		// rescales by the live stage's slack at inference time.
-		ds.Add(f.AsSlice(), sample.BoundFracs[:])
-		samples = append(samples, sample)
+		ds.Add(samples[i].Features.AsSlice(), samples[i].BoundFracs[:])
 	}
 	return ds, samples, nil
+}
+
+// labelSample sweeps the candidate bounds over one sample's replicas and
+// condenses the measurements into its features and soft labels.
+func labelSample(ctx context.Context, cfg CorpusConfig, d corpusDraw) (CorpusSample, error) {
+	wcfg := d.wcfg
+	cands := TrainingCandidates(2*wcfg.VectorSize, cfg.NumGPU)
+	var label [3]float64
+	var rate, best float64
+	for rep := 0; rep < cfg.Replicas; rep++ {
+		wcfg.Seed = d.seeds[rep]
+		w, err := workload.Generate(wcfg)
+		if err != nil {
+			return CorpusSample{}, err
+		}
+		gflops, err := sweepFixed(ctx, w, cfg.NumGPU, cfg.MemoryBytes, cands)
+		if err != nil {
+			return CorpusSample{}, err
+		}
+		soft := SoftLabel(cands, gflops, LabelTemperature)
+		for j := range label {
+			label[j] += soft[j] / float64(cfg.Replicas)
+		}
+		rate += w.MeasuredRepeatRate() / float64(cfg.Replicas)
+		for _, g := range gflops {
+			if g > best {
+				best = g
+			}
+		}
+	}
+	f := workload.Features{
+		VectorSize: float64(wcfg.VectorSize),
+		TensorDim:  float64(wcfg.TensorDim),
+		DistBias:   boolToFloat(wcfg.Dist.Biased()),
+		RepeatRate: rate,
+	}
+	slack := float64(MaxSlack(2*wcfg.VectorSize, cfg.NumGPU))
+	sample := CorpusSample{Features: f, Bounds: label, BestGFLOPS: best}
+	for j := range label {
+		sample.BoundFracs[j] = label[j] / slack
+	}
+	return sample, nil
 }
 
 // SweepBounds measures the thirteen Fig. 8 candidate settings on workload w
 // over a pressure-sized cluster and returns the argmax setting with the
 // per-setting GFLOPS (indexed as CandidateBounds).
-func SweepBounds(w *workload.Workload, numGPU int, pressure float64) (core.Bounds, []float64, error) {
-	gflops, err := sweep(w, numGPU, pressure, CandidateBounds)
+func SweepBounds(ctx context.Context, w *workload.Workload, numGPU int, pressure float64) (core.Bounds, []float64, error) {
+	gflops, err := sweep(ctx, w, numGPU, pressure, CandidateBounds)
 	if err != nil {
 		return core.Bounds{}, nil, err
 	}
@@ -214,17 +297,17 @@ func SweepBounds(w *workload.Workload, numGPU int, pressure float64) (core.Bound
 
 // sweep measures each candidate setting's throughput on one shared
 // pressure-sized cluster.
-func sweep(w *workload.Workload, numGPU int, pressure float64, cands []core.Bounds) ([]float64, error) {
+func sweep(ctx context.Context, w *workload.Workload, numGPU int, pressure float64, cands []core.Bounds) ([]float64, error) {
 	cluster, err := PressuredCluster(w, numGPU, pressure)
 	if err != nil {
 		return nil, err
 	}
-	return sweepOn(w, cluster, cands)
+	return sweepOn(ctx, w, cluster, cands)
 }
 
 // sweepFixed is sweep on a cluster with a fixed per-device pool, floored so
 // a single contraction always fits.
-func sweepFixed(w *workload.Workload, numGPU int, memory int64, cands []core.Bounds) ([]float64, error) {
+func sweepFixed(ctx context.Context, w *workload.Workload, numGPU int, memory int64, cands []core.Bounds) ([]float64, error) {
 	cfg := gpusim.MI100(numGPU)
 	cfg.MemoryBytes = memory
 	var maxTensor int64
@@ -240,13 +323,13 @@ func sweepFixed(w *workload.Workload, numGPU int, memory int64, cands []core.Bou
 	if err != nil {
 		return nil, err
 	}
-	return sweepOn(w, cluster, cands)
+	return sweepOn(ctx, w, cluster, cands)
 }
 
-func sweepOn(w *workload.Workload, cluster *gpusim.Cluster, cands []core.Bounds) ([]float64, error) {
+func sweepOn(ctx context.Context, w *workload.Workload, cluster *gpusim.Cluster, cands []core.Bounds) ([]float64, error) {
 	gflops := make([]float64, len(cands))
 	for i, b := range cands {
-		res, err := sched.Run(w, core.NewFixed(b), cluster, sched.Options{})
+		res, err := sched.Run(ctx, w, core.NewFixed(b), cluster, sched.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"testing"
 
 	"micco/internal/core"
@@ -36,7 +37,7 @@ func TestCandidateBoundsShape(t *testing.T) {
 }
 
 func TestBuildCorpusShapeAndDeterminism(t *testing.T) {
-	ds, err := BuildCorpus(smallCorpusCfg())
+	ds, err := BuildCorpus(context.Background(), smallCorpusCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestBuildCorpusShapeAndDeterminism(t *testing.T) {
 			t.Errorf("repeat rate %v outside [0,1]", f[3])
 		}
 	}
-	ds2, err := BuildCorpus(smallCorpusCfg())
+	ds2, err := BuildCorpus(context.Background(), smallCorpusCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSweepBoundsFindsArgmax(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, gflops, err := SweepBounds(w, 4, 0.85)
+	best, gflops, err := SweepBounds(context.Background(), w, 4, 0.85)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestPressuredCluster(t *testing.T) {
 }
 
 func TestTrainAndPredictorClamps(t *testing.T) {
-	ds, err := BuildCorpus(smallCorpusCfg())
+	ds, err := BuildCorpus(context.Background(), smallCorpusCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestEvaluateModelsOrderingAndNames(t *testing.T) {
 	// A realistic corpus (paper-scale node, fixed pools) is needed for the
 	// Table IV ordering to emerge; tiny corpora are dominated by label
 	// noise.
-	ds, err := BuildCorpus(CorpusConfig{Samples: 120, Seed: 99, Stages: 3})
+	ds, err := BuildCorpus(context.Background(), CorpusConfig{Samples: 120, Seed: 99, Stages: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestEvaluateModelsOrderingAndNames(t *testing.T) {
 }
 
 func TestOptimalSchedulerWithTrainedPredictorRuns(t *testing.T) {
-	ds, err := BuildCorpus(smallCorpusCfg())
+	ds, err := BuildCorpus(context.Background(), smallCorpusCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestOptimalSchedulerWithTrainedPredictorRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.Run(w, core.NewOptimal(p), c, sched.Options{})
+	res, err := sched.Run(context.Background(), w, core.NewOptimal(p), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

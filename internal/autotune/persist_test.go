@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestPredictorSaveLoadRoundTrip(t *testing.T) {
-	ds, err := BuildCorpus(smallCorpusCfg())
+	ds, err := BuildCorpus(context.Background(), smallCorpusCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPredictorSaveErrors(t *testing.T) {
 }
 
 func TestFeatureImportance(t *testing.T) {
-	ds, err := BuildCorpus(CorpusConfig{Samples: 60, Seed: 4, NumGPU: 8, Stages: 3, Batch: 4, Replicas: 2})
+	ds, err := BuildCorpus(context.Background(), CorpusConfig{Samples: 60, Seed: 4, NumGPU: 8, Stages: 3, Batch: 4, Replicas: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,6 +89,17 @@ func Train(corpus *mlearn.Dataset, kind ModelKind, testFrac float64, seed int64)
 	return p, nil
 }
 
+// WithNumGPU returns a shallow copy of p that rescales predictions for an
+// n-device node. The trained model is shared and read-only, so the copy is
+// safe to use concurrently with the original — parallel harness points at
+// different device counts each take their own copy instead of mutating a
+// shared predictor.
+func (p *Predictor) WithNumGPU(n int) *Predictor {
+	q := *p
+	q.NumGPU = n
+	return &q
+}
+
 // PredictBounds implements core.BoundsPredictor: online inference on a
 // stage's data characteristics. Features are first clamped into the
 // training grid's hull — tree ensembles extrapolate as constants, and the

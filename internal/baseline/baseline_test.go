@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"micco/internal/gpusim"
@@ -116,7 +117,7 @@ func TestBaselinesRunEndToEnd(t *testing.T) {
 	}
 	c := mkCluster(t, 4)
 	for _, s := range []sched.Scheduler{NewGroute(), NewRoundRobin(), NewLocalityOnly()} {
-		res, err := sched.Run(w, s, c, sched.Options{})
+		res, err := sched.Run(context.Background(), w, s, c, sched.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -134,7 +135,7 @@ func TestGrouteLoadBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := mkCluster(t, 4)
-	res, err := sched.Run(w, NewGroute(), c, sched.Options{})
+	res, err := sched.Run(context.Background(), w, NewGroute(), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestLocalityVsGrouteTradeoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := mkCluster(t, 4)
-	loc, err := sched.Run(w, NewLocalityOnly(), c, sched.Options{})
+	loc, err := sched.Run(context.Background(), w, NewLocalityOnly(), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, err := sched.Run(w, NewGroute(), c, sched.Options{})
+	gr, err := sched.Run(context.Background(), w, NewGroute(), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"micco/internal/gpusim"
@@ -280,15 +281,15 @@ func TestMICCOBeatsGrouteOnReuseHeavyWorkload(t *testing.T) {
 	w := mkWorkload(t, synthCfg())
 	c := mkCluster(t, 4)
 
-	groute, err := sched.Run(w, grouteForTest{}, c, sched.Options{})
+	groute, err := sched.Run(context.Background(), w, grouteForTest{}, c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := sched.Run(w, NewNaive(), c, sched.Options{})
+	naive, err := sched.Run(context.Background(), w, NewNaive(), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tuned, err := sched.Run(w, NewFixed(Bounds{2, 2, 2}), c, sched.Options{})
+	tuned, err := sched.Run(context.Background(), w, NewFixed(Bounds{2, 2, 2}), c, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,11 +328,11 @@ func (grouteForTest) Assign(_ workload.Pair, ctx *sched.Context) int {
 func TestMICCODeterminism(t *testing.T) {
 	w := mkWorkload(t, synthCfg())
 	c := mkCluster(t, 4)
-	r1, err := sched.Run(w, NewNaive(), c, sched.Options{RecordAssignments: true})
+	r1, err := sched.Run(context.Background(), w, NewNaive(), c, sched.Options{RecordAssignments: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sched.Run(w, NewNaive(), c, sched.Options{RecordAssignments: true})
+	r2, err := sched.Run(context.Background(), w, NewNaive(), c, sched.Options{RecordAssignments: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestMICCOLoadBoundInvariant(t *testing.T) {
 	n := 4
 	c := mkCluster(t, n)
 	b := Bounds{1, 2, 1}
-	res, err := sched.Run(w, NewFixed(b), c, sched.Options{RecordAssignments: true})
+	res, err := sched.Run(context.Background(), w, NewFixed(b), c, sched.Options{RecordAssignments: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestPatternCountsAndEvictionPolicyStats(t *testing.T) {
 	w := mkWorkload(t, synthCfg())
 	c := mkCluster(t, 4)
 	s := NewNaive()
-	if _, err := sched.Run(w, s, c, sched.Options{}); err != nil {
+	if _, err := sched.Run(context.Background(), w, s, c, sched.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	counts := s.PatternCounts()
@@ -421,7 +422,7 @@ func TestPatternCountsAndEvictionPolicyStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := NewNaive()
-	if _, err := sched.Run(w, s2, small, sched.Options{}); err != nil {
+	if _, err := sched.Run(context.Background(), w, s2, small, sched.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if s2.EvictionPolicyUses() == 0 {

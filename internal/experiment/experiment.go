@@ -14,8 +14,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -59,6 +61,22 @@ type Options struct {
 	// NumGPU is the device count for non-scalability experiments
 	// (default 8, the paper's node).
 	NumGPU int
+	// Parallelism bounds the worker pool that fans the independent points
+	// of a sweep (one scheduler x workload x device-count measurement)
+	// across goroutines. Each point runs on its own cluster and scheduler
+	// instance and rows are collected by point index, so rendered tables
+	// are byte-identical at any setting. 0 selects runtime.GOMAXPROCS(0);
+	// 1 runs points one at a time. Tab5 ignores it: measuring real
+	// scheduling overhead requires an unloaded host.
+	Parallelism int
+}
+
+// poolSize resolves Parallelism to the effective worker count.
+func (o Options) poolSize() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o *Options) fill() {
@@ -105,14 +123,17 @@ func (h *Harness) corpusConfig() autotune.CorpusConfig {
 	return cfg
 }
 
-// Corpus lazily builds the training corpus.
-func (h *Harness) Corpus() (*mlearn.Dataset, error) {
+// Corpus lazily builds the training corpus. The build fans corpus samples
+// across Options.Parallelism workers.
+func (h *Harness) Corpus(ctx context.Context) (*mlearn.Dataset, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.corpus != nil {
 		return h.corpus, nil
 	}
-	ds, samples, err := autotune.BuildCorpusDetailed(h.corpusConfig())
+	cfg := h.corpusConfig()
+	cfg.Parallelism = h.opts.poolSize()
+	ds, samples, err := autotune.BuildCorpusDetailed(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +144,8 @@ func (h *Harness) Corpus() (*mlearn.Dataset, error) {
 
 // CorpusSamples lazily builds the corpus and returns its per-sample
 // provenance (used by the Fig. 5 heatmap).
-func (h *Harness) CorpusSamples() ([]autotune.CorpusSample, error) {
-	if _, err := h.Corpus(); err != nil {
+func (h *Harness) CorpusSamples(ctx context.Context) ([]autotune.CorpusSample, error) {
+	if _, err := h.Corpus(ctx); err != nil {
 		return nil, err
 	}
 	h.mu.Lock()
@@ -134,14 +155,14 @@ func (h *Harness) CorpusSamples() ([]autotune.CorpusSample, error) {
 
 // Predictor lazily trains the Random Forest reuse-bound predictor
 // (MICCO-optimal's model).
-func (h *Harness) Predictor() (*autotune.Predictor, error) {
+func (h *Harness) Predictor(ctx context.Context) (*autotune.Predictor, error) {
 	h.mu.Lock()
 	if h.predictor != nil {
 		defer h.mu.Unlock()
 		return h.predictor, nil
 	}
 	h.mu.Unlock()
-	corpus, err := h.Corpus()
+	corpus, err := h.Corpus(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -195,18 +216,76 @@ func smallCluster(n int) (*gpusim.Cluster, error) {
 }
 
 // runOn executes workload w under scheduler s on cluster c.
-func runOn(w *workload.Workload, s sched.Scheduler, c *gpusim.Cluster) (*sched.Result, error) {
-	return sched.Run(w, s, c, sched.Options{})
+func runOn(ctx context.Context, w *workload.Workload, s sched.Scheduler, c *gpusim.Cluster) (*sched.Result, error) {
+	return sched.Run(ctx, w, s, c, sched.Options{})
 }
 
 // micco returns a fresh MICCO-optimal scheduler bound to the harness's
-// trained predictor.
-func (h *Harness) micco() (*core.Scheduler, error) {
-	p, err := h.Predictor()
+// trained predictor. Fresh per call: core schedulers carry per-run
+// tie-break state, so concurrent sweep points must not share one.
+func (h *Harness) micco(ctx context.Context) (*core.Scheduler, error) {
+	p, err := h.Predictor(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewOptimal(p), nil
+}
+
+// forEachPoint runs fn(i) for every index of an n-point sweep on a pool of
+// parallelism workers. Each fn must be independent of the others (own
+// cluster, own scheduler) and write its results to index-addressed slots;
+// the caller then assembles rows in point order, making output identical
+// at any parallelism. The first error in point order wins, cancelling the
+// remaining points; ctx cancellation surfaces as ctx.Err().
+func forEachPoint(ctx context.Context, parallelism, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if poolCtx.Err() != nil {
+					return
+				}
+				if err := fn(poolCtx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // IDs lists the runnable experiment identifiers in paper order.
@@ -214,39 +293,43 @@ func IDs() []string {
 	return []string{"fig5", "tab4", "fig7", "tab5", "fig8", "fig9", "fig10", "fig11", "tab6"}
 }
 
-// Run dispatches one experiment by ID.
-func (h *Harness) Run(id string) (*Table, error) {
+// RunExperiment dispatches one experiment by ID. ctx cancels the run
+// promptly, including any in-flight sweep points.
+func (h *Harness) RunExperiment(ctx context.Context, id string) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch strings.ToLower(id) {
 	case "fig5":
-		return h.Fig5()
+		return h.Fig5(ctx)
 	case "tab4":
-		return h.Tab4()
+		return h.Tab4(ctx)
 	case "fig7":
-		return h.Fig7()
+		return h.Fig7(ctx)
 	case "tab5":
-		return h.Tab5()
+		return h.Tab5(ctx)
 	case "fig8":
-		return h.Fig8()
+		return h.Fig8(ctx)
 	case "fig9":
-		return h.Fig9()
+		return h.Fig9(ctx)
 	case "fig10":
-		return h.Fig10()
+		return h.Fig10(ctx)
 	case "fig11":
-		return h.Fig11()
+		return h.Fig11(ctx)
 	case "tab6":
-		return h.Tab6()
+		return h.Tab6(ctx)
 	case "ext":
-		return h.Ext()
+		return h.Ext(ctx)
 	default:
 		return nil, fmt.Errorf("experiment: unknown id %q (have %v plus \"ext\")", id, IDs())
 	}
 }
 
 // RunAll runs every experiment in paper order.
-func (h *Harness) RunAll() ([]*Table, error) {
+func (h *Harness) RunAll(ctx context.Context) ([]*Table, error) {
 	var out []*Table
 	for _, id := range IDs() {
-		t, err := h.Run(id)
+		t, err := h.RunExperiment(ctx, id)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", id, err)
 		}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ var quickHarness = New(Options{Quick: true, Seed: 7})
 
 func runQuick(t *testing.T, id string) *Table {
 	t.Helper()
-	tab, err := quickHarness.Run(id)
+	tab, err := quickHarness.RunExperiment(context.Background(), id)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -49,7 +50,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := quickHarness.Run("fig99"); err == nil {
+	if _, err := quickHarness.RunExperiment(context.Background(), "fig99"); err == nil {
 		t.Error("unknown experiment: want error")
 	}
 }
@@ -267,7 +268,7 @@ func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
-	tabs, err := quickHarness.RunAll()
+	tabs, err := quickHarness.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/core"
@@ -15,7 +16,7 @@ import (
 // copy engine, peer-to-peer fetching, liveness-based dead-tensor discard,
 // and the hierarchical multi-node scheduler. Each row compares the
 // extension against the corresponding default on the same workload.
-func (h *Harness) Ext() (*Table, error) {
+func (h *Harness) Ext(ctx context.Context) (*Table, error) {
 	w, err := workload.Generate(h.synthConfig(64, 384, 0.5, workload.Uniform, 4000))
 	if err != nil {
 		return nil, err
@@ -40,7 +41,7 @@ func (h *Harness) Ext() (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := sched.Run(w, core.NewFixed(bounds), cluster, opts)
+		res, err := sched.Run(ctx, w, core.NewFixed(bounds), cluster, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -100,7 +101,7 @@ func (h *Harness) Ext() (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := multinode.Run(mw, mc)
+		res, err := multinode.Run(ctx, mw, mc)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/baseline"
@@ -9,14 +10,14 @@ import (
 
 // Fig10 reproduces the tensor-size study (paper Fig. 10): Groute versus
 // MICCO-optimal at tensor sizes 128-768, with vector size 64 and 50%
-// repeated rate on eight GPUs.
-func (h *Harness) Fig10() (*Table, error) {
+// repeated rate on eight GPUs. The (distribution, size) points fan across
+// the harness pool.
+func (h *Harness) Fig10(ctx context.Context) (*Table, error) {
 	dims := []int{128, 256, 384, 768}
 	if h.opts.Quick {
 		dims = []int{128, 768}
 	}
-	opt, err := h.micco()
-	if err != nil {
+	if _, err := h.Predictor(ctx); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -27,31 +28,53 @@ func (h *Harness) Fig10() (*Table, error) {
 			"paper shape: MICCO wins at every size, 1.35x to 1.92x; throughput grows with tensor size",
 		},
 	}
+	type point struct {
+		dist workload.Distribution
+		dim  int
+		seed int64
+	}
+	var points []point
 	seed := int64(1000)
 	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
 		for _, dim := range dims {
 			seed++
-			w, err := workload.Generate(h.synthConfig(64, dim, 0.5, dist, seed))
-			if err != nil {
-				return nil, err
-			}
-			cluster, err := fitCluster(w, 8)
-			if err != nil {
-				return nil, err
-			}
-			gr, err := runOn(w, baseline.NewGroute(), cluster)
-			if err != nil {
-				return nil, err
-			}
-			optRes, err := runOn(w, opt, cluster)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(dist.String(), fmt.Sprintf("%d", dim),
-				fmt.Sprintf("%.0f", gr.GFLOPS),
-				fmt.Sprintf("%.0f", optRes.GFLOPS),
-				fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS))
+			points = append(points, point{dist, dim, seed})
 		}
+	}
+	rows := make([][]string, len(points))
+	err := forEachPoint(ctx, h.opts.poolSize(), len(points), func(ctx context.Context, i int) error {
+		pt := points[i]
+		w, err := workload.Generate(h.synthConfig(64, pt.dim, 0.5, pt.dist, pt.seed))
+		if err != nil {
+			return err
+		}
+		cluster, err := fitCluster(w, 8)
+		if err != nil {
+			return err
+		}
+		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		if err != nil {
+			return err
+		}
+		opt, err := h.micco(ctx)
+		if err != nil {
+			return err
+		}
+		optRes, err := runOn(ctx, w, opt, cluster)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{pt.dist.String(), fmt.Sprintf("%d", pt.dim),
+			fmt.Sprintf("%.0f", gr.GFLOPS),
+			fmt.Sprintf("%.0f", optRes.GFLOPS),
+			fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

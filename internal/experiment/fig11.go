@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/autotune"
@@ -11,14 +12,14 @@ import (
 // Fig11 reproduces the memory-oversubscription study (paper Fig. 11):
 // Groute versus MICCO-optimal as per-device pools shrink so that the
 // working set is 125% to 200% of aggregate memory, with vector size 64,
-// tensor size 384, 50% repeated rate on eight GPUs.
-func (h *Harness) Fig11() (*Table, error) {
+// tensor size 384, 50% repeated rate on eight GPUs. The (distribution,
+// ratio) points fan across the harness pool.
+func (h *Harness) Fig11(ctx context.Context) (*Table, error) {
 	ratios := []float64{1.25, 1.5, 1.75, 2.0}
 	if h.opts.Quick {
 		ratios = []float64{1.25, 2.0}
 	}
-	opt, err := h.micco()
-	if err != nil {
+	if _, err := h.Predictor(ctx); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -30,38 +31,64 @@ func (h *Harness) Fig11() (*Table, error) {
 			"geomean 1.2x (Uniform) / 1.4x (Gaussian)",
 		},
 	}
+	type point struct {
+		dist  workload.Distribution
+		ratio float64
+		seed  int64
+	}
+	var points []point
 	seed := int64(1100)
-	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
-		var speedups []float64
+	dists := []workload.Distribution{workload.Uniform, workload.Gaussian}
+	for _, dist := range dists {
 		for _, ratio := range ratios {
 			seed++
-			w, err := workload.Generate(h.synthConfig(64, 384, 0.5, dist, seed))
-			if err != nil {
-				return nil, err
-			}
-			cluster, err := autotune.PressuredCluster(w, 8, ratio)
-			if err != nil {
-				return nil, err
-			}
-			gr, err := runOn(w, baseline.NewGroute(), cluster)
-			if err != nil {
-				return nil, err
-			}
-			grEv := gr.Total.Evictions
-			optRes, err := runOn(w, opt, cluster)
-			if err != nil {
-				return nil, err
-			}
-			sp := optRes.GFLOPS / gr.GFLOPS
-			speedups = append(speedups, sp)
-			t.AddRow(dist.String(), fmt.Sprintf("%.0f", ratio*100),
-				fmt.Sprintf("%.0f", gr.GFLOPS),
-				fmt.Sprintf("%.0f", optRes.GFLOPS),
-				fmt.Sprintf("%.2fx", sp),
-				fmt.Sprintf("%d / %d", grEv, optRes.Total.Evictions))
+			points = append(points, point{dist, ratio, seed})
 		}
+	}
+	rows := make([][]string, len(points))
+	speedups := make([]float64, len(points))
+	err := forEachPoint(ctx, h.opts.poolSize(), len(points), func(ctx context.Context, i int) error {
+		pt := points[i]
+		w, err := workload.Generate(h.synthConfig(64, 384, 0.5, pt.dist, pt.seed))
+		if err != nil {
+			return err
+		}
+		cluster, err := autotune.PressuredCluster(w, 8, pt.ratio)
+		if err != nil {
+			return err
+		}
+		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		if err != nil {
+			return err
+		}
+		grEv := gr.Total.Evictions
+		opt, err := h.micco(ctx)
+		if err != nil {
+			return err
+		}
+		optRes, err := runOn(ctx, w, opt, cluster)
+		if err != nil {
+			return err
+		}
+		sp := optRes.GFLOPS / gr.GFLOPS
+		speedups[i] = sp
+		rows[i] = []string{pt.dist.String(), fmt.Sprintf("%.0f", pt.ratio*100),
+			fmt.Sprintf("%.0f", gr.GFLOPS),
+			fmt.Sprintf("%.0f", optRes.GFLOPS),
+			fmt.Sprintf("%.2fx", sp),
+			fmt.Sprintf("%d / %d", grEv, optRes.Total.Evictions)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	for di, dist := range dists {
 		t.Notes = append(t.Notes,
-			fmt.Sprintf("%s geomean speedup (measured): %.2fx", dist, geoMean(speedups)))
+			fmt.Sprintf("%s geomean speedup (measured): %.2fx", dist,
+				geoMean(speedups[di*len(ratios):(di+1)*len(ratios)])))
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/stats"
@@ -12,8 +13,8 @@ import (
 // sweep. Bounds enter as scale-free fractions of the per-stage slack so
 // configurations of different vector sizes are comparable — the same
 // normalization the regression model is trained on.
-func (h *Harness) Fig5() (*Table, error) {
-	samples, err := h.CorpusSamples()
+func (h *Harness) Fig5(ctx context.Context) (*Table, error) {
+	samples, err := h.CorpusSamples(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/autotune"
@@ -13,7 +14,10 @@ import (
 // thirteen small reuse-bound settings on three cases — (1) vector 64 at
 // 50% repeated rate, (2) vector 16 at 25%, (3) vector 32 at 75% — at
 // tensor size 384 on eight GPUs, in both distributions.
-func (h *Harness) Fig8() (*Table, error) {
+//
+// Each (distribution, case) point sweeps its thirteen settings in order on
+// its own clusters; the points fan across the harness pool.
+func (h *Harness) Fig8(ctx context.Context) (*Table, error) {
 	cases := []struct {
 		name string
 		v    int
@@ -42,33 +46,52 @@ func (h *Harness) Fig8() (*Table, error) {
 			"paper best: 9753 GFLOPS at (0,2,0) in case 1 (a); 5869 GFLOPS at (0,2,2) in case 3 (b)",
 		},
 	}
+	type point struct {
+		dist workload.Distribution
+		name string
+		v    int
+		rate float64
+		seed int64
+	}
+	var points []point
 	seed := int64(800)
 	for _, dist := range dists {
 		for _, c := range cases {
 			seed++
-			w, err := workload.Generate(h.synthConfig(c.v, 384, c.rate, dist, seed))
-			if err != nil {
-				return nil, err
-			}
-			row := []string{dist.String(), c.name}
-			best, bestGF := core.Bounds{}, -1.0
-			for _, b := range autotune.CandidateBounds {
-				cluster, err := fitCluster(w, 8)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sched.Run(w, core.NewFixed(b), cluster, sched.Options{})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.0f", res.GFLOPS))
-				if res.GFLOPS > bestGF {
-					best, bestGF = b, res.GFLOPS
-				}
-			}
-			row = append(row, fmt.Sprintf("%s @ %.0f", best, bestGF))
-			t.AddRow(row...)
+			points = append(points, point{dist, c.name, c.v, c.rate, seed})
 		}
+	}
+	rows := make([][]string, len(points))
+	err := forEachPoint(ctx, h.opts.poolSize(), len(points), func(ctx context.Context, i int) error {
+		pt := points[i]
+		w, err := workload.Generate(h.synthConfig(pt.v, 384, pt.rate, pt.dist, pt.seed))
+		if err != nil {
+			return err
+		}
+		row := []string{pt.dist.String(), pt.name}
+		best, bestGF := core.Bounds{}, -1.0
+		for _, b := range autotune.CandidateBounds {
+			cluster, err := fitCluster(w, 8)
+			if err != nil {
+				return err
+			}
+			res, err := sched.Run(ctx, w, core.NewFixed(b), cluster, sched.Options{})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", res.GFLOPS))
+			if res.GFLOPS > bestGF {
+				best, bestGF = b, res.GFLOPS
+			}
+		}
+		rows[i] = append(row, fmt.Sprintf("%s @ %.0f", best, bestGF))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

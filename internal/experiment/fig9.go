@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/baseline"
+	"micco/internal/core"
 	"micco/internal/workload"
 )
 
@@ -11,10 +13,18 @@ import (
 // MICCO-optimal throughput as the device count grows from one to eight,
 // with vector size 64, tensor size 384, 50% repeated rate, in both
 // distributions.
-func (h *Harness) Fig9() (*Table, error) {
+//
+// The (distribution, device-count) points fan across the harness pool;
+// each takes a Predictor.WithNumGPU copy rescaled to its node size instead
+// of mutating the shared predictor.
+func (h *Harness) Fig9(ctx context.Context) (*Table, error) {
 	gpuCounts := []int{1, 2, 4, 8}
 	if h.opts.Quick {
 		gpuCounts = []int{1, 4, 8}
+	}
+	p, err := h.Predictor(ctx)
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:      "fig9",
@@ -25,44 +35,50 @@ func (h *Harness) Fig9() (*Table, error) {
 			"speedup grows with GPU count (1.18x at 2 GPUs to 1.68x at 8), up to 1.96x",
 		},
 	}
+	type point struct {
+		dist workload.Distribution
+		seed int64
+		n    int
+	}
+	var points []point
 	seed := int64(900)
 	for _, dist := range []workload.Distribution{workload.Uniform, workload.Gaussian} {
 		seed++
-		w, err := workload.Generate(h.synthConfig(64, 384, 0.5, dist, seed))
-		if err != nil {
-			return nil, err
-		}
 		for _, n := range gpuCounts {
-			cluster, err := fitCluster(w, n)
-			if err != nil {
-				return nil, err
-			}
-			gr, err := runOn(w, baseline.NewGroute(), cluster)
-			if err != nil {
-				return nil, err
-			}
-			// MICCO-optimal with the predictor rescaled to this node size.
-			p, err := h.Predictor()
-			if err != nil {
-				return nil, err
-			}
-			saved := p.NumGPU
-			p.NumGPU = n
-			opt, err := h.micco()
-			if err != nil {
-				p.NumGPU = saved
-				return nil, err
-			}
-			optRes, err := runOn(w, opt, cluster)
-			p.NumGPU = saved
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(dist.String(), fmt.Sprintf("%d", n),
-				fmt.Sprintf("%.0f", gr.GFLOPS),
-				fmt.Sprintf("%.0f", optRes.GFLOPS),
-				fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS))
+			points = append(points, point{dist, seed, n})
 		}
+	}
+	rows := make([][]string, len(points))
+	err = forEachPoint(ctx, h.opts.poolSize(), len(points), func(ctx context.Context, i int) error {
+		pt := points[i]
+		w, err := workload.Generate(h.synthConfig(64, 384, 0.5, pt.dist, pt.seed))
+		if err != nil {
+			return err
+		}
+		cluster, err := fitCluster(w, pt.n)
+		if err != nil {
+			return err
+		}
+		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		if err != nil {
+			return err
+		}
+		// MICCO-optimal with the predictor rescaled to this node size.
+		optRes, err := runOn(ctx, w, core.NewOptimal(p.WithNumGPU(pt.n)), cluster)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{pt.dist.String(), fmt.Sprintf("%d", pt.n),
+			fmt.Sprintf("%.0f", gr.GFLOPS),
+			fmt.Sprintf("%.0f", optRes.GFLOPS),
+			fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/autotune"
@@ -10,8 +11,8 @@ import (
 // Gradient Boosting and Random Forest trained on the reuse-bound corpus
 // (300 samples, 20% test split; Gradient Boosting and Random Forest use
 // 150 stages/trees with learning rate 0.1, as Section IV-C specifies).
-func (h *Harness) Tab4() (*Table, error) {
-	corpus, err := h.Corpus()
+func (h *Harness) Tab4(ctx context.Context) (*Table, error) {
+	corpus, err := h.Corpus(ctx)
 	if err != nil {
 		return nil, err
 	}

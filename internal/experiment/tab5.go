@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/workload"
@@ -11,8 +12,11 @@ import (
 // 50% repeated rate, in both distributions. As in the paper, the overhead
 // is the (real) time spent inside the scheduler while the total is the
 // workload's execution time — here, simulated time.
-func (h *Harness) Tab5() (*Table, error) {
-	opt, err := h.micco()
+// Tab5 always measures with the points serial — real scheduling overhead
+// on a host busy with sibling goroutines would not reproduce the paper's
+// quiet-machine numbers — so Options.Parallelism is ignored here.
+func (h *Harness) Tab5(ctx context.Context) (*Table, error) {
+	opt, err := h.micco(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +40,7 @@ func (h *Harness) Tab5() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runOn(w, opt, cluster)
+		res, err := runOn(ctx, w, opt, cluster)
 		if err != nil {
 			return nil, err
 		}

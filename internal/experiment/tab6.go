@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"micco/internal/baseline"
@@ -19,10 +20,9 @@ const Tab6DeviceMemory int64 = 4 << 30
 // Tab6 reproduces the real-world case study (paper Table VI): the three
 // correlation functions of the a1 and f0 systems run through the
 // Redstar-like front end on eight simulated GPUs, comparing MICCO-optimal
-// against Groute.
-func (h *Harness) Tab6() (*Table, error) {
-	opt, err := h.micco()
-	if err != nil {
+// against Groute. The three correlators fan across the harness pool.
+func (h *Harness) Tab6(ctx context.Context) (*Table, error) {
+	if _, err := h.Predictor(ctx); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -42,26 +42,32 @@ func (h *Harness) Tab6() (*Table, error) {
 			c.TimeSlices = 4
 		}
 	}
-	for _, c := range correlators {
+	rows := make([][]string, len(correlators))
+	err := forEachPoint(ctx, h.opts.poolSize(), len(correlators), func(ctx context.Context, i int) error {
+		c := correlators[i]
 		b, err := c.BuildPlan()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := gpusim.MI100(8)
 		cfg.MemoryBytes = Tab6DeviceMemory
 		cluster, err := gpusim.NewCluster(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gr, err := runOn(b.Workload, baseline.NewGroute(), cluster)
+		gr, err := runOn(ctx, b.Workload, baseline.NewGroute(), cluster)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		optRes, err := runOn(b.Workload, opt, cluster)
+		opt, err := h.micco(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(c.Name,
+		optRes, err := runOn(ctx, b.Workload, opt, cluster)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{c.Name,
 			fmt.Sprintf("%d", c.TensorDim),
 			fmt.Sprintf("%d", b.NumGraphs),
 			fmt.Sprintf("%d", len(b.Plan.Ops)),
@@ -69,7 +75,14 @@ func (h *Harness) Tab6() (*Table, error) {
 			fmt.Sprintf("%.0f", gr.GFLOPS),
 			fmt.Sprintf("%.0f", optRes.GFLOPS),
 			fmt.Sprintf("%.2fx", optRes.GFLOPS/gr.GFLOPS),
-			paper[c.Name])
+			paper[c.Name]}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -329,7 +329,7 @@ func (c *Cluster) Reset() {
 
 func (c *Cluster) device(i int) (*Device, error) {
 	if i < 0 || i >= len(c.devices) {
-		return nil, fmt.Errorf("gpusim: device %d out of range [0,%d)", i, len(c.devices))
+		return nil, fmt.Errorf("gpusim: %w: device %d out of range [0,%d)", ErrInvalidDevice, i, len(c.devices))
 	}
 	return c.devices[i], nil
 }

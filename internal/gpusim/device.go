@@ -142,14 +142,14 @@ func (d *Device) drop(b *block) {
 // them host-resident). Returns an error if the request can never fit.
 func (d *Device) evictFor(size int64, c *Cluster) error {
 	if size > d.cfg.MemoryBytes {
-		return fmt.Errorf("gpusim: tensor of %d bytes exceeds device %d capacity %d",
-			size, d.id, d.cfg.MemoryBytes)
+		return fmt.Errorf("gpusim: %w: tensor of %d bytes exceeds device %d capacity %d",
+			ErrOutOfMemory, size, d.id, d.cfg.MemoryBytes)
 	}
 	for d.memUsed+size > d.cfg.MemoryBytes {
 		victim := d.oldestUnpinned()
 		if victim == nil {
-			return fmt.Errorf("gpusim: device %d cannot evict: all %d resident tensors pinned",
-				d.id, len(d.resident))
+			return fmt.Errorf("gpusim: %w: device %d cannot evict: all %d resident tensors pinned",
+				ErrOutOfMemory, d.id, len(d.resident))
 		}
 		cost := d.cfg.EvictLatency
 		d.advanceTransferQueue(cost)

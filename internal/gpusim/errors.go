@@ -1,0 +1,19 @@
+package gpusim
+
+import "errors"
+
+// Sentinel errors. The simulator (and the sched package, which aliases
+// these) wraps them with %w so callers can branch with errors.Is instead
+// of matching message strings.
+var (
+	// ErrNilArgument marks a nil workload, scheduler, cluster or tensor
+	// argument to an entry point.
+	ErrNilArgument = errors.New("nil argument")
+	// ErrInvalidDevice marks a device index outside [0, NumDevices), or a
+	// scheduler decision naming one.
+	ErrInvalidDevice = errors.New("invalid device")
+	// ErrOutOfMemory marks an allocation that cannot be satisfied even
+	// after evicting every unpinned block: the tensor exceeds the pool, or
+	// everything resident is pinned by the executing operation.
+	ErrOutOfMemory = errors.New("out of device memory")
+)

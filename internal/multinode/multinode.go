@@ -14,6 +14,7 @@
 package multinode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -264,10 +265,13 @@ type Result struct {
 // a node per pair, missing operands are staged over the fabric, and a
 // per-node scheduler (MICCO with cfg.DeviceBounds, or Groute under
 // cfg.GrouteNodes) places the contraction on a device. Stages end with a
-// global barrier across nodes.
-func Run(w *workload.Workload, mc *Cluster) (*Result, error) {
+// global barrier across nodes. ctx cancels the run, checked at every pair.
+func Run(ctx context.Context, w *workload.Workload, mc *Cluster) (*Result, error) {
 	if w == nil || mc == nil {
-		return nil, errors.New("multinode: nil argument")
+		return nil, fmt.Errorf("multinode: %w: workload and cluster must be non-nil", sched.ErrNilArgument)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	mc.reset(w)
 	nNodes := mc.cfg.Nodes
@@ -304,6 +308,9 @@ func Run(w *workload.Workload, mc *Cluster) (*Result, error) {
 			devScheds[i].BeginStage(ctxs[i])
 		}
 		for _, p := range st.Pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			node := mc.pickNode(p, nodeLoad, nodeBalance)
 			nodeLoad[node]++
 			res.PairsPerNode[node]++

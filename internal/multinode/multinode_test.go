@@ -1,6 +1,7 @@
 package multinode
 
 import (
+	"context"
 	"testing"
 
 	"micco/internal/core"
@@ -58,7 +59,7 @@ func TestRunBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(w, mc)
+	res, err := Run(context.Background(), w, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +83,10 @@ func TestRunBasics(t *testing.T) {
 	if res.NetBytes == 0 {
 		t.Error("expected inter-node traffic")
 	}
-	if _, err := Run(nil, mc); err == nil {
+	if _, err := Run(context.Background(), nil, mc); err == nil {
 		t.Error("nil workload: want error")
 	}
-	if _, err := Run(w, nil); err == nil {
+	if _, err := Run(context.Background(), w, nil); err == nil {
 		t.Error("nil cluster: want error")
 	}
 }
@@ -96,11 +97,11 @@ func TestRunIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := Run(w, mc)
+	r1, err := Run(context.Background(), w, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(w, mc)
+	r2, err := Run(context.Background(), w, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestLocalityPolicyBeatsGrouteNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	micco, err := Run(w, reuse)
+	micco, err := Run(context.Background(), w, reuse)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestLocalityPolicyBeatsGrouteNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groute, err := Run(w, base)
+	groute, err := Run(context.Background(), w, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestNodeReuseBoundKeepsNodesBalanced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(w, mc)
+	res, err := Run(context.Background(), w, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSingleNodeMatchesIntraNodeEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := Run(w, mc)
+	multi, err := Run(context.Background(), w, mc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSingleNodeMatchesIntraNodeEngine(t *testing.T) {
 }
 
 func runIntra(w *workload.Workload, c *gpusim.Cluster, b core.Bounds) (float64, error) {
-	res, err := sched.Run(w, core.NewFixed(b), c, sched.Options{})
+	res, err := sched.Run(context.Background(), w, core.NewFixed(b), c, sched.Options{})
 	if err != nil {
 		return 0, err
 	}
@@ -217,7 +218,7 @@ func TestNetworkScalingShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(w, mc)
+		res, err := Run(context.Background(), w, mc)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package redstar
 
 import (
+	"context"
 	"math/cmplx"
 	"testing"
 
@@ -157,11 +158,11 @@ func TestSchedulersRunCorrelatorWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, err := sched.Run(b.Workload, baseline.NewGroute(), cluster, sched.Options{})
+	gr, err := sched.Run(context.Background(), b.Workload, baseline.NewGroute(), cluster, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := sched.Run(b.Workload, core.NewNaive(), cluster, sched.Options{})
+	mc, err := sched.Run(context.Background(), b.Workload, core.NewNaive(), cluster, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestBaryonCorrelatorBuildsAndRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.Run(b.Workload, core.NewNaive(), cluster, sched.Options{})
+	res, err := sched.Run(context.Background(), b.Workload, core.NewNaive(), cluster, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

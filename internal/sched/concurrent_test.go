@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"micco/internal/gpusim"
+	"micco/internal/workload"
+)
+
+// cancelOnAssign cancels a context partway through a run, from inside the
+// engine's own scheduler callback, so cancellation tests are deterministic.
+type cancelOnAssign struct {
+	inner  Scheduler
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (c *cancelOnAssign) Name() string            { return "cancel-on-assign" }
+func (c *cancelOnAssign) BeginStage(ctx *Context) { c.inner.BeginStage(ctx) }
+func (c *cancelOnAssign) Assign(p workload.Pair, ctx *Context) int {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return c.inner.Assign(p, ctx)
+}
+
+// TestConcurrentEngineMatchesSerial is the determinism contract of the
+// concurrent numeric engine: every Result field except the real wall-clock
+// SchedOverhead must be bit-identical between the serial engine
+// (Parallelism 1) and pools of several sizes.
+func TestConcurrentEngineMatchesSerial(t *testing.T) {
+	w := smallWorkload(t, 4, 8)
+	run := func(parallelism int) *Result {
+		t.Helper()
+		c := cluster(t, 3)
+		res, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{
+			Numeric:           true,
+			NumericSeed:       11,
+			Parallelism:       parallelism,
+			RecordAssignments: true,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		res.SchedOverhead = 0 // real host time, legitimately varies
+		return res
+	}
+	serial := run(1)
+	if serial.NumericFingerprint == 0 {
+		t.Fatal("serial engine produced a zero fingerprint")
+	}
+	for _, par := range []int{0, 2, 8} {
+		got := run(par)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("parallelism %d result diverges from serial:\n got %+v\nwant %+v", par, got, serial)
+		}
+	}
+}
+
+// TestConcurrentEngineChainedWorkload exercises the dependency graph: a
+// chained workload (stage outputs feed later stages) must produce the
+// serial fingerprint at every pool size.
+func TestConcurrentEngineChainedWorkload(t *testing.T) {
+	w := smallWorkload(t, 5, 6)
+	fingerprint := func(parallelism int) float64 {
+		t.Helper()
+		c := cluster(t, 2)
+		res, err := Run(context.Background(), w, &fixedScheduler{dev: 0}, c, Options{
+			Numeric: true, NumericSeed: 5, Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.NumericFingerprint
+	}
+	want := fingerprint(1)
+	for _, par := range []int{2, 4} {
+		if got := fingerprint(par); got != want {
+			t.Errorf("parallelism %d fingerprint = %v, want %v", par, got, want)
+		}
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	w := smallWorkload(t, 2, 6)
+	c := cluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, w, &spreadScheduler{}, c, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCancelledMidRun(t *testing.T) {
+	w := smallWorkload(t, 4, 8)
+	for _, par := range []int{1, 4} {
+		c := cluster(t, 2)
+		ctx, cancel := context.WithCancel(context.Background())
+		s := &cancelOnAssign{inner: &spreadScheduler{}, cancel: cancel, after: 3}
+		_, err := Run(ctx, w, s, c, Options{Numeric: true, NumericSeed: 2, Parallelism: par})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+		if s.calls >= w.NumPairs() {
+			t.Errorf("parallelism %d: engine ran all %d pairs after cancellation", par, s.calls)
+		}
+	}
+}
+
+func TestRunNilArgumentsTyped(t *testing.T) {
+	w := smallWorkload(t, 1, 4)
+	c := cluster(t, 1)
+	cases := []struct {
+		name string
+		w    *workload.Workload
+		s    Scheduler
+		c    *gpusim.Cluster
+	}{
+		{"nil workload", nil, &spreadScheduler{}, c},
+		{"nil scheduler", w, nil, c},
+		{"nil cluster", w, &spreadScheduler{}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := Run(context.Background(), tc.w, tc.s, tc.c, Options{}); !errors.Is(err, ErrNilArgument) {
+			t.Errorf("%s: err = %v, want ErrNilArgument", tc.name, err)
+		}
+	}
+}
+
+func TestRunInvalidDeviceTyped(t *testing.T) {
+	w := smallWorkload(t, 1, 4)
+	c := cluster(t, 2)
+	if _, err := Run(context.Background(), w, badScheduler{}, c, Options{}); !errors.Is(err, ErrInvalidDevice) {
+		t.Errorf("err = %v, want ErrInvalidDevice", err)
+	}
+}
+
+func TestRunOutOfMemoryTyped(t *testing.T) {
+	w := smallWorkload(t, 2, 8)
+	cfg := gpusim.MI100(1)
+	cfg.MemoryBytes = 1 << 10 // far below any single contraction
+	c, err := gpusim.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), w, &fixedScheduler{dev: 0}, c, Options{}); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestPoolSizeResolution(t *testing.T) {
+	if got := (Options{Parallelism: 3}).PoolSize(); got != 3 {
+		t.Errorf("PoolSize() = %d, want 3", got)
+	}
+	if got := (Options{}).PoolSize(); got < 1 {
+		t.Errorf("default PoolSize() = %d, want >= 1", got)
+	}
+}

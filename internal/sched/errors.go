@@ -1,0 +1,17 @@
+package sched
+
+import "micco/internal/gpusim"
+
+// The engine shares the simulator's sentinel errors so errors.Is works
+// regardless of which package name a caller imports them under.
+var (
+	// ErrNilArgument marks a nil workload, scheduler or cluster passed to
+	// Run.
+	ErrNilArgument = gpusim.ErrNilArgument
+	// ErrInvalidDevice marks a scheduler that assigned a pair to a device
+	// index outside the cluster.
+	ErrInvalidDevice = gpusim.ErrInvalidDevice
+	// ErrOutOfMemory marks a simulated allocation that cannot fit even
+	// after evicting every unpinned block.
+	ErrOutOfMemory = gpusim.ErrOutOfMemory
+)

@@ -1,64 +1,271 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"micco/internal/tensor"
 	"micco/internal/workload"
 )
 
+// numShards is the shard count of the numeric tensor store. Sharding keeps
+// lock contention negligible when many workers read operands and install
+// outputs concurrently.
+const numShards = 32
+
+// tensorShard is one RW-locked slice of the tensor store.
+type tensorShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*tensor.Tensor
+}
+
+// numericJob is one contraction of the concurrent numeric engine: the pair
+// to execute, the indices of the jobs whose outputs it must wait for, and
+// a channel closed when its own output is installed (per-tensor readiness).
+type numericJob struct {
+	pair workload.Pair
+	deps []int
+	done chan struct{}
+}
+
 // numericStore executes the contraction stream with real complex128
 // arithmetic so tests and examples can validate that scheduling decisions
 // never change numerical results.
+//
+// With a pool size of one it executes each contraction inline on the
+// engine goroutine, in workload order (the serial engine). With a larger
+// pool it precomputes the stream's dependency graph (read-after-write
+// through operand tensors, plus write-after-write and write-after-read
+// chains should a workload ever reuse an output ID) and runs the
+// contractions on a bounded worker pool: each starts as soon as its
+// operands exist, overlapping numeric work with scheduling and simulation.
+// Because every contraction reads exactly the operand versions the serial
+// order would produce, results are bit-for-bit identical at any pool size.
 type numericStore struct {
-	tensors map[uint64]*tensor.Tensor
-	workers int
+	shards  [numShards]tensorShard
+	workers int // kernel workers per contraction in serial mode
+
+	// Concurrent-mode state; jobs is nil in serial mode.
+	jobs      []*numericJob
+	parentCtx context.Context
+	runCtx    context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	errMu     sync.Mutex
+	errs      []error // indexed by job; lowest index wins
+	stopOnce  sync.Once
 }
 
-func newNumericStore(w *workload.Workload, seed int64, workers int) (*numericStore, error) {
-	rng := rand.New(rand.NewSource(seed))
-	s := &numericStore{tensors: make(map[uint64]*tensor.Tensor), workers: workers}
+func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*numericStore, error) {
+	rng := rand.New(rand.NewSource(opts.NumericSeed))
+	s := &numericStore{workers: opts.NumericWorkers}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]*tensor.Tensor)
+	}
+	// Input data is drawn sequentially from one stream so the store's
+	// contents do not depend on the pool size.
 	for _, d := range w.Inputs {
 		t, err := tensor.NewRandom(d, rng)
 		if err != nil {
 			return nil, fmt.Errorf("sched: numeric input %v: %w", d, err)
 		}
-		s.tensors[d.ID] = t
+		s.shards[shardFor(d.ID)].m[d.ID] = t
 	}
+	if opts.PoolSize() <= 1 {
+		return s, nil
+	}
+	s.buildJobs(w)
+	s.parentCtx = ctx
+	s.runCtx, s.cancel = context.WithCancel(ctx)
+	s.errs = make([]error, len(s.jobs))
+	s.start(opts.PoolSize())
 	return s, nil
 }
 
+func shardFor(id uint64) int { return int(id % numShards) }
+
+// buildJobs derives the dependency graph of the contraction stream in
+// workload order. For each pair it records the producers of its operands
+// (read-after-write) and, defensively, the previous producer and previous
+// readers of its output ID (write-after-write, write-after-read) — both
+// front ends allocate fresh output IDs, but FromStages accepts arbitrary
+// streams.
+func (s *numericStore) buildJobs(w *workload.Workload) {
+	producer := make(map[uint64]int)  // tensor ID -> job producing its current version
+	readers := make(map[uint64][]int) // tensor ID -> jobs reading its current version
+	for _, st := range w.Stages {
+		for _, p := range st.Pairs {
+			i := len(s.jobs)
+			seen := map[int]bool{}
+			var deps []int
+			addDep := func(j int) {
+				if !seen[j] {
+					seen[j] = true
+					deps = append(deps, j)
+				}
+			}
+			if j, ok := producer[p.A.ID]; ok {
+				addDep(j)
+			}
+			if j, ok := producer[p.B.ID]; ok {
+				addDep(j)
+			}
+			if j, ok := producer[p.Out.ID]; ok {
+				addDep(j)
+			}
+			for _, j := range readers[p.Out.ID] {
+				addDep(j)
+			}
+			readers[p.A.ID] = append(readers[p.A.ID], i)
+			readers[p.B.ID] = append(readers[p.B.ID], i)
+			producer[p.Out.ID] = i
+			readers[p.Out.ID] = nil
+			s.jobs = append(s.jobs, &numericJob{pair: p, deps: deps, done: make(chan struct{})})
+		}
+	}
+}
+
+// start launches the worker pool. Jobs are handed out in workload order,
+// which guarantees progress: the earliest in-flight job only depends on
+// jobs picked up before it, all of which have completed.
+func (s *numericStore) start(pool int) {
+	queue := make(chan int, len(s.jobs))
+	for i := range s.jobs {
+		queue <- i
+	}
+	close(queue)
+	if pool > len(s.jobs) {
+		pool = len(s.jobs)
+	}
+	for w := 0; w < pool; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for i := range queue {
+				s.runJob(i)
+			}
+		}()
+	}
+}
+
+// runJob waits for the job's dependencies, then contracts. Cancellation
+// (external or triggered by another job's error) bails out without
+// executing; the done channel is closed either way so waiters never hang.
+func (s *numericStore) runJob(i int) {
+	job := s.jobs[i]
+	defer close(job.done)
+	for _, d := range job.deps {
+		select {
+		case <-s.jobs[d].done:
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+	// A dependency may have closed its channel while bailing out; re-check
+	// before executing so errors do not cascade into spurious ones.
+	if s.runCtx.Err() != nil {
+		return
+	}
+	// The pool provides the parallelism; each kernel runs single-threaded.
+	if err := s.execPair(job.pair, 1); err != nil {
+		s.errMu.Lock()
+		s.errs[i] = err
+		s.errMu.Unlock()
+		s.cancel()
+	}
+}
+
+// exec validates pair p. On the serial engine it contracts inline, in
+// workload order; on the concurrent engine the pool already owns the pair
+// and exec is a no-op.
 func (s *numericStore) exec(p workload.Pair) error {
-	a, ok := s.tensors[p.A.ID]
+	if s.jobs != nil {
+		return nil
+	}
+	return s.execPair(p, s.workers)
+}
+
+// execPair reads the operands, contracts, and installs the output.
+func (s *numericStore) execPair(p workload.Pair, workers int) error {
+	a, ok := s.get(p.A.ID)
 	if !ok {
 		return fmt.Errorf("sched: numeric operand t%d missing", p.A.ID)
 	}
-	b, ok := s.tensors[p.B.ID]
+	b, ok := s.get(p.B.ID)
 	if !ok {
 		return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
 	}
-	out, err := tensor.Contract(a, b, p.Out.ID, s.workers)
+	out, err := tensor.Contract(a, b, p.Out.ID, workers)
 	if err != nil {
 		return fmt.Errorf("sched: numeric contraction: %w", err)
 	}
-	s.tensors[p.Out.ID] = out
+	s.put(p.Out.ID, out)
 	return nil
+}
+
+func (s *numericStore) get(id uint64) (*tensor.Tensor, bool) {
+	sh := &s.shards[shardFor(id)]
+	sh.mu.RLock()
+	t, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return t, ok
+}
+
+func (s *numericStore) put(id uint64, t *tensor.Tensor) {
+	sh := &s.shards[shardFor(id)]
+	sh.mu.Lock()
+	sh.m[id] = t
+	sh.mu.Unlock()
+}
+
+// finish waits for every pool job. The first error in workload order wins
+// (deterministic regardless of completion order); external cancellation
+// surfaces as the context's error.
+func (s *numericStore) finish() error {
+	if s.jobs == nil {
+		return nil
+	}
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return s.parentCtx.Err()
+}
+
+// shutdown cancels any outstanding pool work and waits for the workers to
+// exit. Idempotent; a no-op on the serial engine and after finish.
+func (s *numericStore) shutdown() {
+	if s.jobs == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+	})
 }
 
 // fingerprint sums the Frobenius norms of every stored tensor in ID order
 // (float addition is not associative, so the order must be deterministic);
 // a compact scheduler-independent checksum of the run's numerics.
 func (s *numericStore) fingerprint() float64 {
-	ids := make([]uint64, 0, len(s.tensors))
-	for id := range s.tensors {
-		ids = append(ids, id)
+	var ids []uint64
+	for i := range s.shards {
+		for id := range s.shards[i].m {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
 	for _, id := range ids {
-		sum += s.tensors[id].Norm()
+		t, _ := s.get(id)
+		sum += t.Norm()
 	}
 	return sum
 }

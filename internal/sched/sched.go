@@ -7,7 +7,9 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"micco/internal/gpusim"
@@ -90,11 +92,30 @@ type Options struct {
 	Numeric bool
 	// NumericSeed seeds the random input data in numeric mode.
 	NumericSeed int64
-	// NumericWorkers bounds kernel parallelism in numeric mode
-	// (<=0 selects GOMAXPROCS).
+	// NumericWorkers bounds kernel parallelism within one contraction in
+	// serial numeric mode (<=0 selects GOMAXPROCS). When Parallelism
+	// resolves to more than one, the pool supplies the parallelism and
+	// each contraction runs single-threaded.
 	NumericWorkers int
+	// Parallelism bounds the numeric-validation worker pool. Scheduler
+	// decisions and the timing simulation always replay sequentially (the
+	// paper's Algorithms 1-2 are order-dependent), but the real CPU
+	// contractions of numeric mode run on a dependency-aware pool that
+	// overlaps them with scheduling: a contraction starts as soon as its
+	// operand tensors exist. 0 selects runtime.GOMAXPROCS(0); 1 executes
+	// every contraction inline on the engine goroutine (the serial
+	// engine). Results are bit-for-bit identical at any setting.
+	Parallelism int
 	// RecordAssignments retains the per-pair device choices in the result.
 	RecordAssignments bool
+}
+
+// PoolSize resolves Parallelism to the effective worker count.
+func (o Options) PoolSize() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result summarizes one engine run.
@@ -121,9 +142,20 @@ type Result struct {
 
 // Run replays workload w through scheduler s on cluster c. The cluster is
 // reset first, so each Run is independent and deterministic.
-func Run(w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*Result, error) {
+//
+// Scheduler decisions and the timing simulation replay sequentially; in
+// numeric mode the real CPU contractions run on a dependency-aware worker
+// pool sized by Options.Parallelism, overlapping with scheduling. ctx
+// cancels the run: Run returns ctx.Err() promptly, checked at every pair.
+func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*Result, error) {
 	if w == nil || s == nil || c == nil {
-		return nil, fmt.Errorf("sched: nil argument")
+		return nil, fmt.Errorf("sched: %w: workload, scheduler and cluster must be non-nil", ErrNilArgument)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.Reset()
 	for _, d := range w.Inputs {
@@ -132,13 +164,16 @@ func Run(w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*R
 	var store *numericStore
 	if opts.Numeric {
 		var err error
-		store, err = newNumericStore(w, opts.NumericSeed, opts.NumericWorkers)
+		store, err = newNumericStore(ctx, w, opts)
 		if err != nil {
 			return nil, err
 		}
+		// Shut the worker pool down on every exit path so no goroutine
+		// outlives the run (idempotent; finish() on success already did).
+		defer store.shutdown()
 	}
 	n := c.NumDevices()
-	ctx := &Context{
+	sctx := &Context{
 		Cluster:   c,
 		NumGPU:    n,
 		StageLoad: make([]int, n),
@@ -148,29 +183,32 @@ func Run(w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*R
 	var overhead time.Duration
 	for si := range w.Stages {
 		st := &w.Stages[si]
-		ctx.StageIndex = si
-		ctx.BalanceNum = (st.NumTensors() + n - 1) / n
-		for i := range ctx.StageLoad {
-			ctx.StageLoad[i] = 0
+		sctx.StageIndex = si
+		sctx.BalanceNum = (st.NumTensors() + n - 1) / n
+		for i := range sctx.StageLoad {
+			sctx.StageLoad[i] = 0
 		}
-		ctx.Features = w.StageFeatures(si)
+		sctx.Features = w.StageFeatures(si)
 		t0 := time.Now()
-		s.BeginStage(ctx)
+		s.BeginStage(sctx)
 		overhead += time.Since(t0)
 		var stageAssign []int
 		for _, p := range st.Pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			t0 = time.Now()
-			dev := s.Assign(p, ctx)
+			dev := s.Assign(p, sctx)
 			overhead += time.Since(t0)
 			if dev < 0 || dev >= n {
-				return nil, fmt.Errorf("sched: %s assigned pair to invalid device %d", s.Name(), dev)
+				return nil, fmt.Errorf("sched: %w: %s assigned pair to device %d of %d", ErrInvalidDevice, s.Name(), dev, n)
 			}
 			flops, err := c.ExecContraction(dev, p.A, p.B, p.Out)
 			if err != nil {
 				return nil, fmt.Errorf("sched: stage %d: %w", si, err)
 			}
-			ctx.StageLoad[dev] += 2
-			ctx.Comp[dev] += float64(flops) / c.Config().FLOPS
+			sctx.StageLoad[dev] += 2
+			sctx.Comp[dev] += float64(flops) / c.Config().FLOPS
 			if opts.DiscardDeadInputs {
 				if p.LastUse[0] {
 					c.Discard(p.A.ID)
@@ -201,6 +239,9 @@ func Run(w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*R
 		res.PerDevice = append(res.PerDevice, c.Device(i).Stats())
 	}
 	if store != nil {
+		if err := store.finish(); err != nil {
+			return nil, err
+		}
 		res.NumericFingerprint = store.fingerprint()
 	}
 	return res, nil

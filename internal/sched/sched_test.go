@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"micco/internal/gpusim"
@@ -57,7 +58,7 @@ func cluster(t *testing.T, n int) *gpusim.Cluster {
 func TestRunBasic(t *testing.T) {
 	w := smallWorkload(t, 4, 8)
 	c := cluster(t, 2)
-	res, err := Run(w, &spreadScheduler{}, c, Options{RecordAssignments: true})
+	res, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{RecordAssignments: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRunBasic(t *testing.T) {
 func TestRunSingleDeviceSerializesWork(t *testing.T) {
 	w := smallWorkload(t, 2, 6)
 	c := cluster(t, 3)
-	all, err := Run(w, &fixedScheduler{dev: 1}, c, Options{})
+	all, err := Run(context.Background(), w, &fixedScheduler{dev: 1}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRunSingleDeviceSerializesWork(t *testing.T) {
 			t.Errorf("device %d should be idle", i)
 		}
 	}
-	spread, err := Run(w, &spreadScheduler{}, c, Options{})
+	spread, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,16 +115,16 @@ func TestRunSingleDeviceSerializesWork(t *testing.T) {
 func TestRunRejectsBadScheduler(t *testing.T) {
 	w := smallWorkload(t, 1, 2)
 	c := cluster(t, 2)
-	if _, err := Run(w, badScheduler{}, c, Options{}); err == nil {
+	if _, err := Run(context.Background(), w, badScheduler{}, c, Options{}); err == nil {
 		t.Error("invalid device assignment: want error")
 	}
-	if _, err := Run(nil, badScheduler{}, c, Options{}); err == nil {
+	if _, err := Run(context.Background(), nil, badScheduler{}, c, Options{}); err == nil {
 		t.Error("nil workload: want error")
 	}
-	if _, err := Run(w, nil, c, Options{}); err == nil {
+	if _, err := Run(context.Background(), w, nil, c, Options{}); err == nil {
 		t.Error("nil scheduler: want error")
 	}
-	if _, err := Run(w, badScheduler{}, nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), w, badScheduler{}, nil, Options{}); err == nil {
 		t.Error("nil cluster: want error")
 	}
 }
@@ -131,11 +132,11 @@ func TestRunRejectsBadScheduler(t *testing.T) {
 func TestRunIsRepeatable(t *testing.T) {
 	w := smallWorkload(t, 3, 8)
 	c := cluster(t, 2)
-	r1, err := Run(w, &spreadScheduler{}, c, Options{})
+	r1, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(w, &spreadScheduler{}, c, Options{})
+	r2, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestNumericFingerprintSchedulerIndependent(t *testing.T) {
 	w := smallWorkload(t, 2, 4)
 	c := cluster(t, 2)
 	opts := Options{Numeric: true, NumericSeed: 5}
-	r1, err := Run(w, &fixedScheduler{dev: 0}, c, opts)
+	r1, err := Run(context.Background(), w, &fixedScheduler{dev: 0}, c, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(w, &spreadScheduler{}, c, opts)
+	r2, err := Run(context.Background(), w, &spreadScheduler{}, c, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestNumericFingerprintSchedulerIndependent(t *testing.T) {
 func TestDiscardDeadInputsReducesResidency(t *testing.T) {
 	w := smallWorkload(t, 3, 8)
 	c := cluster(t, 2)
-	if _, err := Run(w, &spreadScheduler{}, c, Options{DiscardDeadInputs: true}); err != nil {
+	if _, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{DiscardDeadInputs: true}); err != nil {
 		t.Fatal(err)
 	}
 	// After the run every input marked dead must be gone from all devices.
@@ -232,7 +233,7 @@ func TestRunChainedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cluster(t, 3)
-	res, err := Run(w, &spreadScheduler{}, c, Options{})
+	res, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

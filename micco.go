@@ -26,11 +26,13 @@
 //	    Rank: micco.RankMeson, RepeatRate: 0.5, Dist: micco.Uniform,
 //	})
 //	cluster, _ := micco.NewCluster(micco.MI100(8))
-//	res, _ := micco.Run(w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+//	s, _ := micco.NewSchedulerByName("micco-naive", micco.Bounds{}, nil)
+//	res, _ := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{})
 //	fmt.Printf("%.0f GFLOPS\n", res.GFLOPS)
 package micco
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -205,17 +207,24 @@ func NewLocalityOnly() Scheduler { return baseline.NewLocalityOnly() }
 // ClassifyPair returns the local reuse pattern of p under ctx's residency.
 func ClassifyPair(p Pair, ctx *SchedContext) ReusePattern { return core.Classify(p, ctx) }
 
-// Run replays workload w through scheduler s on cluster c.
-func Run(w *Workload, s Scheduler, c *Cluster, opts RunOptions) (*Result, error) {
-	return sched.Run(w, s, c, opts)
+// Run replays workload w through scheduler s on cluster c. Scheduler
+// decisions replay sequentially; in numeric mode the real contractions run
+// on a dependency-aware worker pool sized by RunOptions.Parallelism with
+// bit-identical results at any setting. ctx cancels the run promptly.
+func Run(ctx context.Context, w *Workload, s Scheduler, c *Cluster, opts RunOptions) (*Result, error) {
+	return sched.Run(ctx, w, s, c, opts)
 }
 
 // Speedup returns r's throughput advantage over baseline.
 func Speedup(r, baseline *Result) float64 { return sched.Speedup(r, baseline) }
 
 // BuildCorpus sweeps reuse-bound settings over randomized workloads to
-// produce a training corpus (Section IV-C).
-func BuildCorpus(cfg CorpusConfig) (*TrainingCorpus, error) { return autotune.BuildCorpus(cfg) }
+// produce a training corpus (Section IV-C). Samples are labeled on a
+// CorpusConfig.Parallelism-sized worker pool; the corpus is identical at
+// any setting. ctx cancels the build promptly.
+func BuildCorpus(ctx context.Context, cfg CorpusConfig) (*TrainingCorpus, error) {
+	return autotune.BuildCorpus(ctx, cfg)
+}
 
 // TrainPredictor fits a reuse-bound model of the given kind on corpus,
 // holding out testFrac for the reported R-squared.
@@ -251,8 +260,21 @@ func Baryon(name, q1, q2, q3 string) Operator { return wick.Baryon(name, q1, q2,
 func Q(flavor string) Quark    { return wick.Q(flavor) }
 func Qbar(flavor string) Quark { return wick.Qbar(flavor) }
 
-// NewHarness returns an experiment harness.
+// NewHarness returns an experiment harness. Independent sweep points fan
+// across HarnessOptions.Parallelism workers; rendered tables are
+// byte-identical at any setting.
 func NewHarness(opts HarnessOptions) *Harness { return experiment.New(opts) }
+
+// Sentinel errors of the execution engine and simulator, for errors.Is.
+var (
+	// ErrNilArgument marks a nil workload, scheduler or cluster.
+	ErrNilArgument = sched.ErrNilArgument
+	// ErrInvalidDevice marks a device index outside the cluster.
+	ErrInvalidDevice = sched.ErrInvalidDevice
+	// ErrOutOfMemory marks a tensor that cannot fit on a device even after
+	// evicting every unpinned block.
+	ErrOutOfMemory = sched.ErrOutOfMemory
+)
 
 // ExperimentIDs lists the runnable experiments in paper order.
 func ExperimentIDs() []string { return experiment.IDs() }
@@ -324,8 +346,9 @@ func NewMultiNodeCluster(cfg MultiNodeConfig) (*MultiNodeCluster, error) {
 // RunMultiNode executes a workload hierarchically across nodes: a
 // node-level reuse-aware policy picks the node, a per-node MICCO instance
 // picks the device, and missing operands stage over the shared fabric.
-func RunMultiNode(w *Workload, mc *MultiNodeCluster) (*MultiNodeResult, error) {
-	return multinode.Run(w, mc)
+// ctx cancels the run promptly.
+func RunMultiNode(ctx context.Context, w *Workload, mc *MultiNodeCluster) (*MultiNodeResult, error) {
+	return multinode.Run(ctx, w, mc)
 }
 
 // Spectroscopy analysis types (downstream physics observables).

@@ -1,6 +1,7 @@
 package micco_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,11 +26,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groute, err := micco.Run(w, micco.NewGroute(), cluster, micco.RunOptions{})
+	groute, err := micco.Run(context.Background(), w, micco.NewGroute(), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := micco.Run(w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
+	naive, err := micco.Run(context.Background(), w, micco.NewMICCONaive(), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("MICCO-naive speedup %.2f over Groute, want > 1",
 			micco.Speedup(naive, groute))
 	}
-	fixed, err := micco.Run(w, micco.NewMICCOFixed(micco.Bounds{1, 1, 1}), cluster, micco.RunOptions{})
+	fixed, err := micco.Run(context.Background(), w, micco.NewMICCOFixed(micco.Bounds{1, 1, 1}), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Error("fixed-bounds run failed")
 	}
 	for _, s := range []micco.Scheduler{micco.NewRoundRobin(), micco.NewLocalityOnly()} {
-		if _, err := micco.Run(w, s, cluster, micco.RunOptions{}); err != nil {
+		if _, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{}); err != nil {
 			t.Errorf("%s: %v", s.Name(), err)
 		}
 	}
 }
 
 func TestPublicAPITrainAndOptimal(t *testing.T) {
-	corpus, err := micco.BuildCorpus(micco.CorpusConfig{
+	corpus, err := micco.BuildCorpus(context.Background(), micco.CorpusConfig{
 		Samples: 20, Seed: 3, NumGPU: 4, Stages: 3, Batch: 2, Replicas: 1,
 	})
 	if err != nil {
@@ -71,7 +72,7 @@ func TestPublicAPITrainAndOptimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := micco.Run(w, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
+	res, err := micco.Run(context.Background(), w, micco.NewMICCOOptimal(pred), cluster, micco.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPublicAPICorrelators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := micco.Run(b.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{}); err != nil {
+	if _, err := micco.Run(context.Background(), b.Workload, micco.NewMICCONaive(), cluster, micco.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	corr, err := b.EvaluateNumeric(1, 2)
@@ -172,7 +173,7 @@ func TestPublicAPIHarnessQuick(t *testing.T) {
 	}
 	// Smoke-run the two fastest experiments through the public API.
 	for _, id := range []string{"tab5", "fig10"} {
-		tab, err := h.Run(id)
+		tab, err := h.RunExperiment(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

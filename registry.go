@@ -1,0 +1,80 @@
+package micco
+
+import (
+	"errors"
+	"fmt"
+
+	"micco/internal/baseline"
+	"micco/internal/core"
+)
+
+// ErrUnknownScheduler marks a scheduler name absent from the registry.
+var ErrUnknownScheduler = errors.New("unknown scheduler")
+
+// schedulerEntry is one registry row: how to build the scheduler and what
+// it needs.
+type schedulerEntry struct {
+	needsPredictor bool
+	build          func(b Bounds, p BoundsPredictor) Scheduler
+}
+
+// schedulerRegistry maps every scheduler name to its constructor. The
+// command-line tools resolve their -scheduler flags here, so adding a row
+// makes a scheduler available everywhere at once.
+var schedulerRegistry = map[string]schedulerEntry{
+	"micco": {
+		build: func(b Bounds, _ BoundsPredictor) Scheduler { return core.NewFixed(b) },
+	},
+	"micco-naive": {
+		build: func(_ Bounds, _ BoundsPredictor) Scheduler { return core.NewNaive() },
+	},
+	"micco-optimal": {
+		needsPredictor: true,
+		build:          func(_ Bounds, p BoundsPredictor) Scheduler { return core.NewOptimal(p) },
+	},
+	"groute": {
+		build: func(_ Bounds, _ BoundsPredictor) Scheduler { return baseline.NewGroute() },
+	},
+	"roundrobin": {
+		build: func(_ Bounds, _ BoundsPredictor) Scheduler { return baseline.NewRoundRobin() },
+	},
+	"locality": {
+		build: func(_ Bounds, _ BoundsPredictor) Scheduler { return baseline.NewLocalityOnly() },
+	},
+}
+
+// schedulerOrder fixes the presentation order of SchedulerNames: MICCO
+// variants first, then the baselines and ablations.
+var schedulerOrder = []string{
+	"micco", "micco-naive", "micco-optimal", "groute", "roundrobin", "locality",
+}
+
+// SchedulerNames lists every registered scheduler name in presentation
+// order (MICCO variants, then baselines).
+func SchedulerNames() []string {
+	out := make([]string, len(schedulerOrder))
+	copy(out, schedulerOrder)
+	return out
+}
+
+// NewSchedulerByName builds a registered scheduler. b configures the
+// fixed-bounds "micco" scheduler (ignored by the others); p supplies the
+// trained model "micco-optimal" requires (ignored by the others, see
+// SchedulerNeedsPredictor). Unknown names return ErrUnknownScheduler;
+// "micco-optimal" with a nil predictor returns ErrNilArgument.
+func NewSchedulerByName(name string, b Bounds, p BoundsPredictor) (Scheduler, error) {
+	e, ok := schedulerRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("micco: %w %q (have %v)", ErrUnknownScheduler, name, SchedulerNames())
+	}
+	if e.needsPredictor && p == nil {
+		return nil, fmt.Errorf("micco: %w: scheduler %q requires a bounds predictor", ErrNilArgument, name)
+	}
+	return e.build(b, p), nil
+}
+
+// SchedulerNeedsPredictor reports whether the named scheduler requires a
+// trained bounds predictor (false for unknown names).
+func SchedulerNeedsPredictor(name string) bool {
+	return schedulerRegistry[name].needsPredictor
+}
