@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench benchsmoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet test race
+check: vet test race benchsmoke
 
+# benchsmoke compiles and runs every benchmark once, so check catches
+# bit-rot in benchmark code without paying for real measurements.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench measures the contraction-kernel component benchmarks with
+# allocation stats and records them as BENCH_kernel.json (via
+# cmd/benchjson, which tees the raw output through).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -run '^$$' -bench 'ContractionKernel' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json

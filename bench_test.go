@@ -208,6 +208,32 @@ func BenchmarkContractionKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkContractionKernelInto measures the pooled contraction path:
+// same workload as BenchmarkContractionKernel, but writing into a reused
+// destination, so steady state performs no allocation beyond the pack
+// pool's amortized buffers (expect allocs/op <= 2).
+func BenchmarkContractionKernelInto(b *testing.B) {
+	x, err := micco.NewRandomTensor(micco.TensorDesc{ID: 1, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := micco.NewRandomTensor(micco.TensorDesc{ID: 2, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := &micco.Tensor{}
+	if err := micco.ContractInto(dst, x, y, 3, 0); err != nil { // warm dst + pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := micco.ContractInto(dst, x, y, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWickExpansion measures the Wick-contraction front end compiling
 // the bundled al_rhopi correlator into a staged plan.
 func BenchmarkWickExpansion(b *testing.B) {

@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// JSON metrics file while teeing the raw text through unchanged, so it
+// can sit in a pipeline:
+//
+//	go test -bench Contraction -benchmem -run '^$' . | benchjson -o BENCH_kernel.json
+//
+// The JSON document maps each benchmark name (GOMAXPROCS suffix stripped)
+// to its metrics: ns/op, and when present B/op, allocs/op, and any custom
+// b.ReportMetric units.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "JSON output file (default stdout, after the teed text)")
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run tees bench output from in to tee and writes the parsed metrics as
+// JSON to outPath (or to tee when outPath is empty).
+func run(in io.Reader, tee io.Writer, outPath string) error {
+	metrics := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(tee, line)
+		if m, name := parseLine(line); m != nil {
+			metrics[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(metrics) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+	doc, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath == "" {
+		_, err = tee.Write(doc)
+		return err
+	}
+	return os.WriteFile(outPath, doc, 0o644)
+}
+
+// parseLine extracts the metrics from one benchmark result line, e.g.
+//
+//	BenchmarkContractionKernel-4   100   14204604 ns/op   5 allocs/op
+//
+// returning nil for non-result lines.
+func parseLine(line string) (map[string]float64, string) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return nil, ""
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return nil, "" // second field must be the iteration count
+	}
+	m := make(map[string]float64)
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, ""
+		}
+		m[f[i+1]] = v
+	}
+	if _, ok := m["ns/op"]; !ok {
+		return nil, ""
+	}
+	return m, stripProcs(f[0])
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix Go appends to
+// benchmark names, keeping sub-benchmark paths intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: micco
+cpu: some CPU
+BenchmarkContractionKernel-4        	     100	  14204604 ns/op	 1048600 B/op	       5 allocs/op
+BenchmarkContractionKernelInto-4    	     355	   3356826 ns/op	      96 B/op	       2 allocs/op
+BenchmarkAblationPeerFetch/PeerFetch-4 	      12	  98765432 ns/op	       421.5 simGFLOPS
+PASS
+ok  	micco	4.2s
+`
+
+func TestRunParsesAndTees(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var tee strings.Builder
+	if err := run(strings.NewReader(sample), &tee, out); err != nil {
+		t.Fatal(err)
+	}
+	if tee.String() != sample {
+		t.Error("teed output does not match input")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	k := doc["BenchmarkContractionKernel"]
+	if k["ns/op"] != 14204604 || k["allocs/op"] != 5 || k["B/op"] != 1048600 {
+		t.Errorf("kernel metrics = %v", k)
+	}
+	if doc["BenchmarkContractionKernelInto"]["allocs/op"] != 2 {
+		t.Errorf("into metrics = %v", doc["BenchmarkContractionKernelInto"])
+	}
+	sub := doc["BenchmarkAblationPeerFetch/PeerFetch"]
+	if sub["simGFLOPS"] != 421.5 {
+		t.Errorf("custom metric = %v", sub)
+	}
+}
+
+func TestRunJSONToStdout(t *testing.T) {
+	var tee strings.Builder
+	if err := run(strings.NewReader(sample), &tee, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON document follows the teed text.
+	rest := strings.TrimPrefix(tee.String(), sample)
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal([]byte(rest), &doc); err != nil {
+		t.Fatalf("stdout JSON invalid: %v", err)
+	}
+	if len(doc) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(doc))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var tee strings.Builder
+	if err := run(strings.NewReader("no benchmarks here\n"), &tee, ""); err == nil {
+		t.Error("input without results: want error")
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"BenchmarkBroken-4 notanumber 12 ns/op",
+		"BenchmarkNoNs-4 100 12 B/op",
+		"goos: linux",
+	} {
+		if m, _ := parseLine(line); m != nil {
+			t.Errorf("parseLine(%q) = %v, want nil", line, m)
+		}
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX":            "BenchmarkX",
+		"BenchmarkX/sub-case-4": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-case":   "BenchmarkX/sub-case",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

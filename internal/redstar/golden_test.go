@@ -1,0 +1,38 @@
+package redstar
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvaluateNumericGolden pins the full correlator pipeline bit for bit:
+// Wick expansion, plan compilation, the split-complex contraction kernel,
+// and the arena-recycled evaluation loop. The hex-float constants were
+// captured before ContractInto and buffer recycling existed; any drift
+// means the determinism contract broke somewhere in the stack.
+func TestEvaluateNumericGolden(t *testing.T) {
+	c := tiny()
+	c.TimeSlices = 2
+	b, err := c.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]complex128{
+		1: complex(0x1.dffb47cf91a08p+08, 0x1.c17ce9e38b334p+05),
+		2: complex(-0x1.1dbdb001f6d76p+09, 0x1.bb347f864e8b9p+07),
+	}
+	for _, workers := range []int{1, 2, 8} {
+		corr, err := b.EvaluateNumeric(7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts, w := range want {
+			got := corr[ts]
+			if math.Float64bits(real(got)) != math.Float64bits(real(w)) ||
+				math.Float64bits(imag(got)) != math.Float64bits(imag(w)) {
+				t.Errorf("workers=%d t=%d: correlator = (%x, %x), want (%x, %x)",
+					workers, ts, real(got), imag(got), real(w), imag(w))
+			}
+		}
+	}
+}

@@ -179,6 +179,14 @@ func (c *Correlator) BuildPlan() (*Build, error) {
 // (random hadron blocks from seed) and returns the correlator value per
 // sink time: the sum over that time's graphs of the traced final tensors.
 // Intended for examples and validation on small correlators.
+//
+// Evaluation streams through tensor.ContractInto with a free-list arena:
+// every tensor's storage is recycled as soon as its last reader has run
+// (liveness is exact, counted over the op stream, with each final pinned
+// until its trace is taken), so peak memory is bounded by the live working
+// set rather than the full plan. Recycling does not perturb numerics: the
+// kernel overwrites every destination element, so the returned correlator
+// values are bit-identical to an evaluation that keeps everything.
 func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, error) {
 	rng := rand.New(rand.NewSource(seed))
 	store := make(map[uint64]*tensor.Tensor, len(b.Plan.Inputs))
@@ -189,6 +197,38 @@ func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, er
 		}
 		store[d.ID] = t
 	}
+	// Exact read counts: operand uses in the op stream, plus one per final
+	// for the trace. BuildPlan guarantees unique outputs, so a count
+	// reaching zero really is the tensor's last use.
+	reads := make(map[uint64]int, len(b.Plan.Ops))
+	for _, op := range b.Plan.Ops {
+		reads[op.A.ID]++
+		reads[op.B.ID]++
+	}
+	for _, finals := range b.FinalsByTime {
+		for _, fd := range finals {
+			reads[fd.ID]++
+		}
+	}
+	// Free list keyed by capacity; dead buffers feed later ContractInto
+	// destinations of the same size.
+	free := make(map[int][][]complex128)
+	release := func(id uint64) {
+		n, ok := reads[id]
+		if !ok {
+			return
+		}
+		n--
+		reads[id] = n
+		if n > 0 {
+			return
+		}
+		if t := store[id]; t != nil && t.Data != nil {
+			c := cap(t.Data)
+			free[c] = append(free[c], t.Data[:0])
+		}
+		delete(store, id)
+	}
 	for _, op := range b.Plan.Ops {
 		a, ok := store[op.A.ID]
 		if !ok {
@@ -198,11 +238,17 @@ func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, er
 		if !ok {
 			return nil, fmt.Errorf("redstar: operand t%d missing", op.B.ID)
 		}
-		out, err := tensor.Contract(a, bb, op.Out.ID, workers)
-		if err != nil {
+		out := &tensor.Tensor{}
+		if l := free[int(op.Out.Elems())]; len(l) > 0 {
+			out.Data = l[len(l)-1]
+			free[int(op.Out.Elems())] = l[:len(l)-1]
+		}
+		if err := tensor.ContractInto(out, a, bb, op.Out.ID, workers); err != nil {
 			return nil, err
 		}
 		store[op.Out.ID] = out
+		release(op.A.ID)
+		release(op.B.ID)
 	}
 	corr := make(map[int]complex128, len(b.FinalsByTime))
 	times := make([]int, 0, len(b.FinalsByTime))
@@ -222,6 +268,7 @@ func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, er
 				return nil, err
 			}
 			sum += tr
+			release(fd.ID)
 		}
 		corr[t] = sum
 	}

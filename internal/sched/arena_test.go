@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+// goldenWorkloads are the seeded workloads whose numeric fingerprints are
+// pinned below. The hex-float constants were captured from the engine
+// before the split-complex kernel and the arena existed; the kernel
+// rewrite preserves each output element's accumulation order, so these
+// must never drift — at any pool size, with reclamation on or off.
+var goldenWorkloads = []struct {
+	name string
+	cfg  workload.Config
+	fp   float64
+}{
+	{
+		name: "meson",
+		cfg:  workload.Config{Seed: 7, Stages: 4, VectorSize: 8, TensorDim: 24, Batch: 2, Rank: tensor.RankMeson, RepeatRate: 0.5, Dist: workload.Uniform},
+		fp:   0x1.263b87d228974p+12, // 4707.720659407194
+	},
+	{
+		name: "baryon",
+		cfg:  workload.Config{Seed: 9, Stages: 3, VectorSize: 6, TensorDim: 7, Batch: 2, Rank: tensor.RankBaryon, RepeatRate: 0.4, Dist: workload.Gaussian},
+		fp:   0x1.667ad2ec208bap+10, // 1433.9191236799074
+	},
+}
+
+// TestNumericFingerprintGolden pins the engine's numerics bit for bit:
+// pool sizes 1 and 8, reclamation off and on, against pre-kernel-rewrite
+// captures.
+func TestNumericFingerprintGolden(t *testing.T) {
+	for _, g := range goldenWorkloads {
+		w, err := workload.Generate(g.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 8} {
+			for _, reclaim := range []bool{false, true} {
+				c := cluster(t, 2)
+				res, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{
+					Numeric: true, NumericSeed: 13, Parallelism: par, NumericReclaim: reclaim,
+				})
+				if err != nil {
+					t.Fatalf("%s par=%d reclaim=%v: %v", g.name, par, reclaim, err)
+				}
+				if got := res.NumericFingerprint; math.Float64bits(got) != math.Float64bits(g.fp) {
+					t.Errorf("%s par=%d reclaim=%v: fingerprint = %.17g (%x), want %.17g (%x)",
+						g.name, par, reclaim, got, got, g.fp, g.fp)
+				}
+			}
+		}
+	}
+}
+
+// TestNumericReclaimMatchesKeep sweeps random chained workloads: the
+// fingerprint with reclamation must equal the keep-everything fingerprint
+// at every pool size.
+func TestNumericReclaimMatchesKeep(t *testing.T) {
+	for _, stages := range []int{1, 5} {
+		w := smallWorkload(t, stages, 8)
+		fp := func(par int, reclaim bool) float64 {
+			t.Helper()
+			c := cluster(t, 3)
+			res, err := Run(context.Background(), w, &spreadScheduler{}, c, Options{
+				Numeric: true, NumericSeed: 3, Parallelism: par, NumericReclaim: reclaim,
+			})
+			if err != nil {
+				t.Fatalf("stages=%d par=%d reclaim=%v: %v", stages, par, reclaim, err)
+			}
+			return res.NumericFingerprint
+		}
+		want := fp(1, false)
+		for _, par := range []int{1, 4, 8} {
+			if got := fp(par, true); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("stages=%d par=%d: reclaim fingerprint %x, want %x", stages, par, got, want)
+			}
+		}
+	}
+}
+
+// TestNumericReclaimFreesDeadTensors asserts the arena actually reclaims:
+// after a chained run with reclamation, the store must hold strictly fewer
+// resident tensors than the total the stream produced.
+func TestNumericReclaimFreesDeadTensors(t *testing.T) {
+	w := smallWorkload(t, 5, 8)
+	ctx := context.Background()
+	s, err := newNumericStore(ctx, w, Options{Numeric: true, NumericSeed: 3, Parallelism: 1, NumericReclaim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range w.Stages {
+		for _, p := range st.Pairs {
+			if err := s.exec(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resident := 0
+	for i := range s.shards {
+		resident += len(s.shards[i].m)
+	}
+	if len(s.norms) == 0 {
+		t.Fatal("reclamation never fired on a chained workload")
+	}
+	total := resident + len(s.norms)
+	if resident >= total {
+		t.Errorf("resident = %d of %d tensors; want strictly fewer", resident, total)
+	}
+	t.Logf("resident %d / produced+inputs %d (reclaimed %d)", resident, total, len(s.norms))
+}
+
+// TestBuildLivenessExclusions: IDs written twice, or used as both input
+// and output, must not be tracked for reclamation. FromStages rejects
+// such streams outright, so the workload is assembled by hand — the same
+// defensive stance buildJobs takes for its write-after-write chains.
+func TestBuildLivenessExclusions(t *testing.T) {
+	d := func(id uint64) tensor.Desc { return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 4, Batch: 1} }
+	w := &workload.Workload{
+		Name:   "waw",
+		Inputs: []tensor.Desc{d(1), d(2)},
+		Stages: []workload.Stage{
+			{Index: 0, Pairs: []workload.Pair{{A: d(1), B: d(2), Out: d(10)}}},
+			{Index: 1, Pairs: []workload.Pair{{A: d(10), B: d(2), Out: d(10)}}}, // rewrites 10
+			{Index: 2, Pairs: []workload.Pair{{A: d(10), B: d(1), Out: d(1)}}},  // output collides with input 1
+		},
+	}
+	m := buildLiveness(w)
+	if _, ok := m[10]; ok {
+		t.Error("ID 10 written twice: must be excluded from reclamation")
+	}
+	if _, ok := m[1]; ok {
+		t.Error("ID 1 is both input and output: must be excluded from reclamation")
+	}
+	if rl, ok := m[2]; !ok || rl.Load() != 2 {
+		t.Errorf("ID 2: want tracked with 2 reads, got %v", m[2])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"micco/internal/tensor"
 	"micco/internal/workload"
@@ -48,6 +49,19 @@ type numericStore struct {
 	shards  [numShards]tensorShard
 	workers int // kernel workers per contraction in serial mode
 
+	// Dead-tensor reclamation state (Options.NumericReclaim). readsLeft
+	// counts, per tensor ID, the operand reads the stream has yet to
+	// perform; a tensor whose count hits zero is dead — no later
+	// contraction can observe it — so its Frobenius norm is cached for the
+	// fingerprint and its buffer is recycled through the arena. IDs whose
+	// liveness is ambiguous (written more than once, or both input and
+	// output) are simply absent from the map and never reclaimed.
+	reclaim   bool
+	readsLeft map[uint64]*atomic.Int64
+	arena     bufArena
+	normMu    sync.Mutex
+	norms     map[uint64]float64 // final norms of reclaimed tensors
+
 	// Concurrent-mode state; jobs is nil in serial mode.
 	jobs      []*numericJob
 	parentCtx context.Context
@@ -57,6 +71,39 @@ type numericStore struct {
 	errMu     sync.Mutex
 	errs      []error // indexed by job; lowest index wins
 	stopOnce  sync.Once
+}
+
+// bufArena is a free list of dead tensors' storage, keyed by capacity.
+// Contractions draw their output buffers from it, so a steady-state
+// numeric run holds only the live working set instead of every tensor the
+// stream ever produced.
+type bufArena struct {
+	mu   sync.Mutex
+	free map[int][][]complex128
+}
+
+// get pops a recycled buffer of exactly the given capacity, or returns
+// nil (the kernel then allocates fresh storage).
+func (a *bufArena) get(elems int) []complex128 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l := a.free[elems]
+	if len(l) == 0 {
+		return nil
+	}
+	buf := l[len(l)-1]
+	a.free[elems] = l[:len(l)-1]
+	return buf
+}
+
+// put recycles a dead tensor's storage.
+func (a *bufArena) put(buf []complex128) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free[cap(buf)] = append(a.free[cap(buf)], buf)
+	a.mu.Unlock()
 }
 
 func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*numericStore, error) {
@@ -73,6 +120,18 @@ func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*
 			return nil, fmt.Errorf("sched: numeric input %v: %w", d, err)
 		}
 		s.shards[shardFor(d.ID)].m[d.ID] = t
+	}
+	if opts.NumericReclaim {
+		s.reclaim = true
+		s.readsLeft = buildLiveness(w)
+		s.arena.free = make(map[int][][]complex128)
+		s.norms = make(map[uint64]float64)
+		// Inputs the stream never reads are dead on arrival.
+		for _, d := range w.Inputs {
+			if rl, ok := s.readsLeft[d.ID]; ok && rl.Load() == 0 {
+				s.reclaimTensor(d.ID)
+			}
+		}
 	}
 	if opts.PoolSize() <= 1 {
 		return s, nil
@@ -188,7 +247,10 @@ func (s *numericStore) exec(p workload.Pair) error {
 	return s.execPair(p, s.workers)
 }
 
-// execPair reads the operands, contracts, and installs the output.
+// execPair reads the operands, contracts, and installs the output. With
+// reclamation on, the output buffer is drawn from the arena and the
+// operands' remaining-read counts are settled once the contraction has
+// finished reading them — the last reader frees a tensor's storage.
 func (s *numericStore) execPair(p workload.Pair, workers int) error {
 	a, ok := s.get(p.A.ID)
 	if !ok {
@@ -198,12 +260,105 @@ func (s *numericStore) execPair(p workload.Pair, workers int) error {
 	if !ok {
 		return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
 	}
-	out, err := tensor.Contract(a, b, p.Out.ID, workers)
-	if err != nil {
+	if !s.reclaim {
+		out, err := tensor.Contract(a, b, p.Out.ID, workers)
+		if err != nil {
+			return fmt.Errorf("sched: numeric contraction: %w", err)
+		}
+		s.put(p.Out.ID, out)
+		return nil
+	}
+	out := &tensor.Tensor{Data: s.arena.get(int(p.Out.Elems()))}
+	if err := tensor.ContractInto(out, a, b, p.Out.ID, workers); err != nil {
 		return fmt.Errorf("sched: numeric contraction: %w", err)
 	}
 	s.put(p.Out.ID, out)
+	s.release(p.A.ID)
+	s.release(p.B.ID)
+	// An output no later pair reads is dead the moment it is produced:
+	// fold its norm into the fingerprint cache and recycle it right away.
+	if rl, ok := s.readsLeft[p.Out.ID]; ok && rl.Load() == 0 {
+		s.reclaimTensor(p.Out.ID)
+	}
 	return nil
+}
+
+// buildLiveness counts, per tensor ID, how many operand reads the stream
+// performs. IDs produced more than once or used both as workload input and
+// contraction output (only possible through hand-built FromStages streams)
+// are excluded: their per-version liveness is ambiguous, so they are kept
+// resident forever, exactly as without reclamation.
+func buildLiveness(w *workload.Workload) map[uint64]*atomic.Int64 {
+	reads := make(map[uint64]int)
+	produced := make(map[uint64]int)
+	isInput := make(map[uint64]bool, len(w.Inputs))
+	for _, d := range w.Inputs {
+		isInput[d.ID] = true
+	}
+	for _, st := range w.Stages {
+		for _, p := range st.Pairs {
+			reads[p.A.ID]++
+			reads[p.B.ID]++
+			produced[p.Out.ID]++
+		}
+	}
+	m := make(map[uint64]*atomic.Int64, len(reads)+len(w.Inputs))
+	track := func(id uint64) {
+		if _, ok := m[id]; ok {
+			return
+		}
+		if produced[id] > 1 || (produced[id] > 0 && isInput[id]) {
+			return
+		}
+		c := new(atomic.Int64)
+		c.Store(int64(reads[id]))
+		m[id] = c
+	}
+	for _, d := range w.Inputs {
+		track(d.ID)
+	}
+	for _, st := range w.Stages {
+		for _, p := range st.Pairs {
+			track(p.Out.ID)
+		}
+	}
+	return m
+}
+
+// release settles one operand read of tensor id; the reader that drops
+// the count to zero reclaims the tensor. Counts are exact (every future
+// reader is accounted for up front), so a reclaimed tensor can never be
+// observed again.
+func (s *numericStore) release(id uint64) {
+	rl, ok := s.readsLeft[id]
+	if !ok {
+		return // liveness ambiguous; keep resident
+	}
+	if rl.Add(-1) == 0 {
+		s.reclaimTensor(id)
+	}
+}
+
+// reclaimTensor removes a dead tensor from the store, caches its
+// Frobenius norm for the fingerprint (computed over identical data, so the
+// fingerprint stays bit-identical to a run without reclamation), and
+// recycles its storage through the arena.
+func (s *numericStore) reclaimTensor(id uint64) {
+	sh := &s.shards[shardFor(id)]
+	sh.mu.Lock()
+	t, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	norm := t.Norm()
+	s.normMu.Lock()
+	s.norms[id] = norm
+	s.normMu.Unlock()
+	s.arena.put(t.Data)
 }
 
 func (s *numericStore) get(id uint64) (*tensor.Tensor, bool) {
@@ -251,21 +406,31 @@ func (s *numericStore) shutdown() {
 	})
 }
 
-// fingerprint sums the Frobenius norms of every stored tensor in ID order
-// (float addition is not associative, so the order must be deterministic);
-// a compact scheduler-independent checksum of the run's numerics.
+// fingerprint sums the Frobenius norms of every tensor the run produced,
+// in ID order (float addition is not associative, so the order must be
+// deterministic); a compact scheduler-independent checksum of the run's
+// numerics. Tensors reclaimed by the arena contribute their cached norm —
+// computed over the same data at reclamation time — so the fingerprint is
+// bit-identical with reclamation on or off, at any pool size.
 func (s *numericStore) fingerprint() float64 {
 	var ids []uint64
+	norms := make(map[uint64]float64)
 	for i := range s.shards {
-		for id := range s.shards[i].m {
+		for id, t := range s.shards[i].m {
 			ids = append(ids, id)
+			norms[id] = t.Norm()
 		}
 	}
+	s.normMu.Lock()
+	for id, n := range s.norms {
+		ids = append(ids, id)
+		norms[id] = n
+	}
+	s.normMu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
 	for _, id := range ids {
-		t, _ := s.get(id)
-		sum += t.Norm()
+		sum += norms[id]
 	}
 	return sum
 }

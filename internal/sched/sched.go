@@ -97,6 +97,15 @@ type Options struct {
 	// resolves to more than one, the pool supplies the parallelism and
 	// each contraction runs single-threaded.
 	NumericWorkers int
+	// NumericReclaim frees each numeric tensor's storage after its last
+	// reader completes (liveness is exact, derived from the workload's
+	// read counts, mirroring the simulator's DiscardDeadInputs policy) and
+	// recycles the buffers through an arena feeding tensor.ContractInto,
+	// so steady-state numeric execution is allocation-free and memory is
+	// bounded by the live working set. Result.NumericFingerprint is
+	// bit-identical with reclamation on or off, at any pool size. Off by
+	// default: the store then keeps every tensor resident.
+	NumericReclaim bool
 	// Parallelism bounds the numeric-validation worker pool. Scheduler
 	// decisions and the timing simulation always replay sequentially (the
 	// paper's Algorithms 1-2 are order-dependent), but the real CPU

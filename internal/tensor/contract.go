@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// blockDim is the cache-blocking factor for the inner matrix-multiply
-// kernels. 48 complex128 rows/cols per block keeps three blocks well inside
+// blockDim is the cache-blocking factor of the interleaved-complex fallback
+// kernel. 48 complex128 rows/cols per block keeps three blocks well inside
 // a 256 KiB L2 slice.
 const blockDim = 48
 
@@ -19,63 +20,117 @@ const blockDim = 48
 //
 // Work is parallelized across workers goroutines (<=0 selects GOMAXPROCS).
 func Contract(a, b *Tensor, outID uint64, workers int) (*Tensor, error) {
+	out := &Tensor{}
+	if err := ContractInto(out, a, b, outID, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContractInto is Contract writing into caller-owned storage: dst.Data is
+// reused when its capacity suffices (its previous contents are ignored and
+// fully overwritten) and reallocated otherwise, and dst.Desc is set to the
+// output description with identity outID. A dst recycled from an arena may
+// arrive dirty or resliced; neither affects the result. dst may alias a or
+// b (each operand block is packed into split-complex panels before any
+// output element of that block is written).
+//
+// Steady-state ContractInto calls with a right-sized dst allocate nothing:
+// pack panels come from an internal sync.Pool, and single-worker calls run
+// inline on the caller's goroutine.
+func ContractInto(dst *Tensor, a, b *Tensor, outID uint64, workers int) error {
+	if dst == nil {
+		return fmt.Errorf("tensor: ContractInto with nil destination")
+	}
 	od, err := ContractOut(a.Desc, b.Desc, outID)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(a.Data) == 0 || len(b.Data) == 0 {
-		return nil, fmt.Errorf("tensor: contract on metadata-only tensor %v", a.Desc)
+		return fmt.Errorf("tensor: contract on metadata-only tensor %v", a.Desc)
 	}
-	out, err := New(od)
-	if err != nil {
-		return nil, err
+	elems := int(od.Elems())
+	if cap(dst.Data) >= elems {
+		dst.Data = dst.Data[:elems]
+	} else {
+		dst.Data = make([]complex128, elems)
 	}
+	dst.Desc = od
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	switch a.Rank {
 	case RankMeson:
-		batchedMatMul(out.Data, a.Data, b.Data, a.Batch, a.Dim, workers)
+		batchedMatMul(dst.Data, a.Data, b.Data, a.Batch, a.Dim, workers)
 	case RankBaryon:
 		// A rank-3 contraction is Batch*Dim independent DxD products, so
 		// reuse the batched kernel with an expanded batch count.
-		batchedMatMul(out.Data, a.Data, b.Data, a.Batch*a.Dim, a.Dim, workers)
+		batchedMatMul(dst.Data, a.Data, b.Data, a.Batch*a.Dim, a.Dim, workers)
 	default:
-		return nil, fmt.Errorf("tensor: unsupported rank %d", a.Rank)
+		return fmt.Errorf("tensor: unsupported rank %d", a.Rank)
 	}
-	return out, nil
+	return nil
 }
 
-// batchedMatMul computes dst[g] = a[g] * b[g] for g in [0, batch), where each
-// slot is an n x n complex matrix. dst must be zero-filled on entry.
+// batchedMatMul computes dst[g] = a[g] * b[g] for g in [0, batch), where
+// each slot is an n x n complex matrix. dst contents on entry are ignored.
+// Group indices are handed out through a shared atomic counter so the
+// fan-out costs nothing per group; a single worker runs inline on the
+// caller's goroutine with no synchronization at all.
 func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
 	if workers > batch {
 		workers = batch
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		buf := getPackBuf(n)
+		for g := 0; g < batch; g++ {
+			off := g * n * n
+			matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf)
+		}
+		putPackBuf(buf)
+		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, batch)
-	for g := 0; g < batch; g++ {
-		next <- g
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for g := range next {
+			buf := getPackBuf(n)
+			defer putPackBuf(buf)
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= batch {
+					return
+				}
 				off := g * n * n
-				matMulBlocked(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n)
+				matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// matMulGroup multiplies one n x n group, routing to the split-complex
+// packed kernel for all but tiny dimensions (where packing overhead would
+// dominate the O(n^3) work).
+func matMulGroup(dst, a, b []complex128, n int, buf *packBuf) {
+	if n < soaMinDim || forceFallbackKernel {
+		for i := range dst {
+			dst[i] = 0
+		}
+		matMulBlocked(dst, a, b, n)
+		return
+	}
+	contractGroupSoA(dst, a, b, n, buf)
+}
+
 // matMulBlocked computes dst += a*b for n x n row-major complex matrices
-// using register-friendly ikj ordering with cache blocking.
+// using register-friendly ikj ordering with cache blocking: the
+// interleaved-complex fallback kernel for dimensions too small to amortize
+// packing. dst must be zero-filled on entry. The accumulation order for
+// each output element is k ascending, the same order the packed kernel
+// uses, so both paths produce bit-identical results.
 func matMulBlocked(dst, a, b []complex128, n int) {
 	for ii := 0; ii < n; ii += blockDim {
 		iMax := min(ii+blockDim, n)
@@ -88,9 +143,6 @@ func matMulBlocked(dst, a, b []complex128, n int) {
 					drow := dst[i*n : i*n+n]
 					for k := kk; k < kMax; k++ {
 						aik := arow[k]
-						if aik == 0 {
-							continue
-						}
 						brow := b[k*n : k*n+n]
 						for j := jj; j < jMax; j++ {
 							drow[j] += aik * brow[j]
@@ -100,11 +152,4 @@ func matMulBlocked(dst, a, b []complex128, n int) {
 			}
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

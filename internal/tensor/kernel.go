@@ -1,0 +1,90 @@
+package tensor
+
+// The split-complex packed contraction kernel.
+//
+// One n x n group product C = A*B is computed in three steps: the whole B
+// block is unpacked into separate real/imaginary float64 panels (row-major,
+// so row k is unit-stride in j), then for each output row i the matching A
+// row is unpacked and a register-blocked micro-kernel sweeps k in ascending
+// order, vectorizing across output columns j; finally the finished split
+// row is repacked into interleaved complex128 output. Splitting re/im into
+// separate panels turns every complex multiply-add into four independent
+// float64 multiply streams with unit stride, which the AVX2 micro-kernel
+// executes 4 columns per instruction and the scalar fallback executes with
+// no interleaved loads or shuffles.
+//
+// Determinism: for every output element (i,j) the products a[i,k]*b[k,j]
+// are accumulated one at a time in ascending k order, each product rounded
+// exactly as the scalar expression ar*br - ai*bi / ar*bi + ai*br (the AVX2
+// path uses only VMULPD/VADDPD/VSUBPD — never FMA — so per-lane rounding is
+// identical to scalar IEEE arithmetic). Vectorization distributes output
+// columns across lanes without reordering any element's accumulation chain,
+// so results are bit-identical to the interleaved fallback kernel and
+// invariant under the worker count and the chosen code path. Keep it that
+// way: the numeric engine's fingerprints rely on it.
+
+// soaMinDim is the smallest dimension routed to the packed kernel; below
+// it the O(n^2) packing cost is not amortized by the O(n^3) arithmetic.
+const soaMinDim = 8
+
+// forceFallbackKernel routes every group to the interleaved-complex
+// fallback kernel; tests use it to cross-check the two paths bit for bit.
+var forceFallbackKernel = false
+
+// forceScalarKernel disables the assembly micro-kernel within the packed
+// path; tests use it to cross-check vector and scalar lanes bit for bit.
+var forceScalarKernel = false
+
+// contractGroupSoA multiplies one n x n group through the split-complex
+// packed kernel. dst contents on entry are ignored (fully overwritten).
+// dst may alias a or b: B is packed in full and each A row is packed
+// before any element of the corresponding output row is stored.
+func contractGroupSoA(dst, a, b []complex128, n int, buf *packBuf) {
+	packSplit(buf.bRe, buf.bIm, b)
+	for i := 0; i < n; i++ {
+		row := a[i*n : i*n+n]
+		packSplit(buf.aRe, buf.aIm, row)
+		lo := 0
+		if useAVX2 && !forceScalarKernel && n >= 8 {
+			lo = n &^ 7
+			rowKernelAVX2(&buf.cRe[0], &buf.cIm[0], &buf.aRe[0], &buf.aIm[0], &buf.bRe[0], &buf.bIm[0], n)
+		}
+		rowKernelScalar(buf.cRe, buf.cIm, buf.aRe, buf.aIm, buf.bRe, buf.bIm, n, lo)
+		drow := dst[i*n : i*n+n]
+		cRe := buf.cRe[:len(drow)]
+		cIm := buf.cIm[:len(drow)]
+		for j := range drow {
+			drow[j] = complex(cRe[j], cIm[j])
+		}
+	}
+}
+
+// rowKernelScalar computes output columns [lo, n) of one C row: for each
+// k ascending it folds the rank-1 update a[k] * b[k][j] into the split
+// accumulators. The four fused float64 streams per iteration (two products
+// per component) compile to branch-free scalar code; the accumulation
+// chain per column is identical to the vector lanes'.
+func rowKernelScalar(cRe, cIm, aRe, aIm, bRe, bIm []float64, n, lo int) {
+	if lo >= n {
+		return
+	}
+	w := n - lo
+	crow := cRe[lo : lo+w]
+	ciow := cIm[lo : lo+w]
+	for j := range crow {
+		crow[j] = 0
+		ciow[j] = 0
+	}
+	for k := 0; k < n; k++ {
+		ar, ai := aRe[k], aIm[k]
+		brow := bRe[k*n+lo : k*n+n]
+		biow := bIm[k*n+lo : k*n+n]
+		brow = brow[:w]
+		biow = biow[:w]
+		for j := 0; j < w; j++ {
+			br, bi := brow[j], biow[j]
+			crow[j] += ar*br - ai*bi
+			ciow[j] += ar*bi + ai*br
+		}
+	}
+}

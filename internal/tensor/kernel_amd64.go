@@ -1,0 +1,43 @@
+//go:build amd64
+
+package tensor
+
+// useAVX2 gates the vector micro-kernel on runtime CPU support. The
+// baseline amd64 target (GOAMD64=v1) only guarantees SSE2, so AVX2 and the
+// OS's YMM state support are probed once at init.
+var useAVX2 = detectAVX2()
+
+// rowKernelAVX2 computes output columns [0, n&^7) of one C row in split
+// form: cRe[j] + i*cIm[j] = sum_k (aRe[k]+i*aIm[k]) * (bRe[k*n+j]+i*bIm[k*n+j]),
+// accumulating k in ascending order per column tile held in YMM registers.
+// It uses VMULPD/VADDPD/VSUBPD only (no FMA), so every lane rounds exactly
+// like the scalar kernel. Columns >= n&^7 are left untouched for the
+// scalar tail.
+//
+//go:noescape
+func rowKernelAVX2(cRe, cIm, aRe, aIm, bRe, bIm *float64, n int)
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf.
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (the XSAVE feature mask).
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 reports whether the CPU supports AVX2 and the OS preserves
+// YMM state across context switches (OSXSAVE + XCR0 SSE/AVX bits).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// useAVX2 is false off amd64; the packed kernel runs its scalar path.
+var useAVX2 = false
+
+// rowKernelAVX2 is never called when useAVX2 is false.
+func rowKernelAVX2(cRe, cIm, aRe, aIm, bRe, bIm *float64, n int) {
+	panic("tensor: vector micro-kernel unavailable on this architecture")
+}

@@ -1,0 +1,265 @@
+package tensor
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// equalBits reports element-wise bitwise equality (including zero signs).
+func equalBits(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if got.Rank != want.Rank || got.Dim != want.Dim || got.Batch != want.Batch {
+		t.Fatalf("%s: shape %v vs %v", label, got.Desc, want.Desc)
+	}
+	for i := range got.Data {
+		g, w := got.Data[i], want.Data[i]
+		if math.Float64bits(real(g)) != math.Float64bits(real(w)) ||
+			math.Float64bits(imag(g)) != math.Float64bits(imag(w)) {
+			t.Fatalf("%s: element %d = %v, want %v (bit-exact)", label, i, g, w)
+		}
+	}
+}
+
+// withKernelPath runs f with the kernel routing overrides set, restoring
+// the defaults afterwards. Tests using it must not run in parallel.
+func withKernelPath(t *testing.T, fallback, scalar bool, f func()) {
+	t.Helper()
+	forceFallbackKernel, forceScalarKernel = fallback, scalar
+	defer func() { forceFallbackKernel, forceScalarKernel = false, false }()
+	f()
+}
+
+// TestPackedKernelMatchesNaiveExact pins the determinism contract: the
+// packed kernel accumulates each output element's products in ascending k
+// order with individually rounded multiplies, which is exactly what the
+// naive reference does, so results must be bit-identical — across awkward
+// dimensions (below soaMinDim, non-multiples of the 8-column vector tile,
+// primes, exact tile multiples) and batch sizes.
+func TestPackedKernelMatchesNaiveExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 23, 31, 32, 47, 48, 49, 63, 64, 65, 96, 113, 128} {
+		for _, batch := range []int{1, 3} {
+			a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: dim, Batch: batch}, rng)
+			b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: dim, Batch: batch}, rng)
+			got, err := Contract(a, b, 3, 2)
+			if err != nil {
+				t.Fatalf("dim=%d batch=%d: %v", dim, batch, err)
+			}
+			want := naiveMatMul(a, b)
+			equalBits(t, got, want, "dim="+itoa(dim)+" batch="+itoa(batch))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestKernelPathsBitIdentical cross-checks the three kernel routes —
+// vector micro-kernel, scalar split-complex, and the interleaved-complex
+// fallback — element for element, on meson and baryon ranks.
+func TestKernelPathsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	cases := []Desc{
+		{ID: 1, Rank: RankMeson, Dim: 8, Batch: 2},
+		{ID: 1, Rank: RankMeson, Dim: 12, Batch: 1},
+		{ID: 1, Rank: RankMeson, Dim: 33, Batch: 3},
+		{ID: 1, Rank: RankMeson, Dim: 64, Batch: 2},
+		{ID: 1, Rank: RankBaryon, Dim: 7, Batch: 2},
+		{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 1},
+		{ID: 1, Rank: RankBaryon, Dim: 16, Batch: 2},
+	}
+	for _, d := range cases {
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: d.Rank, Dim: d.Dim, Batch: d.Batch}, rng)
+		var vec, scalar, fallback *Tensor
+		var err error
+		if vec, err = Contract(a, b, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+		withKernelPath(t, false, true, func() {
+			scalar, err = Contract(a, b, 3, 2)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withKernelPath(t, true, false, func() {
+			fallback, err = Contract(a, b, 3, 2)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalBits(t, scalar, vec, d.String()+" scalar vs vector")
+		equalBits(t, fallback, vec, d.String()+" fallback vs vector")
+	}
+}
+
+// TestPackedKernelWorkerInvarianceExact: the packed path must be
+// bit-identical at any worker count (groups are independent; only the
+// fan-out changes).
+func TestPackedKernelWorkerInvarianceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, d := range []Desc{
+		{ID: 1, Rank: RankMeson, Dim: 40, Batch: 7},
+		{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 3},
+	} {
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: d.Rank, Dim: d.Dim, Batch: d.Batch}, rng)
+		ref, err := Contract(a, b, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8, 64} {
+			got, err := Contract(a, b, 3, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalBits(t, got, ref, d.String()+" workers")
+		}
+	}
+}
+
+// TestContractIntoDirtyDst: a reused destination arriving dirty (NaNs,
+// stale values, shorter length than capacity) must still produce output
+// bit-identical to a fresh allocation.
+func TestContractIntoDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, dim := range []int{4, 9, 32} { // fallback, packed+tail, tile-exact
+		d := Desc{ID: 1, Rank: RankMeson, Dim: dim, Batch: 2}
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: dim, Batch: 2}, rng)
+		want, err := Contract(a, b, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems := int(d.Elems())
+		dirty := make([]complex128, elems+5) // extra capacity on purpose
+		for i := range dirty {
+			dirty[i] = complex(math.NaN(), math.Inf(1))
+		}
+		dst := &Tensor{Desc: Desc{ID: 99, Rank: RankMeson, Dim: 1, Batch: 1}, Data: dirty[:1]}
+		if err := ContractInto(dst, a, b, 3, 2); err != nil {
+			t.Fatalf("dim=%d: %v", dim, err)
+		}
+		if dst.ID != 3 || dst.Dim != dim || dst.Batch != 2 || len(dst.Data) != elems {
+			t.Fatalf("dim=%d: dst desc/len not updated: %v len=%d", dim, dst.Desc, len(dst.Data))
+		}
+		equalBits(t, dst, want, "dirty dst dim="+itoa(dim))
+		// Undersized capacity must transparently reallocate.
+		small := &Tensor{Data: make([]complex128, 1)}
+		if err := ContractInto(small, a, b, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+		equalBits(t, small, want, "undersized dst dim="+itoa(dim))
+	}
+}
+
+// TestContractIntoAliasing: dst sharing storage with an operand is
+// documented as safe — each operand block is packed before any of that
+// block's output is stored.
+func TestContractIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for _, d := range []Desc{
+		{ID: 1, Rank: RankMeson, Dim: 24, Batch: 3},
+		{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 2},
+	} {
+		a, _ := NewRandom(d, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: d.Rank, Dim: d.Dim, Batch: d.Batch}, rng)
+		want, err := Contract(a, b, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overA := a.Clone(1)
+		if err := ContractInto(overA, overA, b, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+		equalBits(t, overA, want, d.String()+" dst==a")
+		overB := b.Clone(2)
+		if err := ContractInto(overB, a, overB, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+		equalBits(t, overB, want, d.String()+" dst==b")
+	}
+	// Fully self-referential square: dst == a == b.
+	d := Desc{ID: 7, Rank: RankMeson, Dim: 16, Batch: 2}
+	x, _ := NewRandom(d, rng)
+	want, err := Contract(x, x, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ContractInto(x, x, x, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, x, want, "dst==a==b")
+}
+
+func TestContractIntoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 8, Batch: 1}, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 9, Batch: 1}, rng)
+	if err := ContractInto(nil, a, a, 3, 1); err == nil {
+		t.Error("nil dst: want error")
+	}
+	if err := ContractInto(&Tensor{}, a, b, 3, 1); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+	meta := &Tensor{Desc: Desc{ID: 4, Rank: RankMeson, Dim: 8, Batch: 1}}
+	if err := ContractInto(&Tensor{}, a, meta, 5, 1); err == nil {
+		t.Error("metadata-only operand: want error")
+	}
+}
+
+// TestContractIntoSteadyStateAllocs: the pooled path with a right-sized
+// destination and a single worker must not allocate at all.
+func TestContractIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 48, Batch: 2}
+	a, _ := NewRandom(d, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 48, Batch: 2}, rng)
+	dst := &Tensor{Data: make([]complex128, d.Elems())}
+	if err := ContractInto(dst, a, b, 3, 1); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ContractInto(dst, a, b, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state ContractInto allocates %.1f objects/op, want <= 2", allocs)
+	}
+}
+
+// TestPackedKernelIdentity sanity-checks the packed path against an exact
+// algebraic identity (A*I == A) where every product is exact in IEEE
+// arithmetic up to the zero-sign differences the norm ignores.
+func TestPackedKernelIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	d := Desc{ID: 1, Rank: RankMeson, Dim: 19, Batch: 2}
+	a, _ := NewRandom(d, rng)
+	id, err := NewIdentity(Desc{ID: 2, Rank: RankMeson, Dim: 19, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Contract(a, id, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if cmplx.Abs(got.Data[i]-a.Data[i]) != 0 {
+			t.Fatalf("A*I != A at %d: %v vs %v", i, got.Data[i], a.Data[i])
+		}
+	}
+}

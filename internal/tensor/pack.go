@@ -1,0 +1,50 @@
+package tensor
+
+import "sync"
+
+// packBuf holds the split-complex (structure-of-arrays) scratch panels of
+// one contraction worker: the full B panel of the current group plus one
+// row each of A and C. Buffers are recycled through packPool so
+// steady-state contractions allocate nothing.
+type packBuf struct {
+	bRe, bIm []float64 // full n*n B panel, row-major: bRe[k*n+j]
+	aRe, aIm []float64 // current A row: aRe[k]
+	cRe, cIm []float64 // current C row accumulator: cRe[j]
+}
+
+// packPool recycles pack buffers across contractions and workers.
+var packPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+// getPackBuf returns a pooled buffer sized for dimension-n groups.
+func getPackBuf(n int) *packBuf {
+	b := packPool.Get().(*packBuf)
+	b.bRe = growf(b.bRe, n*n)
+	b.bIm = growf(b.bIm, n*n)
+	b.aRe = growf(b.aRe, n)
+	b.aIm = growf(b.aIm, n)
+	b.cRe = growf(b.cRe, n)
+	b.cIm = growf(b.cIm, n)
+	return b
+}
+
+// putPackBuf returns a buffer to the pool.
+func putPackBuf(b *packBuf) { packPool.Put(b) }
+
+// growf reslices s to length n, reallocating only when capacity is short.
+func growf(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// packSplit unpacks interleaved complex values into separate real and
+// imaginary panels. re and im must be at least len(src) long.
+func packSplit(re, im []float64, src []complex128) {
+	re = re[:len(src)]
+	im = im[:len(src)]
+	for i, v := range src {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+}

@@ -284,6 +284,13 @@ func Contract(a, b *Tensor, outID uint64, workers int) (*Tensor, error) {
 	return tensor.Contract(a, b, outID, workers)
 }
 
+// ContractInto performs one hadron contraction writing into dst, reusing
+// dst's storage when its capacity suffices. Results are bit-identical to
+// Contract; dst may alias either operand.
+func ContractInto(dst, a, b *Tensor, outID uint64, workers int) error {
+	return tensor.ContractInto(dst, a, b, outID, workers)
+}
+
 // NewRandomTensor allocates a tensor with random complex entries.
 func NewRandomTensor(d TensorDesc, seed int64) (*Tensor, error) {
 	return tensor.NewRandom(d, newRand(seed))
