@@ -16,30 +16,35 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 func main() {
 	out := flag.String("o", "", "JSON output file (default stdout, after the teed text)")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
+		"GOMAXPROCS of the go test run; only the matching -N name suffix is stripped (at 1, go test emits no suffix and nothing is stripped)")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
 // run tees bench output from in to tee and writes the parsed metrics as
-// JSON to outPath (or to tee when outPath is empty).
-func run(in io.Reader, tee io.Writer, outPath string) error {
+// JSON to outPath (or to tee when outPath is empty). procs is the
+// GOMAXPROCS value the benchmarks ran under, used to recognize the name
+// suffix.
+func run(in io.Reader, tee io.Writer, outPath string, procs int) error {
 	metrics := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(tee, line)
-		if m, name := parseLine(line); m != nil {
+		if m, name := parseLine(line, procs); m != nil {
 			metrics[name] = m
 		}
 	}
@@ -66,7 +71,7 @@ func run(in io.Reader, tee io.Writer, outPath string) error {
 //	BenchmarkContractionKernel-4   100   14204604 ns/op   5 allocs/op
 //
 // returning nil for non-result lines.
-func parseLine(line string) (map[string]float64, string) {
+func parseLine(line string, procs int) (map[string]float64, string) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 		return nil, ""
@@ -85,18 +90,18 @@ func parseLine(line string) (map[string]float64, string) {
 	if _, ok := m["ns/op"]; !ok {
 		return nil, ""
 	}
-	return m, stripProcs(f[0])
+	return m, stripProcs(f[0], procs)
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix Go appends to
-// benchmark names, keeping sub-benchmark paths intact.
-func stripProcs(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
+// benchmark names, keeping sub-benchmark paths intact. Only the exact
+// "-<procs>" suffix is removed: go test appends it solely when GOMAXPROCS
+// != 1, so at procs == 1 names are kept verbatim and a sub-benchmark that
+// legitimately ends in a number (e.g. BenchmarkX/dim-128) is never
+// truncated into colliding with a sibling.
+func stripProcs(name string, procs int) string {
+	if procs <= 1 {
 		return name
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
+	return strings.TrimSuffix(name, "-"+strconv.Itoa(procs))
 }

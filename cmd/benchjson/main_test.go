@@ -22,7 +22,7 @@ ok  	micco	4.2s
 func TestRunParsesAndTees(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out); err != nil {
+	if err := run(strings.NewReader(sample), &tee, out, 4); err != nil {
 		t.Fatal(err)
 	}
 	if tee.String() != sample {
@@ -51,7 +51,7 @@ func TestRunParsesAndTees(t *testing.T) {
 
 func TestRunJSONToStdout(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, "", 4); err != nil {
 		t.Fatal(err)
 	}
 	// The JSON document follows the teed text.
@@ -67,7 +67,7 @@ func TestRunJSONToStdout(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader("no benchmarks here\n"), &tee, ""); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4); err == nil {
 		t.Error("input without results: want error")
 	}
 }
@@ -80,21 +80,53 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		"BenchmarkNoNs-4 100 12 B/op",
 		"goos: linux",
 	} {
-		if m, _ := parseLine(line); m != nil {
+		if m, _ := parseLine(line, 4); m != nil {
 			t.Errorf("parseLine(%q) = %v, want nil", line, m)
 		}
 	}
 }
 
 func TestStripProcs(t *testing.T) {
-	for in, want := range map[string]string{
-		"BenchmarkX-8":          "BenchmarkX",
-		"BenchmarkX":            "BenchmarkX",
-		"BenchmarkX/sub-case-4": "BenchmarkX/sub-case",
-		"BenchmarkX/sub-case":   "BenchmarkX/sub-case",
-	} {
-		if got := stripProcs(in); got != want {
-			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+	cases := []struct {
+		name  string
+		procs int
+		want  string
+	}{
+		{"BenchmarkX-8", 8, "BenchmarkX"},
+		{"BenchmarkX", 8, "BenchmarkX"},
+		{"BenchmarkX/sub-case-4", 4, "BenchmarkX/sub-case"},
+		{"BenchmarkX/sub-case", 4, "BenchmarkX/sub-case"},
+		// Only the exact -procs suffix is recognized: at GOMAXPROCS=1 go
+		// test emits no suffix, so numeric-tailed names must stay intact.
+		{"BenchmarkX/dim-128", 1, "BenchmarkX/dim-128"},
+		{"BenchmarkX/dim-128", 4, "BenchmarkX/dim-128"},
+		{"BenchmarkX-16", 8, "BenchmarkX-16"},
+	}
+	for _, c := range cases {
+		if got := stripProcs(c.name, c.procs); got != c.want {
+			t.Errorf("stripProcs(%q, %d) = %q, want %q", c.name, c.procs, got, c.want)
 		}
+	}
+}
+
+// TestRunGOMAXPROCS1NoCollision reproduces the failure mode the suffix
+// heuristic used to have: at GOMAXPROCS=1 the names carry no suffix, and
+// sub-benchmarks ending in distinct numbers must stay distinct keys.
+func TestRunGOMAXPROCS1NoCollision(t *testing.T) {
+	in := "BenchmarkX/dim-64 \t 10\t 100 ns/op\nBenchmarkX/dim-128 \t 10\t 200 ns/op\n"
+	var tee strings.Builder
+	if err := run(strings.NewReader(in), &tee, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	rest := strings.TrimPrefix(tee.String(), in)
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal([]byte(rest), &doc); err != nil {
+		t.Fatalf("stdout JSON invalid: %v", err)
+	}
+	if len(doc) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (keys: %v)", len(doc), doc)
+	}
+	if doc["BenchmarkX/dim-64"]["ns/op"] != 100 || doc["BenchmarkX/dim-128"]["ns/op"] != 200 {
+		t.Errorf("metrics misattributed: %v", doc)
 	}
 }

@@ -32,8 +32,10 @@ func Contract(a, b *Tensor, outID uint64, workers int) (*Tensor, error) {
 // fully overwritten) and reallocated otherwise, and dst.Desc is set to the
 // output description with identity outID. A dst recycled from an arena may
 // arrive dirty or resliced; neither affects the result. dst may alias a or
-// b (each operand block is packed into split-complex panels before any
-// output element of that block is written).
+// b on every kernel route: the packed path unpacks each operand block into
+// split-complex panels before any output element of that block is written,
+// and the small-dimension fallback accumulates into pooled scratch storage
+// and copies into dst only after the block product is complete.
 //
 // Steady-state ContractInto calls with a right-sized dst allocate nothing:
 // pack panels come from an internal sync.Pool, and single-worker calls run
@@ -113,13 +115,18 @@ func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
 
 // matMulGroup multiplies one n x n group, routing to the split-complex
 // packed kernel for all but tiny dimensions (where packing overhead would
-// dominate the O(n^3) work).
+// dominate the O(n^3) work). Both routes honor ContractInto's aliasing
+// contract: the fallback accumulates into a pooled scratch block and only
+// then copies into dst, so dst may overlap a or b on either path.
 func matMulGroup(dst, a, b []complex128, n int, buf *packBuf) {
 	if n < soaMinDim || forceFallbackKernel {
-		for i := range dst {
-			dst[i] = 0
+		buf.tmp = growc(buf.tmp, n*n)
+		tmp := buf.tmp
+		for i := range tmp {
+			tmp[i] = 0
 		}
-		matMulBlocked(dst, a, b, n)
+		matMulBlocked(tmp, a, b, n)
+		copy(dst, tmp)
 		return
 	}
 	contractGroupSoA(dst, a, b, n, buf)

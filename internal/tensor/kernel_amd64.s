@@ -33,15 +33,16 @@ tile:
 	VXORPD Y2, Y2, Y2        // cIm[jt:jt+4]
 	VXORPD Y3, Y3, Y3        // cIm[jt+4:jt+8]
 
+	// aRe/aIm are walked with one scaled index (DX) rather than two
+	// pointer cursors: R15 is reserved by the Go assembler under
+	// -dynlink/-shared and must not be clobbered here.
 	LEAQ (R10)(R12*8), R13   // &bRe[0*n + jt]
 	LEAQ (R11)(R12*8), R14   // &bIm[0*n + jt]
-	MOVQ R8, DX              // &aRe[k]
-	MOVQ R9, R15             // &aIm[k]
-	MOVQ CX, BX              // k countdown
+	XORQ DX, DX              // k = 0
 
 k:
-	VBROADCASTSD (DX), Y4    // ar = aRe[k] in all lanes
-	VBROADCASTSD (R15), Y5   // ai = aIm[k] in all lanes
+	VBROADCASTSD (R8)(DX*8), Y4 // ar = aRe[k] in all lanes
+	VBROADCASTSD (R9)(DX*8), Y5 // ai = aIm[k] in all lanes
 	VMOVUPD (R13), Y6        // br0 = bRe[k*n+jt : +4]
 	VMOVUPD 32(R13), Y7      // br1 = bRe[k*n+jt+4 : +8]
 	VMOVUPD (R14), Y8        // bi0 = bIm[k*n+jt : +4]
@@ -71,12 +72,11 @@ k:
 	VADDPD Y13, Y12, Y12
 	VADDPD Y12, Y3, Y3
 
-	ADDQ $8, DX              // next aRe[k]
-	ADDQ $8, R15             // next aIm[k]
 	LEAQ (R13)(CX*8), R13    // next bRe row (stride n)
 	LEAQ (R14)(CX*8), R14    // next bIm row
-	DECQ BX
-	JNZ  k
+	INCQ DX
+	CMPQ DX, CX
+	JLT  k
 
 	VMOVUPD Y0, (DI)(R12*8)  // store cRe[jt:jt+4]
 	VMOVUPD Y2, (SI)(R12*8)  // store cIm[jt:jt+4]

@@ -167,42 +167,54 @@ func TestContractIntoDirtyDst(t *testing.T) {
 }
 
 // TestContractIntoAliasing: dst sharing storage with an operand is
-// documented as safe — each operand block is packed before any of that
-// block's output is stored.
+// documented as safe on every kernel route — the packed path packs each
+// operand block before storing any of that block's output, and the
+// fallback accumulates into scratch and copies into dst afterwards. The
+// cases span both routes (dims below and above soaMinDim) and the forced
+// fallback additionally exercises the scratch path at large dims.
 func TestContractIntoAliasing(t *testing.T) {
 	rng := rand.New(rand.NewSource(105))
-	for _, d := range []Desc{
-		{ID: 1, Rank: RankMeson, Dim: 24, Batch: 3},
-		{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 2},
-	} {
-		a, _ := NewRandom(d, rng)
-		b, _ := NewRandom(Desc{ID: 2, Rank: d.Rank, Dim: d.Dim, Batch: d.Batch}, rng)
-		want, err := Contract(a, b, 3, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		overA := a.Clone(1)
-		if err := ContractInto(overA, overA, b, 3, 2); err != nil {
-			t.Fatal(err)
-		}
-		equalBits(t, overA, want, d.String()+" dst==a")
-		overB := b.Clone(2)
-		if err := ContractInto(overB, a, overB, 3, 2); err != nil {
-			t.Fatal(err)
-		}
-		equalBits(t, overB, want, d.String()+" dst==b")
+	cases := []Desc{
+		{ID: 1, Rank: RankMeson, Dim: 4, Batch: 2},  // below soaMinDim: fallback
+		{ID: 1, Rank: RankMeson, Dim: 24, Batch: 3}, // packed
+		{ID: 1, Rank: RankBaryon, Dim: 3, Batch: 2}, // below soaMinDim: fallback
+		{ID: 1, Rank: RankBaryon, Dim: 9, Batch: 2}, // packed
 	}
-	// Fully self-referential square: dst == a == b.
-	d := Desc{ID: 7, Rank: RankMeson, Dim: 16, Batch: 2}
-	x, _ := NewRandom(d, rng)
-	want, err := Contract(x, x, 8, 1)
-	if err != nil {
-		t.Fatal(err)
+	check := func(path string) {
+		for _, d := range cases {
+			a, _ := NewRandom(d, rng)
+			b, _ := NewRandom(Desc{ID: 2, Rank: d.Rank, Dim: d.Dim, Batch: d.Batch}, rng)
+			want, err := Contract(a, b, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overA := a.Clone(1)
+			if err := ContractInto(overA, overA, b, 3, 2); err != nil {
+				t.Fatal(err)
+			}
+			equalBits(t, overA, want, d.String()+" "+path+" dst==a")
+			overB := b.Clone(2)
+			if err := ContractInto(overB, a, overB, 3, 2); err != nil {
+				t.Fatal(err)
+			}
+			equalBits(t, overB, want, d.String()+" "+path+" dst==b")
+		}
+		// Fully self-referential squares: dst == a == b, one dim per route.
+		for _, dim := range []int{4, 16} {
+			d := Desc{ID: 7, Rank: RankMeson, Dim: dim, Batch: 2}
+			x, _ := NewRandom(d, rng)
+			want, err := Contract(x, x, 8, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ContractInto(x, x, x, 8, 1); err != nil {
+				t.Fatal(err)
+			}
+			equalBits(t, x, want, "dim="+itoa(dim)+" "+path+" dst==a==b")
+		}
 	}
-	if err := ContractInto(x, x, x, 8, 1); err != nil {
-		t.Fatal(err)
-	}
-	equalBits(t, x, want, "dst==a==b")
+	check("auto")
+	withKernelPath(t, true, false, func() { check("fallback") })
 }
 
 func TestContractIntoErrors(t *testing.T) {

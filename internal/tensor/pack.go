@@ -7,9 +7,10 @@ import "sync"
 // row each of A and C. Buffers are recycled through packPool so
 // steady-state contractions allocate nothing.
 type packBuf struct {
-	bRe, bIm []float64 // full n*n B panel, row-major: bRe[k*n+j]
-	aRe, aIm []float64 // current A row: aRe[k]
-	cRe, cIm []float64 // current C row accumulator: cRe[j]
+	bRe, bIm []float64    // full n*n B panel, row-major: bRe[k*n+j]
+	aRe, aIm []float64    // current A row: aRe[k]
+	cRe, cIm []float64    // current C row accumulator: cRe[j]
+	tmp      []complex128 // fallback-kernel output block, so dst may alias a/b
 }
 
 // packPool recycles pack buffers across contractions and workers.
@@ -36,6 +37,16 @@ func growf(s []float64, n int) []float64 {
 		return s[:n]
 	}
 	return make([]float64, n)
+}
+
+// growc is growf for complex slices. The fallback scratch block is grown
+// lazily here rather than in getPackBuf so the packed path never pays for
+// it; pooling still makes steady-state fallback contractions allocation-free.
+func growc(s []complex128, n int) []complex128 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]complex128, n)
 }
 
 // packSplit unpacks interleaved complex values into separate real and
