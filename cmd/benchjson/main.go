@@ -6,7 +6,10 @@
 //
 // The JSON document maps each benchmark name (GOMAXPROCS suffix stripped)
 // to its metrics: ns/op, and when present B/op, allocs/op, and any custom
-// b.ReportMetric units.
+// b.ReportMetric units. With -extra, a metrics snapshot (as written by
+// miccorun -metrics) is flattened into the document under the "_metrics"
+// key, so one BENCH_*.json carries both benchmark timings and the run's
+// observability counters.
 package main
 
 import (
@@ -19,15 +22,18 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"micco"
 )
 
 func main() {
 	out := flag.String("o", "", "JSON output file (default stdout, after the teed text)")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"GOMAXPROCS of the go test run; only the matching -N name suffix is stripped (at 1, go test emits no suffix and nothing is stripped)")
+	extra := flag.String("extra", "", "metrics snapshot JSON (from miccorun -metrics) to merge under the _metrics key")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *out, *procs); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *procs, *extra); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -36,8 +42,8 @@ func main() {
 // run tees bench output from in to tee and writes the parsed metrics as
 // JSON to outPath (or to tee when outPath is empty). procs is the
 // GOMAXPROCS value the benchmarks ran under, used to recognize the name
-// suffix.
-func run(in io.Reader, tee io.Writer, outPath string, procs int) error {
+// suffix. extraPath optionally names a metrics snapshot to merge in.
+func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath string) error {
 	metrics := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -54,6 +60,13 @@ func run(in io.Reader, tee io.Writer, outPath string, procs int) error {
 	if len(metrics) == 0 {
 		return fmt.Errorf("no benchmark result lines found")
 	}
+	if extraPath != "" {
+		flat, err := loadExtra(extraPath)
+		if err != nil {
+			return err
+		}
+		metrics["_metrics"] = flat
+	}
 	doc, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
 		return err
@@ -64,6 +77,32 @@ func run(in io.Reader, tee io.Writer, outPath string, procs int) error {
 		return err
 	}
 	return os.WriteFile(outPath, doc, 0o644)
+}
+
+// loadExtra reads a metrics snapshot and flattens it into one numeric map:
+// counters and gauges keep their series names, each histogram contributes
+// its <name>_sum and <name>_count.
+func loadExtra(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap micco.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	flat := make(map[string]float64, len(snap.Counters)+len(snap.Gauges)+2*len(snap.Histograms))
+	for name, v := range snap.Counters {
+		flat[name] = v
+	}
+	for name, v := range snap.Gauges {
+		flat[name] = v
+	}
+	for name, h := range snap.Histograms {
+		flat[name+"_sum"] = h.Sum
+		flat[name+"_count"] = float64(h.Count)
+	}
+	return flat, nil
 }
 
 // parseLine extracts the metrics from one benchmark result line, e.g.

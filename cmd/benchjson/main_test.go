@@ -22,7 +22,7 @@ ok  	micco	4.2s
 func TestRunParsesAndTees(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4); err != nil {
+	if err := run(strings.NewReader(sample), &tee, out, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	if tee.String() != sample {
@@ -51,7 +51,7 @@ func TestRunParsesAndTees(t *testing.T) {
 
 func TestRunJSONToStdout(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, "", 4); err != nil {
+	if err := run(strings.NewReader(sample), &tee, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	// The JSON document follows the teed text.
@@ -65,9 +65,65 @@ func TestRunJSONToStdout(t *testing.T) {
 	}
 }
 
+func TestRunMergesExtraMetrics(t *testing.T) {
+	dir := t.TempDir()
+	extra := filepath.Join(dir, "metrics.json")
+	snapJSON := `{
+	  "counters": {"micco_sim_flops_total": 123, "micco_sched_overhead_seconds_total": 0.5},
+	  "gauges": {"micco_run_makespan_seconds": 1.75},
+	  "histograms": {"micco_sim_seconds{kind=\"h2d\"}": {
+	    "buckets": [{"le": "+Inf", "count": 2}], "sum": 0.25, "count": 2}}
+	}`
+	if err := os.WriteFile(extra, []byte(snapJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var tee strings.Builder
+	if err := run(strings.NewReader(sample), &tee, out, 4, extra); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	m := doc["_metrics"]
+	if m == nil {
+		t.Fatalf("no _metrics key in %v", doc)
+	}
+	if m["micco_sim_flops_total"] != 123 || m["micco_run_makespan_seconds"] != 1.75 {
+		t.Errorf("_metrics = %v", m)
+	}
+	if m[`micco_sim_seconds{kind="h2d"}_sum`] != 0.25 || m[`micco_sim_seconds{kind="h2d"}_count`] != 2 {
+		t.Errorf("histogram flattening = %v", m)
+	}
+	// Benchmark entries survive alongside the merge.
+	if doc["BenchmarkContractionKernel"]["ns/op"] != 14204604 {
+		t.Errorf("benchmark entries lost: %v", doc)
+	}
+}
+
+func TestRunExtraErrors(t *testing.T) {
+	var tee strings.Builder
+	if err := run(strings.NewReader(sample), &tee, "", 4, "/nonexistent-metrics.json"); err == nil {
+		t.Error("missing extra file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tee.Reset()
+	if err := run(strings.NewReader(sample), &tee, "", 4, bad); err == nil {
+		t.Error("unparsable extra file: want error")
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4, ""); err == nil {
 		t.Error("input without results: want error")
 	}
 }
@@ -115,7 +171,7 @@ func TestStripProcs(t *testing.T) {
 func TestRunGOMAXPROCS1NoCollision(t *testing.T) {
 	in := "BenchmarkX/dim-64 \t 10\t 100 ns/op\nBenchmarkX/dim-128 \t 10\t 200 ns/op\n"
 	var tee strings.Builder
-	if err := run(strings.NewReader(in), &tee, "", 1); err != nil {
+	if err := run(strings.NewReader(in), &tee, "", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	rest := strings.TrimPrefix(tee.String(), in)

@@ -7,6 +7,8 @@
 //
 // Without -run, every experiment runs in paper order. With -csv, each
 // table is additionally written as CSV into the given directory.
+// -cpuprofile and -memprofile write pprof profiles of the whole invocation
+// (go tool pprof <binary> <profile>).
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -29,14 +33,51 @@ func main() {
 	seed := flag.Int64("seed", 2022, "random seed for workloads, corpus and models")
 	parallel := flag.Int("parallel", 0, "worker pool for independent sweep points (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *runList, *quick, *seed, *parallel, *csvDir); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "miccobench:", err)
 		os.Exit(1)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(ctx, *runList, *quick, *seed, *parallel, *csvDir); err != nil {
+		fail(err)
+	}
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeMemProfile snapshots the heap after a final GC so the profile shows
+// live allocations, not garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(ctx context.Context, runList string, quick bool, seed int64, parallel int, csvDir string) error {

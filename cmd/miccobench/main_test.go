@@ -41,3 +41,20 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment: want error")
 	}
 }
+
+func TestWriteMemProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := writeMemProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty heap profile")
+	}
+	if err := writeMemProfile(filepath.Join(t.TempDir(), "no", "such", "dir")); err == nil {
+		t.Error("uncreatable path: want error")
+	}
+}

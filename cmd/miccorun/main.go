@@ -7,6 +7,7 @@
 //	wgen -stages 10 -vector 64 -o w.json
 //	miccorun -workload w.json -scheduler micco -gpus 8
 //	miccorun -workload w.json -scheduler groute -compare
+//	miccorun -workload w.json -metrics m.json -decisions d.ndjson
 package main
 
 import (
@@ -22,19 +23,35 @@ import (
 	"micco"
 )
 
+// runConfig gathers the command's flags.
+type runConfig struct {
+	workload     string
+	scheduler    string
+	bounds       string
+	gpus         int
+	memGiB       float64
+	compare      bool
+	traceOut     string
+	metricsOut   string
+	decisionsOut string
+}
+
 func main() {
-	workloadPath := flag.String("workload", "", "workload JSON file (from wgen); required")
-	scheduler := flag.String("scheduler", "micco", "scheduler: "+strings.Join(micco.SchedulerNames(), ", "))
-	bounds := flag.String("bounds", "0,2,0", "reuse bounds for the micco scheduler, e.g. 0,2,0")
-	gpus := flag.Int("gpus", 8, "simulated device count")
-	memGiB := flag.Float64("mem", 0, "per-device pool in GiB (0 = fit the working set with 10% headroom)")
-	compare := flag.Bool("compare", false, "also run every other scheduler and report speedups")
-	traceOut := flag.String("trace", "", "write a Chrome trace of the primary run")
+	var cfg runConfig
+	flag.StringVar(&cfg.workload, "workload", "", "workload JSON file (from wgen); required")
+	flag.StringVar(&cfg.scheduler, "scheduler", "micco", "scheduler: "+strings.Join(micco.SchedulerNames(), ", "))
+	flag.StringVar(&cfg.bounds, "bounds", "0,2,0", "reuse bounds for the micco scheduler, e.g. 0,2,0")
+	flag.IntVar(&cfg.gpus, "gpus", 8, "simulated device count")
+	flag.Float64Var(&cfg.memGiB, "mem", 0, "per-device pool in GiB (0 = fit the working set with 10% headroom)")
+	flag.BoolVar(&cfg.compare, "compare", false, "also run every other scheduler and report speedups")
+	flag.StringVar(&cfg.traceOut, "trace", "", "write a Chrome trace of the primary run")
+	flag.StringVar(&cfg.metricsOut, "metrics", "", "write a JSON metrics snapshot of the primary run")
+	flag.StringVar(&cfg.decisionsOut, "decisions", "", "write per-placement decision records as NDJSON")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *workloadPath, *scheduler, *bounds, *gpus, *memGiB, *compare, *traceOut); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "miccorun:", err)
 		os.Exit(1)
 	}
@@ -57,11 +74,28 @@ func parseBounds(s string) (micco.Bounds, error) {
 	return b, nil
 }
 
-func run(ctx context.Context, workloadPath, scheduler, bounds string, gpus int, memGiB float64, compare bool, traceOut string) error {
-	if workloadPath == "" {
+// writeTo creates path, hands it to write, and reports what landed there.
+func writeTo(path, what string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
+	return nil
+}
+
+func run(ctx context.Context, rc runConfig) error {
+	if rc.workload == "" {
 		return fmt.Errorf("-workload is required")
 	}
-	raw, err := os.ReadFile(workloadPath)
+	raw, err := os.ReadFile(rc.workload)
 	if err != nil {
 		return err
 	}
@@ -70,22 +104,22 @@ func run(ctx context.Context, workloadPath, scheduler, bounds string, gpus int, 
 		return fmt.Errorf("parse workload: %w", err)
 	}
 	if len(w.Stages) == 0 {
-		return fmt.Errorf("workload %s has no stages", workloadPath)
+		return fmt.Errorf("workload %s has no stages", rc.workload)
 	}
-	b, err := parseBounds(bounds)
+	b, err := parseBounds(rc.bounds)
 	if err != nil {
 		return err
 	}
-	if micco.SchedulerNeedsPredictor(scheduler) {
-		return fmt.Errorf("scheduler %q needs a trained predictor; use redstar or miccobench", scheduler)
+	if micco.SchedulerNeedsPredictor(rc.scheduler) {
+		return fmt.Errorf("scheduler %q needs a trained predictor; use redstar or miccobench", rc.scheduler)
 	}
-	primary, err := micco.NewSchedulerByName(scheduler, b, nil)
+	primary, err := micco.NewSchedulerByName(rc.scheduler, b, nil)
 	if err != nil {
 		return err
 	}
-	cfg := micco.MI100(gpus)
-	if memGiB > 0 {
-		cfg.MemoryBytes = int64(memGiB * float64(1<<30))
+	cfg := micco.MI100(rc.gpus)
+	if rc.memGiB > 0 {
+		cfg.MemoryBytes = int64(rc.memGiB * float64(1<<30))
 	} else {
 		cfg.MemoryBytes = int64(1.1 * float64(w.TotalUniqueBytes()))
 	}
@@ -95,29 +129,49 @@ func run(ctx context.Context, workloadPath, scheduler, bounds string, gpus int, 
 	}
 	fmt.Printf("workload %s: %d contractions, %d stages, %.1f GB working set\n",
 		w.Name, w.NumPairs(), len(w.Stages), float64(w.TotalUniqueBytes())/1e9)
-	fmt.Printf("cluster: %d GPUs, %.1f GiB pools\n\n", gpus, float64(cfg.MemoryBytes)/(1<<30))
+	fmt.Printf("cluster: %d GPUs, %.1f GiB pools\n\n", rc.gpus, float64(cfg.MemoryBytes)/(1<<30))
 
-	if traceOut != "" {
+	var reg *micco.MetricsRegistry
+	opts := micco.RunOptions{}
+	if rc.metricsOut != "" || rc.decisionsOut != "" || rc.traceOut != "" {
+		// The registry also feeds decision instant events into the trace.
+		reg = micco.NewMetricsRegistry()
+		opts.Obs = reg
+	}
+	if rc.traceOut != "" {
 		cluster.StartTrace()
 	}
-	res, err := micco.Run(ctx, &w, primary, cluster, micco.RunOptions{})
+	res, err := micco.Run(ctx, &w, primary, cluster, opts)
 	if err != nil {
 		return err
 	}
-	if traceOut != "" {
+	if rc.traceOut != "" {
 		events := cluster.StopTrace()
-		f, err := os.Create(traceOut)
+		err := writeTo(rc.traceOut, fmt.Sprintf("trace (%d events)", len(events)), func(f *os.File) error {
+			return micco.WriteChromeTraceMerged(f, events, reg.Decisions())
+		})
 		if err != nil {
 			return err
 		}
-		if err := micco.WriteChromeTrace(f, events); err != nil {
-			f.Close()
+	}
+	if rc.metricsOut != "" {
+		err := writeTo(rc.metricsOut, "metrics snapshot", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res.Metrics)
+		})
+		if err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+	}
+	if rc.decisionsOut != "" {
+		recs := reg.Decisions()
+		err := writeTo(rc.decisionsOut, fmt.Sprintf("%d decision records", len(recs)), func(f *os.File) error {
+			return micco.WriteDecisions(f, recs)
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", len(events), traceOut)
 	}
 	report := func(r *micco.Result) {
 		fmt.Printf("%-14s %8.0f GFLOPS  makespan %8.4fs  hits %5d  evictions %4d  speedup %.2fx\n",
@@ -125,9 +179,9 @@ func run(ctx context.Context, workloadPath, scheduler, bounds string, gpus int, 
 			micco.Speedup(r, res))
 	}
 	report(res)
-	if compare {
+	if rc.compare {
 		for _, name := range micco.SchedulerNames() {
-			if name == scheduler || micco.SchedulerNeedsPredictor(name) {
+			if name == rc.scheduler || micco.SchedulerNeedsPredictor(name) {
 				continue
 			}
 			s, err := micco.NewSchedulerByName(name, b, nil)

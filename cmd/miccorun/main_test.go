@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,12 +78,18 @@ func TestSchedulerRegistry(t *testing.T) {
 	}
 }
 
+// base returns a runnable config; tests override individual fields.
+func base(workload string) runConfig {
+	return runConfig{workload: workload, scheduler: "micco", bounds: "0,2,0", gpus: 4}
+}
+
 func TestRunWorkloadFileAndCompare(t *testing.T) {
 	path := workloadFile(t)
 	trace := filepath.Join(t.TempDir(), "trace.json")
-	err := silence(t, func() error {
-		return run(context.Background(), path, "micco", "0,2,0", 4, 0, true, trace)
-	})
+	cfg := base(path)
+	cfg.compare = true
+	cfg.traceOut = trace
+	err := silence(t, func() error { return run(context.Background(), cfg) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,43 +104,98 @@ func TestRunWorkloadFileAndCompare(t *testing.T) {
 	if len(events) == 0 {
 		t.Error("empty trace")
 	}
+	// With observability on, the trace also carries decision instant events.
+	instants := 0
+	for _, e := range events {
+		if e["ph"] == "i" {
+			instants++
+		}
+	}
+	if instants == 0 {
+		t.Error("trace has no decision instant events")
+	}
+}
+
+func TestRunWritesMetricsAndDecisions(t *testing.T) {
+	path := workloadFile(t)
+	dir := t.TempDir()
+	cfg := base(path)
+	cfg.metricsOut = filepath.Join(dir, "m.json")
+	cfg.decisionsOut = filepath.Join(dir, "d.ndjson")
+	err := silence(t, func() error { return run(context.Background(), cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap micco.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Gauges) == 0 {
+		t.Errorf("metrics snapshot empty: %d counters, %d gauges", len(snap.Counters), len(snap.Gauges))
+	}
+	draw, err := os.ReadFile(cfg.decisionsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(draw), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("no decision records")
+	}
+	var rec micco.DecisionRecord
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("decision line not valid JSON: %v", err)
+	}
+	if rec.Policy == "" {
+		t.Error("decision record has no policy")
+	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, base("")); err == nil {
 		t.Error("missing workload: want error")
 	}
-	if err := run(context.Background(), "/nonexistent.json", "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(ctx, base("/nonexistent.json")); err == nil {
 		t.Error("missing file: want error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), bad, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(ctx, base(bad)); err == nil {
 		t.Error("bad JSON: want error")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), empty, "micco", "0,0,0", 4, 0, false, ""); err == nil {
+	if err := run(ctx, base(empty)); err == nil {
 		t.Error("empty workload: want error")
 	}
 	good := workloadFile(t)
-	if err := run(context.Background(), good, "heft", "0,0,0", 4, 0, false, ""); err == nil {
+	cfg := base(good)
+	cfg.scheduler = "heft"
+	if err := run(ctx, cfg); err == nil {
 		t.Error("bad scheduler: want error")
 	}
-	if err := run(context.Background(), good, "micco", "x", 4, 0, false, ""); err == nil {
+	cfg = base(good)
+	cfg.bounds = "x"
+	if err := run(ctx, cfg); err == nil {
 		t.Error("bad bounds: want error")
 	}
 }
 
 func TestRunWithExplicitMemory(t *testing.T) {
-	path := workloadFile(t)
-	err := silence(t, func() error {
-		return run(context.Background(), path, "groute", "0,0,0", 2, 0.25, false, "")
-	})
+	cfg := base(workloadFile(t))
+	cfg.scheduler = "groute"
+	cfg.bounds = "0,0,0"
+	cfg.gpus = 2
+	cfg.memGiB = 0.25
+	err := silence(t, func() error { return run(context.Background(), cfg) })
 	if err != nil {
 		t.Fatal(err)
 	}

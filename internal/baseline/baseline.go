@@ -8,6 +8,7 @@
 package baseline
 
 import (
+	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/workload"
 )
@@ -37,6 +38,13 @@ func (*Groute) Assign(_ workload.Pair, ctx *sched.Context) int {
 			best, bestClock = i, c
 		}
 	}
+	if rec := ctx.Decision; rec != nil {
+		rec.Policy = "earliest-device"
+		for i := 0; i < ctx.NumGPU; i++ {
+			rec.Candidates = append(rec.Candidates,
+				obs.CandidateScore{Device: i, Score: ctx.Cluster.Device(i).Clock()})
+		}
+	}
 	return best
 }
 
@@ -56,6 +64,10 @@ func (*RoundRobin) BeginStage(*sched.Context) {}
 func (r *RoundRobin) Assign(_ workload.Pair, ctx *sched.Context) int {
 	d := r.next % ctx.NumGPU
 	r.next++
+	if rec := ctx.Decision; rec != nil {
+		rec.Policy = "round-robin"
+		rec.Candidates = append(rec.Candidates, obs.CandidateScore{Device: d})
+	}
 	return d
 }
 
@@ -90,6 +102,15 @@ func (*LocalityOnly) Assign(p workload.Pair, ctx *sched.Context) int {
 		if res > bestBytes || (res == bestBytes && d.Clock() < bestClock) {
 			best, bestBytes, bestClock = i, res, d.Clock()
 		}
+		if rec := ctx.Decision; rec != nil {
+			// Score is negated resident bytes so lower wins, matching
+			// CandidateScore's convention.
+			rec.Candidates = append(rec.Candidates,
+				obs.CandidateScore{Device: i, Score: -float64(res)})
+		}
+	}
+	if rec := ctx.Decision; rec != nil {
+		rec.Policy = "locality-only"
 	}
 	return best
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/workload"
 )
@@ -108,6 +109,9 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	h2 := ctx.Holders(p.B.ID)
 	s.patterns[classifyHolders(h1, h2)]++
 	limit := func(bound int) int { return s.bounds[bound] + ctx.BalanceNum }
+	// boundIdx records which step's reuse bound gated the candidate set
+	// that survives to Algorithm 2; -1 means the defensive fallback fired.
+	boundIdx := -1
 
 	// Step I (Alg. 1 lines 4-7): twoRepeatedSame — GPUs holding both
 	// tensors, if within reuse bound 1's allowed imbalance.
@@ -117,6 +121,9 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 			if contains(h2, it) && ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
+		}
+		if len(s.candi) > 0 {
+			boundIdx = 0
 		}
 	}
 
@@ -135,6 +142,9 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 				s.candi = appendUnique(s.candi, it)
 			}
 		}
+		if len(s.candi) > 0 {
+			boundIdx = 1
+		}
 	}
 
 	// Step III (lines 15-18): twoNew, or nothing available above — any GPU
@@ -145,6 +155,9 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 			if ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
+		}
+		if len(s.candi) > 0 {
+			boundIdx = 2
 		}
 	}
 
@@ -161,6 +174,12 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 		s.candi = append(s.candi, best)
 	}
 
+	if rec := ctx.Decision; rec != nil {
+		rec.BoundIndex = boundIdx
+		if boundIdx >= 0 {
+			rec.Bound = s.bounds[boundIdx]
+		}
+	}
 	return s.assignFromQueue(p, ctx)
 }
 
@@ -188,6 +207,16 @@ func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
 		primary, secondary = mem, comp
 	} else {
 		primary, secondary = comp, mem
+	}
+	if rec := ctx.Decision; rec != nil {
+		if evict {
+			rec.Policy = "memory-eviction"
+		} else {
+			rec.Policy = "compute-centric"
+		}
+		for _, id := range s.candi {
+			rec.Candidates = append(rec.Candidates, obs.CandidateScore{Device: id, Score: primary(id)})
+		}
 	}
 	sel := filterMin(s.candi, primary)
 	if len(sel) > 1 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"micco/internal/gpusim"
+	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/tensor"
 	"micco/internal/workload"
@@ -427,5 +428,82 @@ func TestPatternCountsAndEvictionPolicyStats(t *testing.T) {
 	}
 	if s2.EvictionPolicyUses() == 0 {
 		t.Error("oversubscribed run never triggered the eviction-sensitive policy")
+	}
+}
+
+// TestAssignFillsDecisionRecord checks the scheduler-side half of the
+// decision protocol: bound attribution, policy, and candidate scores land
+// in the record the engine hands over through Context.Decision.
+func TestAssignFillsDecisionRecord(t *testing.T) {
+	c := mkCluster(t, 2)
+	for _, id := range []uint64{1, 2} {
+		c.RegisterHostTensor(d(id))
+		if err := c.EnsureResident(0, d(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewFixed(Bounds{3, 3, 3})
+	ctx := freshCtx(c)
+	s.BeginStage(ctx)
+
+	rec := &obs.DecisionRecord{BoundIndex: -1}
+	ctx.Decision = rec
+	dev := s.Assign(pair(1, 2, 100), ctx)
+	if dev != 0 {
+		t.Fatalf("both-holder pair assigned to %d, want 0", dev)
+	}
+	if rec.BoundIndex != 0 || rec.Bound != 3 {
+		t.Errorf("bound attribution = (%d, %d), want (0, 3)", rec.BoundIndex, rec.Bound)
+	}
+	if rec.Policy != "compute-centric" {
+		t.Errorf("policy = %q, want compute-centric", rec.Policy)
+	}
+	if len(rec.Candidates) != 1 || rec.Candidates[0].Device != 0 {
+		t.Errorf("candidates = %v, want device 0 only", rec.Candidates)
+	}
+
+	// A pair with no resident operands gates on the step-III bound and
+	// considers every GPU.
+	rec = &obs.DecisionRecord{BoundIndex: -1}
+	ctx.Decision = rec
+	s.Assign(pair(8, 9, 101), ctx)
+	if rec.BoundIndex != 2 {
+		t.Errorf("twoNew bound index = %d, want 2", rec.BoundIndex)
+	}
+	if len(rec.Candidates) != 2 {
+		t.Errorf("twoNew candidates = %v, want both GPUs", rec.Candidates)
+	}
+}
+
+// TestAssignAddsNoAllocationsWithoutObservability guards the acceptance
+// bar that a disabled registry costs nothing on the placement hot path:
+// with Context.Decision nil, Assign must not allocate at all.
+func TestAssignAddsNoAllocationsWithoutObservability(t *testing.T) {
+	c := mkCluster(t, 1)
+	s := NewNaive()
+	ctx := freshCtx(c)
+	s.BeginStage(ctx)
+	p := pair(50, 51, 52)
+	s.Assign(p, ctx) // warm the candidate queue's capacity
+	if allocs := testing.AllocsPerRun(200, func() { s.Assign(p, ctx) }); allocs != 0 {
+		t.Errorf("Assign allocates %.1f times per placement with observability off, want 0", allocs)
+	}
+}
+
+// BenchmarkAssignObservabilityOff measures the placement hot path with the
+// decision channel disabled (run with -benchmem to watch allocs/op).
+func BenchmarkAssignObservabilityOff(b *testing.B) {
+	c, err := gpusim.NewCluster(gpusim.MI100(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewNaive()
+	ctx := freshCtx(c)
+	s.BeginStage(ctx)
+	p := pair(50, 51, 52)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Assign(p, ctx)
 	}
 }

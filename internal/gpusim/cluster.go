@@ -27,6 +27,10 @@ type Cluster struct {
 	// tracing/traceEvents implement optional event recording (StartTrace).
 	tracing     bool
 	traceEvents []Event
+	// sink, when non-nil, feeds every simulated event into an attached
+	// metrics registry (SetObserver). Independent of tracing; survives
+	// Reset.
+	sink *obsSink
 }
 
 // NewCluster builds a cluster from cfg.
@@ -139,6 +143,10 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 		d.advanceTransferQueue(end - queue)
 		d.stats.TransferTime += end - queue
 		d.stats.P2PBytes += desc.Bytes()
+		if c.sink != nil {
+			c.sink.p2pBusy.Add(dur)
+			c.sink.p2pStall.Add(start - queue)
+		}
 		c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
 			Start: start, End: end, Bytes: desc.Bytes()})
 	} else {
@@ -152,6 +160,9 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 	b := d.install(desc, false)
 	b.pinned = pin
 	b.readyAt = d.CopyClock()
+	if c.sink != nil {
+		c.sink.observeMem(d)
+	}
 	return b.readyAt, nil
 }
 
@@ -183,6 +194,10 @@ func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
 		d.clock = end
 	}
 	c.linkClock = end
+	if c.sink != nil {
+		c.sink.hostBusy.Add(dur)
+		c.sink.hostStall.Add(start - queue)
+	}
 	return elapsed
 }
 
@@ -234,6 +249,9 @@ func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error)
 		nb := d.install(out, true)
 		nb.readyAt = d.CopyClock()
 		outReady = nb.readyAt
+		if c.sink != nil {
+			c.sink.observeMem(d)
+		}
 	}
 	if c.cfg.AsyncCopy {
 		// The kernel waits for its operands' copies, then runs on the

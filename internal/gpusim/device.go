@@ -60,6 +60,7 @@ type Device struct {
 	clock     float64 // compute queue
 	copyClock float64 // copy engine queue (used when cfg.AsyncCopy)
 	memUsed   int64
+	memPeak   int64 // high-water mark of memUsed over the run
 	resident  map[uint64]*block
 	lru       *list.List // front = least recently used; values are tensor IDs
 	stats     DeviceStats
@@ -103,6 +104,10 @@ func (d *Device) MemUsed() int64 { return d.memUsed }
 // MemFree returns the bytes still available on the device.
 func (d *Device) MemFree() int64 { return d.cfg.MemoryBytes - d.memUsed }
 
+// MemPeak returns the high-water mark of allocated bytes over the run,
+// the paper's per-device memory-pressure observable.
+func (d *Device) MemPeak() int64 { return d.memPeak }
+
 // Stats returns a copy of the device's counters.
 func (d *Device) Stats() DeviceStats { return d.stats }
 
@@ -126,6 +131,9 @@ func (d *Device) install(desc tensor.Desc, dirty bool) *block {
 	b.elem = d.lru.PushBack(desc.ID)
 	d.resident[desc.ID] = b
 	d.memUsed += desc.Bytes()
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
 	return b
 }
 
@@ -197,6 +205,7 @@ func (d *Device) reset() {
 	d.clock = 0
 	d.copyClock = 0
 	d.memUsed = 0
+	d.memPeak = 0
 	d.resident = make(map[uint64]*block)
 	d.lru = list.New()
 	d.stats = DeviceStats{}

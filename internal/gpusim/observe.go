@@ -1,0 +1,81 @@
+package gpusim
+
+import (
+	"fmt"
+	"strconv"
+
+	"micco/internal/obs"
+)
+
+// obsSink pre-resolves the registry instruments the simulator feeds, so
+// observing one event costs a few atomic adds and no map lookups or
+// allocations on the simulation path.
+type obsSink struct {
+	reg *obs.Registry
+	// Per event kind (indexed by EventKind): occurrence count, payload
+	// bytes, busy seconds, and a duration histogram.
+	count [numEventKinds]*obs.Counter
+	bytes [numEventKinds]*obs.Counter
+	busy  [numEventKinds]*obs.Counter
+	dur   [numEventKinds]*obs.Histogram
+	// Shared-channel occupancy: the host link (all H2D/D2H traffic) and
+	// the P2P fabric, busy seconds plus time transfers stalled waiting.
+	hostBusy, hostStall *obs.Counter
+	p2pBusy, p2pStall   *obs.Counter
+	flops               *obs.Counter
+	// memPeak tracks each device's memory high-water mark live.
+	memPeak []*obs.Gauge
+}
+
+// numEventKinds is the number of EventKind values (EventEvict is last).
+const numEventKinds = int(EventEvict) + 1
+
+// SetObserver attaches (or, with nil, detaches) a metrics registry. While
+// attached, every simulated operation — kernels, transfers on each
+// H2D/D2H/P2P channel, evictions — feeds counters and duration histograms,
+// shared-link occupancy and stall time accumulate, and per-device memory
+// high-water marks update live. The observer survives Reset, so one
+// registry can watch a whole run.
+func (c *Cluster) SetObserver(r *obs.Registry) {
+	if r == nil {
+		c.sink = nil
+		return
+	}
+	s := &obsSink{reg: r}
+	for k := 0; k < numEventKinds; k++ {
+		kind := EventKind(k).String()
+		s.count[k] = r.Counter(fmt.Sprintf("micco_sim_events_total{kind=%q}", kind))
+		s.bytes[k] = r.Counter(fmt.Sprintf("micco_sim_bytes_total{kind=%q}", kind))
+		s.busy[k] = r.Counter(fmt.Sprintf("micco_sim_busy_seconds_total{kind=%q}", kind))
+		s.dur[k] = r.Histogram(fmt.Sprintf("micco_sim_seconds{kind=%q}", kind), obs.DefSecondsBuckets)
+	}
+	s.hostBusy = r.Counter("micco_sim_hostlink_busy_seconds_total")
+	s.hostStall = r.Counter("micco_sim_hostlink_stall_seconds_total")
+	s.p2pBusy = r.Counter("micco_sim_p2plink_busy_seconds_total")
+	s.p2pStall = r.Counter("micco_sim_p2plink_stall_seconds_total")
+	s.flops = r.Counter("micco_sim_flops_total")
+	for i := range c.devices {
+		s.memPeak = append(s.memPeak, r.Gauge(fmt.Sprintf("micco_device_mem_peak_bytes{device=%q}", strconv.Itoa(i))))
+	}
+	c.sink = s
+}
+
+// observe feeds one simulated event into the registry (simulated seconds,
+// not wall time).
+func (s *obsSink) observe(e Event) {
+	k := int(e.Kind)
+	s.count[k].Inc()
+	s.bytes[k].Add(float64(e.Bytes))
+	s.busy[k].Add(e.Duration())
+	s.dur[k].Observe(e.Duration())
+	if e.Kind == EventKernel {
+		s.flops.Add(float64(e.FLOPs))
+	}
+}
+
+// observeMem refreshes device d's memory high-water gauge.
+func (s *obsSink) observeMem(d *Device) {
+	if d.id < len(s.memPeak) {
+		s.memPeak[d.id].SetMax(float64(d.memUsed))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"micco/internal/obs"
 )
 
 // EventKind classifies a traced simulator event.
@@ -73,12 +75,24 @@ func (c *Cluster) StopTrace() []Event {
 	return out
 }
 
-// TraceEvents returns the events recorded so far without stopping.
-func (c *Cluster) TraceEvents() []Event { return c.traceEvents }
+// TraceEvents returns a copy of the events recorded so far without
+// stopping, so callers cannot corrupt an in-progress trace by mutating or
+// re-slicing the returned slice. Nil when nothing has been recorded.
+func (c *Cluster) TraceEvents() []Event {
+	if len(c.traceEvents) == 0 {
+		return nil
+	}
+	out := make([]Event, len(c.traceEvents))
+	copy(out, c.traceEvents)
+	return out
+}
 
 func (c *Cluster) trace(e Event) {
 	if c.tracing {
 		c.traceEvents = append(c.traceEvents, e)
+	}
+	if c.sink != nil {
+		c.sink.observe(e)
 	}
 }
 
@@ -86,24 +100,55 @@ func (c *Cluster) trace(e Event) {
 // array format: open chrome://tracing or https://ui.perfetto.dev and load
 // the file. Devices map to process IDs; kernel and copy queues to threads.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return writeChromeTrace(w, events, nil)
+}
+
+// WriteChromeTraceMerged serializes events like WriteChromeTrace and merges
+// scheduler decision records into the same timeline as instant events
+// ("ph":"i") on the chosen device's kernel thread, so Perfetto shows *why*
+// each pair landed where it did next to the kernels and transfers it
+// caused. Timestamps are the decision's simulated placement time.
+func WriteChromeTraceMerged(w io.Writer, events []Event, decisions []obs.DecisionRecord) error {
+	return writeChromeTrace(w, events, decisions)
+}
+
+func writeChromeTrace(w io.Writer, events []Event, decisions []obs.DecisionRecord) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}
-	for i, e := range events {
+	total := len(events) + len(decisions)
+	n := 0
+	sep := func() string {
+		n++
+		if n == total {
+			return ""
+		}
+		return ","
+	}
+	for _, e := range events {
 		tid := 0 // kernel queue
 		if e.Kind != EventKernel {
 			tid = 1 // copy/eviction queue
-		}
-		sep := ","
-		if i == len(events)-1 {
-			sep = ""
 		}
 		_, err := fmt.Fprintf(w,
 			"  {\"name\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"+
 				"\"args\":{\"tensor\":%d,\"bytes\":%d,\"flops\":%d}}%s\n",
 			fmt.Sprintf("%s t%d", e.Kind, e.Tensor),
 			e.Start*1e6, e.Duration()*1e6, e.Device, tid,
-			e.Tensor, e.Bytes, e.FLOPs, sep)
+			e.Tensor, e.Bytes, e.FLOPs, sep())
+		if err != nil {
+			return err
+		}
+	}
+	for _, d := range decisions {
+		_, err := fmt.Fprintf(w,
+			"  {\"name\":%q,\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"s\":\"t\","+
+				"\"args\":{\"stage\":%d,\"pair\":%d,\"pattern\":%q,\"bound_index\":%d,\"bound\":%d,"+
+				"\"policy\":%q,\"candidates\":%d,\"predicted_bytes\":%d,\"actual_bytes\":%d,\"evictions\":%d}}%s\n",
+			fmt.Sprintf("decide t%d", d.Out),
+			d.SimTime*1e6, d.Device,
+			d.Stage, d.Pair, d.Pattern.String(), d.BoundIndex, d.Bound,
+			d.Policy, len(d.Candidates), d.PredictedBytes, d.ActualBytes, d.Evictions, sep())
 		if err != nil {
 			return err
 		}
@@ -113,7 +158,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 }
 
 // TraceSummary aggregates events into per-device, per-kind busy time and
-// writes a compact text report.
+// writes a compact text report: one row per device, a totals row, and a
+// util% column (per-device busy time over the trace makespan) answering
+// the paper's Fig. 8 load-balance question directly from a trace.
 func TraceSummary(w io.Writer, events []Event) error {
 	type key struct {
 		dev  int
@@ -121,12 +168,18 @@ func TraceSummary(w io.Writer, events []Event) error {
 	}
 	busy := map[key]float64{}
 	count := map[key]int{}
+	devBusy := map[int]float64{}
 	devs := map[int]bool{}
+	var makespan float64
 	for _, e := range events {
 		k := key{e.Device, e.Kind}
 		busy[k] += e.Duration()
 		count[k]++
+		devBusy[e.Device] += e.Duration()
 		devs[e.Device] = true
+		if e.End > makespan {
+			makespan = e.End
+		}
 	}
 	var devices []int
 	for d := range devs {
@@ -142,22 +195,47 @@ func TraceSummary(w io.Writer, events []Event) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintln(w); err != nil {
+	if _, err := fmt.Fprintf(w, " %9s %6s\n", "busy(s)", "util%"); err != nil {
 		return err
 	}
-	for _, d := range devices {
-		if _, err := fmt.Fprintf(w, "%-7d", d); err != nil {
+	util := func(busy float64, span float64) float64 {
+		if span == 0 {
+			return 0
+		}
+		return 100 * busy / span
+	}
+	row := func(label string, kk func(EventKind) key, rowBusy, span float64) error {
+		if _, err := fmt.Fprintf(w, "%-7s", label); err != nil {
 			return err
 		}
 		for _, k := range kinds {
-			kk := key{d, k}
-			if _, err := fmt.Fprintf(w, " %5d %8.4fs", count[kk], busy[kk]); err != nil {
+			if _, err := fmt.Fprintf(w, " %5d %8.4fs", count[kk(k)], busy[kk(k)]); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintln(w); err != nil {
+		_, err := fmt.Fprintf(w, " %8.4fs %6.1f\n", rowBusy, util(rowBusy, span))
+		return err
+	}
+	var totalCount = map[EventKind]int{}
+	var totalBusy = map[EventKind]float64{}
+	var allBusy float64
+	for _, d := range devices {
+		for _, k := range kinds {
+			totalCount[k] += count[key{d, k}]
+			totalBusy[k] += busy[key{d, k}]
+		}
+		allBusy += devBusy[d]
+		if err := row(fmt.Sprintf("%d", d), func(k EventKind) key { return key{d, k} }, devBusy[d], makespan); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Totals row: util% is aggregate utilization, total busy time over
+	// device-count × makespan (100% = every device busy the whole run).
+	const totalDev = -1
+	for _, k := range kinds {
+		count[key{totalDev, k}] = totalCount[k]
+		busy[key{totalDev, k}] = totalBusy[k]
+	}
+	return row("total", func(k EventKind) key { return key{totalDev, k} },
+		allBusy, float64(len(devices))*makespan)
 }

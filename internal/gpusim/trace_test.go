@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"micco/internal/obs"
 )
 
 func TestTraceRecordsAllEventKinds(t *testing.T) {
@@ -141,8 +143,152 @@ func TestTraceSummary(t *testing.T) {
 		t.Errorf("summary missing aggregates:\n%s", out)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 3 { // header + 2 devices
-		t.Errorf("summary lines = %d, want 3:\n%s", len(lines), out)
+	if len(lines) != 4 { // header + 2 devices + totals
+		t.Errorf("summary lines = %d, want 4:\n%s", len(lines), out)
+	}
+	// util%: device 0 is busy the full 1.5s makespan (100%), device 1
+	// 0.25/1.5 (16.7%); the totals row reports aggregate utilization
+	// 1.75/(2*1.5) = 58.3% and sums the counts.
+	if !strings.Contains(lines[1], "100.0") {
+		t.Errorf("device 0 util missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "16.7") {
+		t.Errorf("device 1 util missing:\n%s", out)
+	}
+	total := lines[3]
+	if !strings.HasPrefix(total, "total") || !strings.Contains(total, "58.3") ||
+		!strings.Contains(total, "1.7500s") {
+		t.Errorf("totals row wrong:\n%s", out)
+	}
+	// No events: header plus an all-zero totals row, no division by zero.
+	buf.Reset()
+	if err := TraceSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("empty summary has NaN:\n%s", buf.String())
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exact serialized bytes (including
+// the empty-events case) so the trace format cannot silently drift.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	events := []Event{
+		{Kind: EventH2D, Device: 0, Tensor: 1, Start: 0, End: 0.001, Bytes: 100},
+		{Kind: EventKernel, Device: 0, Tensor: 2, Start: 0.001, End: 0.002, FLOPs: 5000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	want := "[\n" +
+		"  {\"name\":\"h2d t1\",\"ph\":\"X\",\"ts\":0.000,\"dur\":1000.000,\"pid\":0,\"tid\":1," +
+		"\"args\":{\"tensor\":1,\"bytes\":100,\"flops\":0}},\n" +
+		"  {\"name\":\"kernel t2\",\"ph\":\"X\",\"ts\":1000.000,\"dur\":1000.000,\"pid\":0,\"tid\":0," +
+		"\"args\":{\"tensor\":2,\"bytes\":0,\"flops\":5000}}\n" +
+		"]\n"
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[\n]\n" {
+		t.Errorf("empty trace = %q, want %q", got, "[\n]\n")
+	}
+}
+
+func TestWriteChromeTraceMerged(t *testing.T) {
+	events := []Event{
+		{Kind: EventKernel, Device: 1, Tensor: 2, Start: 0.001, End: 0.002, FLOPs: 5000},
+	}
+	decisions := []obs.DecisionRecord{{
+		Stage: 0, Pair: 3, Out: 2, Device: 1, Pattern: obs.OneRepeated,
+		BoundIndex: 1, Bound: 2, Policy: "compute-centric",
+		Candidates:     []obs.CandidateScore{{Device: 1, Score: 0.001}},
+		PredictedBytes: 100, ActualBytes: 100, SimTime: 0.001,
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMerged(&buf, events, decisions); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("merged trace invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(parsed))
+	}
+	inst := parsed[1]
+	if inst["ph"] != "i" || inst["name"] != "decide t2" || inst["pid"].(float64) != 1 {
+		t.Errorf("instant event malformed: %v", inst)
+	}
+	args := inst["args"].(map[string]any)
+	if args["pattern"] != "oneRepeated" || args["bound_index"].(float64) != 1 ||
+		args["predicted_bytes"].(float64) != 100 {
+		t.Errorf("instant args malformed: %v", args)
+	}
+	// Decisions with no events still produce valid JSON (separator logic).
+	buf.Reset()
+	if err := WriteChromeTraceMerged(&buf, nil, decisions); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("decisions-only trace invalid: %v", err)
+	}
+}
+
+// TestTraceEventsReturnsCopy guards the fix for the live-slice leak:
+// mutating or appending to the returned slice must not corrupt the trace
+// still being recorded.
+func TestTraceEventsReturnsCopy(t *testing.T) {
+	c, _ := NewCluster(testConfig(1))
+	c.StartTrace()
+	d1, d2 := desc(1, 64, 1), desc(2, 64, 1)
+	c.RegisterHostTensor(d1)
+	c.RegisterHostTensor(d2)
+	if err := c.EnsureResident(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	got := c.TraceEvents()
+	if len(got) != 1 {
+		t.Fatalf("events = %d, want 1", len(got))
+	}
+	got[0].Tensor = 999
+	_ = append(got, Event{Kind: EventEvict, Tensor: 777})
+	if err := c.EnsureResident(0, d2); err != nil {
+		t.Fatal(err)
+	}
+	events := c.StopTrace()
+	if len(events) != 2 {
+		t.Fatalf("trace corrupted: %d events, want 2", len(events))
+	}
+	if events[0].Tensor != 1 || events[1].Tensor != 2 {
+		t.Errorf("trace corrupted by caller mutation: %+v", events)
+	}
+}
+
+func TestMemPeakTracksHighWater(t *testing.T) {
+	cfg := testConfig(1)
+	sz := desc(0, 64, 1).Bytes()
+	cfg.MemoryBytes = 2 * sz
+	c, _ := NewCluster(cfg)
+	for id := uint64(1); id <= 3; id++ {
+		d := desc(id, 64, 1)
+		c.RegisterHostTensor(d)
+		if err := c.EnsureResident(0, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three tensors through a two-tensor pool: peak is the full pool even
+	// though eviction keeps current usage at 2*sz as well.
+	if got := c.Device(0).MemPeak(); got != 2*sz {
+		t.Errorf("MemPeak = %d, want %d", got, 2*sz)
+	}
+	c.Reset()
+	if c.Device(0).MemPeak() != 0 {
+		t.Error("Reset should clear MemPeak")
 	}
 }
 

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReusePattern is the local reuse classification of a tensor pair against
+// current GPU residency (paper Fig. 4). Values mirror internal/core's
+// enumeration so the two layers agree without an import cycle (core
+// depends on sched, which depends on this package).
+type ReusePattern int
+
+const (
+	// TwoRepeatedSame: both tensors resident on at least one common GPU.
+	TwoRepeatedSame ReusePattern = iota
+	// TwoRepeatedDiff: both tensors resident, but on disjoint GPUs.
+	TwoRepeatedDiff
+	// OneRepeated: exactly one tensor of the pair is resident somewhere.
+	OneRepeated
+	// TwoNew: neither tensor is resident on any GPU.
+	TwoNew
+)
+
+// NumReusePatterns is the number of reuse pattern classes.
+const NumReusePatterns = 4
+
+// String implements fmt.Stringer.
+func (r ReusePattern) String() string {
+	switch r {
+	case TwoRepeatedSame:
+		return "twoRepeatedSame"
+	case TwoRepeatedDiff:
+		return "twoRepeatedDiff"
+	case OneRepeated:
+		return "oneRepeated"
+	case TwoNew:
+		return "twoNew"
+	default:
+		return fmt.Sprintf("ReusePattern(%d)", int(r))
+	}
+}
+
+// MarshalJSON renders the pattern as its name, keeping decision NDJSON
+// self-describing.
+func (r ReusePattern) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON accepts both the name and the numeric form.
+func (r *ReusePattern) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		for p := ReusePattern(0); p < NumReusePatterns; p++ {
+			if p.String() == s {
+				*r = p
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: unknown reuse pattern %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*r = ReusePattern(n)
+	return nil
+}
+
+// CandidateScore is one device the scheduler considered for a placement,
+// with the score of its primary selection key (lower wins).
+type CandidateScore struct {
+	Device int     `json:"device"`
+	Score  float64 `json:"score"`
+}
+
+// DecisionRecord explains one placement: which pair went to which device,
+// what the scheduler saw (reuse pattern, gating bound, candidate scores,
+// policy), and what it cost (predicted operand movement vs the transfer
+// bytes the simulator actually charged).
+//
+// The execution engine fills the identity, pattern, predicted/actual and
+// timing fields; the scheduler fills the fields only it knows (bound,
+// policy, candidates) through sched.Context.Decision.
+type DecisionRecord struct {
+	// Stage and Pair locate the placement in the workload (stage-major).
+	Stage int `json:"stage"`
+	Pair  int `json:"pair"`
+	// Out identifies the pair by its output tensor; A and B are the
+	// operand tensor IDs.
+	Out uint64 `json:"out"`
+	A   uint64 `json:"a"`
+	B   uint64 `json:"b"`
+	// Device is the chosen GPU.
+	Device int `json:"device"`
+	// Pattern is the pair's local reuse pattern at placement time.
+	Pattern ReusePattern `json:"pattern"`
+	// BoundIndex is which of the three reuse bounds gated the candidate
+	// set that produced the placement (-1 when the scheduler publishes no
+	// bound: baselines, or MICCO's defensive fallback); Bound is that
+	// bound's active value.
+	BoundIndex int `json:"bound_index"`
+	Bound      int `json:"bound,omitempty"`
+	// BalanceNum is the stage's per-GPU balance point (ceil slots/GPUs).
+	BalanceNum int `json:"balance_num"`
+	// Policy names the final-selection rule: MICCO's "compute-centric" or
+	// "memory-eviction", or a baseline's fixed policy.
+	Policy string `json:"policy,omitempty"`
+	// Candidates are the devices that survived candidate selection, each
+	// with its primary-key score (lower wins).
+	Candidates []CandidateScore `json:"candidates,omitempty"`
+	// PredictedBytes is the operand volume the engine expected to move
+	// for the chosen device (non-resident inputs); ActualBytes is the
+	// H2D+P2P volume the simulator charged executing the pair, and
+	// ActualD2HBytes the write-back volume (evictions, host staging).
+	PredictedBytes int64 `json:"predicted_bytes"`
+	ActualBytes    int64 `json:"actual_bytes"`
+	ActualD2HBytes int64 `json:"actual_d2h_bytes,omitempty"`
+	// Evictions is how many blocks this placement forced out.
+	Evictions int64 `json:"evictions,omitempty"`
+	// SimTime is the chosen device's simulated clock when the pair was
+	// placed (seconds), anchoring the record on the trace timeline.
+	SimTime float64 `json:"sim_time"`
+}
+
+// RecordDecision appends one decision record. Nil-safe.
+func (r *Registry) RecordDecision(d DecisionRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.decisions = append(r.decisions, d)
+	r.mu.Unlock()
+}
+
+// Decisions returns a copy of the decision records in placement order.
+func (r *Registry) Decisions() []DecisionRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DecisionRecord, len(r.decisions))
+	copy(out, r.decisions)
+	return out
+}
+
+// WriteDecisionsNDJSON writes one JSON object per line per decision record
+// (newline-delimited JSON, greppable and streamable).
+func WriteDecisionsNDJSON(w io.Writer, recs []DecisionRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range recs {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramBucket is one cumulative bucket of a histogram snapshot.
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper bound; the final bucket
+	// is +Inf, rendered as the JSON string "+Inf" (encoding/json cannot
+	// represent infinities as numbers).
+	UpperBound float64 `json:"le"`
+	// Count is cumulative: observations less than or equal to UpperBound.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders finite bounds as numbers and +Inf as the string
+// "+Inf", which encoding/json would otherwise reject.
+func (b HistogramBucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			UpperBound string `json:"le"`
+			Count      int64  `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(struct {
+		UpperBound float64 `json:"le"`
+		Count      int64   `json:"count"`
+	}{b.UpperBound, b.Count})
+}
+
+// UnmarshalJSON accepts both forms produced by MarshalJSON.
+func (b *HistogramBucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		UpperBound json.RawMessage `json:"le"`
+		Count      int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var f float64
+	if err := json.Unmarshal(raw.UpperBound, &f); err == nil {
+		b.UpperBound = f
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(raw.UpperBound, &s); err != nil {
+		return err
+	}
+	if s != "+Inf" {
+		return fmt.Errorf("obs: bad bucket bound %q", s)
+	}
+	b.UpperBound = math.Inf(1)
+	return nil
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-serializable export of a registry:
+// every counter, gauge and histogram by full series name, the completed
+// spans, and the number of decision records (the records themselves export
+// separately via WriteDecisionsNDJSON — they can be large).
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []Span                       `json:"spans,omitempty"`
+	Decisions  int                          `json:"decisions"`
+}
+
+// Snapshot exports the registry's current state. Nil-safe: a nil registry
+// snapshots as nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]float64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Decisions:  len(r.decisions),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	s.Spans = append(s.Spans, r.spans...)
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.uppers) {
+			ub = h.uppers[i]
+		}
+		hs.Buckets = append(hs.Buckets, HistogramBucket{UpperBound: ub, Count: cum})
+	}
+	return hs
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as *_total-style counters, gauges as
+// gauges, histograms with cumulative le-labeled buckets plus _sum and
+// _count. Series are sorted by name so the output is deterministic.
+// Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	writeTyped := func(series, kind string) error {
+		base := seriesBase(series)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		if err := writeTyped(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", name, formatValue(snap.Counters[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if err := writeTyped(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", name, formatValue(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		hs := snap.Histograms[name]
+		base, labels := splitSeries(name)
+		if err := writeTyped(name, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range hs.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatValue(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", base, labels, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%s_sum%s %s\n", base, braced(labels), formatValue(hs.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s_count%s %d\n", base, braced(labels), hs.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesBase strips any inline label set from a series name.
+func seriesBase(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// splitSeries separates a series name into its base and its label content
+// (without braces, with a trailing comma when non-empty, ready to be
+// prefixed onto additional labels).
+func splitSeries(series string) (base, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	inner := strings.TrimSuffix(series[i+1:], "}")
+	if inner != "" {
+		inner += ","
+	}
+	return series[:i], inner
+}
+
+// braced re-wraps split label content for _sum/_count lines.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+// formatValue renders floats the way Prometheus expects: integers without
+// an exponent, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"micco/internal/obs"
 	"micco/internal/tensor"
 	"micco/internal/workload"
 )
@@ -61,6 +64,11 @@ type numericStore struct {
 	arena     bufArena
 	normMu    sync.Mutex
 	norms     map[uint64]float64 // final norms of reclaimed tensors
+
+	// obs, when non-nil, receives per-worker busy/wait/utilization gauges
+	// at pool shutdown. Timing is only measured when set, so the disabled
+	// path pays nothing.
+	obs *obs.Registry
 
 	// Concurrent-mode state; jobs is nil in serial mode.
 	jobs      []*numericJob
@@ -136,6 +144,7 @@ func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*
 	if opts.PoolSize() <= 1 {
 		return s, nil
 	}
+	s.obs = opts.Obs
 	s.buildJobs(w)
 	s.parentCtx = ctx
 	s.runCtx, s.cancel = context.WithCancel(ctx)
@@ -201,32 +210,64 @@ func (s *numericStore) start(pool int) {
 	}
 	for w := 0; w < pool; w++ {
 		s.wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer s.wg.Done()
-			for i := range queue {
-				s.runJob(i)
+			timed := s.obs != nil
+			var start time.Time
+			if timed {
+				start = time.Now()
 			}
-		}()
+			var busy, wait time.Duration
+			for i := range queue {
+				b, wt := s.runJob(i)
+				busy += b
+				wait += wt
+			}
+			if timed {
+				label := strconv.Itoa(id)
+				s.obs.Gauge(`micco_numeric_worker_busy_seconds{worker="` + label + `"}`).Set(busy.Seconds())
+				s.obs.Gauge(`micco_numeric_worker_wait_seconds{worker="` + label + `"}`).Set(wait.Seconds())
+				if total := time.Since(start).Seconds(); total > 0 {
+					s.obs.Gauge(`micco_numeric_worker_utilization{worker="` + label + `"}`).Set(busy.Seconds() / total)
+				}
+			}
+		}(w)
 	}
 }
 
 // runJob waits for the job's dependencies, then contracts. Cancellation
 // (external or triggered by another job's error) bails out without
 // executing; the done channel is closed either way so waiters never hang.
-func (s *numericStore) runJob(i int) {
+// The returned durations split the job into dependency wait and contraction
+// time; both are zero unless an observability registry is attached.
+func (s *numericStore) runJob(i int) (busy, wait time.Duration) {
 	job := s.jobs[i]
 	defer close(job.done)
+	timed := s.obs != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	for _, d := range job.deps {
 		select {
 		case <-s.jobs[d].done:
 		case <-s.runCtx.Done():
+			if timed {
+				wait = time.Since(t0)
+			}
 			return
 		}
+	}
+	if timed {
+		wait = time.Since(t0)
 	}
 	// A dependency may have closed its channel while bailing out; re-check
 	// before executing so errors do not cascade into spurious ones.
 	if s.runCtx.Err() != nil {
 		return
+	}
+	if timed {
+		t0 = time.Now()
 	}
 	// The pool provides the parallelism; each kernel runs single-threaded.
 	if err := s.execPair(job.pair, 1); err != nil {
@@ -235,6 +276,10 @@ func (s *numericStore) runJob(i int) {
 		s.errMu.Unlock()
 		s.cancel()
 	}
+	if timed {
+		busy = time.Since(t0)
+	}
+	return
 }
 
 // exec validates pair p. On the serial engine it contracts inline, in

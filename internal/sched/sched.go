@@ -10,9 +10,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"time"
 
 	"micco/internal/gpusim"
+	"micco/internal/obs"
 	"micco/internal/workload"
 )
 
@@ -42,6 +44,17 @@ type Context struct {
 	Features workload.Features
 	// StageIndex is the index of the current stage.
 	StageIndex int
+	// Obs is the run's metrics registry, nil when observability is off.
+	// All obs instruments are nil-safe, so schedulers may use it
+	// unconditionally.
+	Obs *obs.Registry
+	// Decision, when non-nil, is the in-flight placement's decision
+	// record. The engine fills the identity, pattern and cost fields;
+	// schedulers fill the fields only they know (gating bound, policy,
+	// candidate scores) inside Assign. Schedulers MUST guard on
+	// Decision != nil before touching it — the nil check is what keeps
+	// the placement hot path allocation-free when observability is off.
+	Decision *obs.DecisionRecord
 }
 
 // Holders returns the devices on which tensor id is currently resident.
@@ -106,6 +119,15 @@ type Options struct {
 	// bit-identical with reclamation on or off, at any pool size. Off by
 	// default: the store then keeps every tensor resident.
 	NumericReclaim bool
+	// Obs attaches a metrics registry to the run: the engine emits
+	// per-stage spans and wall-clock phase timings, a DecisionRecord per
+	// placement (reuse pattern, gating bound, candidate scores, predicted
+	// vs actual transfer bytes), and the simulator feeds per-channel
+	// transfer/eviction counters, link occupancy and memory high-water
+	// marks into the same registry. Result.Metrics snapshots it at the
+	// end of the run. Nil (the default) disables observability entirely;
+	// the placement hot path then performs no extra allocations.
+	Obs *obs.Registry
 	// Parallelism bounds the numeric-validation worker pool. Scheduler
 	// decisions and the timing simulation always replay sequentially (the
 	// paper's Algorithms 1-2 are order-dependent), but the real CPU
@@ -147,6 +169,90 @@ type Result struct {
 	// NumericFingerprint is the sum of Frobenius norms of all outputs in
 	// numeric mode (0 otherwise). Scheduler choices must not change it.
 	NumericFingerprint float64
+	// Metrics is the end-of-run snapshot of Options.Obs (nil when
+	// observability was off). Decision records are not embedded — read
+	// them from the registry via Decisions().
+	Metrics *obs.Snapshot
+}
+
+// obsRun bundles the engine's per-run observability state: the registry,
+// the run-level span, and the pre-resolved counters the per-pair loop
+// feeds. A nil *obsRun disables everything at the cost of one pointer
+// comparison per use.
+type obsRun struct {
+	reg      *obs.Registry
+	runSpan  *obs.ActiveSpan
+	patterns [obs.NumReusePatterns]*obs.Counter
+	schedule *obs.Counter // wall seconds inside scheduler calls
+	simulate *obs.Counter // wall seconds inside the timing simulator
+	numeric  *obs.Counter // wall seconds in inline numeric contractions
+}
+
+func newObsRun(reg *obs.Registry, s Scheduler, w *workload.Workload) *obsRun {
+	if reg == nil {
+		return nil
+	}
+	o := &obsRun{reg: reg}
+	o.runSpan = reg.StartSpan("run", nil)
+	o.runSpan.SetAttr("scheduler", s.Name())
+	o.runSpan.SetAttr("workload", w.Name)
+	for p := 0; p < obs.NumReusePatterns; p++ {
+		o.patterns[p] = reg.Counter(fmt.Sprintf("micco_sched_pattern_total{pattern=%q}", obs.ReusePattern(p).String()))
+	}
+	o.schedule = reg.Counter("micco_engine_schedule_seconds_total")
+	o.simulate = reg.Counter("micco_engine_simulate_seconds_total")
+	o.numeric = reg.Counter("micco_engine_numeric_seconds_total")
+	return o
+}
+
+// classifyReuse computes a pair's local reuse pattern against current
+// residency without allocating holder slices. The four-way classification
+// mirrors internal/core's Classify (which core asserts in its own tests);
+// it lives here so the engine can label decisions of schedulers that never
+// classify (Groute, RoundRobin).
+func classifyReuse(c *gpusim.Cluster, p workload.Pair) obs.ReusePattern {
+	var hasA, hasB, both bool
+	for i := 0; i < c.NumDevices(); i++ {
+		d := c.Device(i)
+		a, b := d.Holds(p.A.ID), d.Holds(p.B.ID)
+		hasA = hasA || a
+		hasB = hasB || b
+		both = both || (a && b)
+	}
+	switch {
+	case both:
+		return obs.TwoRepeatedSame
+	case hasA && hasB:
+		return obs.TwoRepeatedDiff
+	case hasA || hasB:
+		return obs.OneRepeated
+	default:
+		return obs.TwoNew
+	}
+}
+
+// finish closes the run span and publishes the end-of-run gauges: run
+// aggregates, per-device busy time, utilization and memory high-water.
+func (o *obsRun) finish(res *Result, c *gpusim.Cluster) {
+	if o == nil {
+		return
+	}
+	o.reg.Gauge("micco_run_makespan_seconds").Set(res.Makespan)
+	o.reg.Gauge("micco_run_gflops").Set(res.GFLOPS)
+	o.reg.Counter("micco_sched_overhead_seconds_total").Add(res.SchedOverhead.Seconds())
+	for i := 0; i < c.NumDevices(); i++ {
+		d := c.Device(i)
+		st := d.Stats()
+		busy := st.KernelTime + st.TransferTime + st.EvictTime + st.AllocTime
+		id := strconv.Itoa(i)
+		o.reg.Gauge(fmt.Sprintf("micco_device_busy_seconds{device=%q}", id)).Set(busy)
+		if res.Makespan > 0 {
+			o.reg.Gauge(fmt.Sprintf("micco_device_utilization{device=%q}", id)).Set(busy / res.Makespan)
+		}
+		o.reg.Gauge(fmt.Sprintf("micco_device_mem_peak_bytes{device=%q}", id)).SetMax(float64(d.MemPeak()))
+	}
+	o.runSpan.End()
+	res.Metrics = o.reg.Snapshot()
 }
 
 // Run replays workload w through scheduler s on cluster c. The cluster is
@@ -156,6 +262,11 @@ type Result struct {
 // numeric mode the real CPU contractions run on a dependency-aware worker
 // pool sized by Options.Parallelism, overlapping with scheduling. ctx
 // cancels the run: Run returns ctx.Err() promptly, checked at every pair.
+//
+// When Options.Obs is set the engine additionally records, into that
+// registry: one DecisionRecord per placement, per-stage spans with
+// schedule/simulate/numeric wall-time attribution, reuse-pattern counters,
+// and end-of-run device gauges; Result.Metrics carries the snapshot.
 func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*Result, error) {
 	if w == nil || s == nil || c == nil {
 		return nil, fmt.Errorf("sched: %w: workload, scheduler and cluster must be non-nil", ErrNilArgument)
@@ -167,6 +278,11 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		return nil, err
 	}
 	c.Reset()
+	ob := newObsRun(opts.Obs, s, w)
+	if ob != nil {
+		c.SetObserver(opts.Obs)
+		defer c.SetObserver(nil)
+	}
 	for _, d := range w.Inputs {
 		c.RegisterHostTensor(d)
 	}
@@ -187,6 +303,7 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		NumGPU:    n,
 		StageLoad: make([]int, n),
 		Comp:      make([]float64, n),
+		Obs:       opts.Obs,
 	}
 	res := &Result{Scheduler: s.Name(), Workload: w.Name}
 	var overhead time.Duration
@@ -198,23 +315,67 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			sctx.StageLoad[i] = 0
 		}
 		sctx.Features = w.StageFeatures(si)
+		var stageSpan *obs.ActiveSpan
+		var scheduleW, simulateW, numericW time.Duration
+		if ob != nil {
+			stageSpan = ob.reg.StartSpan("stage", ob.runSpan)
+			stageSpan.SetAttr("index", strconv.Itoa(si))
+			stageSpan.SetAttr("pairs", strconv.Itoa(len(st.Pairs)))
+		}
 		t0 := time.Now()
 		s.BeginStage(sctx)
-		overhead += time.Since(t0)
+		d0 := time.Since(t0)
+		overhead += d0
+		scheduleW += d0
 		var stageAssign []int
-		for _, p := range st.Pairs {
+		for pi, p := range st.Pairs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			var rec *obs.DecisionRecord
+			var before gpusim.DeviceStats
+			if ob != nil {
+				rec = &obs.DecisionRecord{
+					Stage: si, Pair: pi,
+					Out: p.Out.ID, A: p.A.ID, B: p.B.ID,
+					BalanceNum: sctx.BalanceNum, BoundIndex: -1,
+					Pattern: classifyReuse(c, p),
+				}
+				sctx.Decision = rec
+			}
 			t0 = time.Now()
 			dev := s.Assign(p, sctx)
-			overhead += time.Since(t0)
+			d0 = time.Since(t0)
+			overhead += d0
+			scheduleW += d0
 			if dev < 0 || dev >= n {
 				return nil, fmt.Errorf("sched: %w: %s assigned pair to device %d of %d", ErrInvalidDevice, s.Name(), dev, n)
+			}
+			if rec != nil {
+				sctx.Decision = nil
+				rec.Device = dev
+				rec.SimTime = c.Device(dev).Clock()
+				if !c.Device(dev).Holds(p.A.ID) {
+					rec.PredictedBytes += p.A.Bytes()
+				}
+				if !c.Device(dev).Holds(p.B.ID) && p.B.ID != p.A.ID {
+					rec.PredictedBytes += p.B.Bytes()
+				}
+				before = c.TotalStats()
+				t0 = time.Now()
 			}
 			flops, err := c.ExecContraction(dev, p.A, p.B, p.Out)
 			if err != nil {
 				return nil, fmt.Errorf("sched: stage %d: %w", si, err)
+			}
+			if rec != nil {
+				simulateW += time.Since(t0)
+				after := c.TotalStats()
+				rec.ActualBytes = (after.H2DBytes + after.P2PBytes) - (before.H2DBytes + before.P2PBytes)
+				rec.ActualD2HBytes = after.D2HBytes - before.D2HBytes
+				rec.Evictions = after.Evictions - before.Evictions
+				ob.patterns[rec.Pattern].Inc()
+				ob.reg.RecordDecision(*rec)
 			}
 			sctx.StageLoad[dev] += 2
 			sctx.Comp[dev] += float64(flops) / c.Config().FLOPS
@@ -227,8 +388,14 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 				}
 			}
 			if store != nil {
+				if ob != nil {
+					t0 = time.Now()
+				}
 				if err := store.exec(p); err != nil {
 					return nil, err
+				}
+				if ob != nil {
+					numericW += time.Since(t0)
 				}
 			}
 			if opts.RecordAssignments {
@@ -239,6 +406,15 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			res.Assignments = append(res.Assignments, stageAssign)
 		}
 		c.Barrier()
+		if ob != nil {
+			ob.schedule.Add(scheduleW.Seconds())
+			ob.simulate.Add(simulateW.Seconds())
+			ob.numeric.Add(numericW.Seconds())
+			stageSpan.SetAttr("schedule_s", formatSeconds(scheduleW))
+			stageSpan.SetAttr("simulate_s", formatSeconds(simulateW))
+			stageSpan.SetAttr("numeric_s", formatSeconds(numericW))
+			stageSpan.End()
+		}
 	}
 	res.Makespan = c.Makespan()
 	res.GFLOPS = c.GFLOPS()
@@ -248,12 +424,27 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		res.PerDevice = append(res.PerDevice, c.Device(i).Stats())
 	}
 	if store != nil {
+		var t0 time.Time
+		if ob != nil {
+			t0 = time.Now()
+		}
 		if err := store.finish(); err != nil {
 			return nil, err
 		}
+		if ob != nil {
+			// Drain time: how long the engine waited for the numeric pool
+			// after the last pair was scheduled (queue-wait tail).
+			ob.reg.Counter("micco_engine_numeric_drain_seconds_total").Add(time.Since(t0).Seconds())
+		}
 		res.NumericFingerprint = store.fingerprint()
 	}
+	ob.finish(res, c)
 	return res, nil
+}
+
+// formatSeconds renders a wall duration as decimal seconds for span attrs.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', 6, 64)
 }
 
 // Speedup returns how much faster r is than baseline in throughput terms.

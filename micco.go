@@ -43,6 +43,7 @@ import (
 	"micco/internal/gpusim"
 	"micco/internal/mlearn"
 	"micco/internal/multinode"
+	"micco/internal/obs"
 	"micco/internal/redstar"
 	"micco/internal/sched"
 	"micco/internal/spectro"
@@ -323,9 +324,48 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return gpusim.WriteChromeTrace(w, events)
 }
 
+// WriteChromeTraceMerged serializes trace events like WriteChromeTrace and
+// merges scheduler decision records into the timeline as instant events,
+// so the trace viewer shows why each pair landed where it did.
+func WriteChromeTraceMerged(w io.Writer, events []TraceEvent, decisions []DecisionRecord) error {
+	return gpusim.WriteChromeTraceMerged(w, events, decisions)
+}
+
 // WriteTraceSummary writes per-device busy-time aggregates of a trace.
 func WriteTraceSummary(w io.Writer, events []TraceEvent) error {
 	return gpusim.TraceSummary(w, events)
+}
+
+// Observability types (metrics registry, spans, decision records). Attach a
+// registry through RunOptions.Obs; a nil registry costs nothing — every
+// instrument call on the hot path degrades to a no-op without allocating.
+type (
+	// MetricsRegistry collects counters, gauges, histograms, spans, and
+	// scheduler decision records for one or more runs.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serializable export of a
+	// registry (also returned as Result.Metrics when RunOptions.Obs is set).
+	MetricsSnapshot = obs.Snapshot
+	// DecisionRecord explains one placement: pattern, gating bound,
+	// candidate scores, policy, and predicted vs actual transfer bytes.
+	DecisionRecord = obs.DecisionRecord
+	// CandidateScore is one device the scheduler considered, with its
+	// primary selection score (lower wins).
+	CandidateScore = obs.CandidateScore
+	// Span is one finished timing span (run and stage phases).
+	Span = obs.Span
+)
+
+// NewMetricsRegistry returns an empty observability registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// WritePrometheus writes a registry snapshot in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, r *MetricsRegistry) error { return r.WritePrometheus(w) }
+
+// WriteDecisions writes decision records as newline-delimited JSON.
+func WriteDecisions(w io.Writer, recs []DecisionRecord) error {
+	return obs.WriteDecisionsNDJSON(w, recs)
 }
 
 // LoadPredictor deserializes a predictor saved with Predictor.Save.
