@@ -18,14 +18,19 @@ race:
 
 check: vet test race benchsmoke
 
-# benchsmoke compiles and runs every benchmark once, so check catches
-# bit-rot in benchmark code without paying for real measurements.
+# benchsmoke compiles and runs every benchmark once — including the
+# scheduler-overhead suite in internal/sched — so check catches bit-rot
+# in benchmark code without paying for real measurements.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench measures the contraction-kernel component benchmarks with
 # allocation stats and records them as BENCH_kernel.json (via
-# cmd/benchjson, which tees the raw output through).
+# cmd/benchjson, which tees the raw output through), then the
+# scheduler-overhead suite as BENCH_sched.json with the pre-index
+# baseline numbers merged in for comparison.
 bench:
 	$(GO) test -run '^$$' -bench 'ContractionKernel' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+	$(GO) test -run '^$$' -bench 'SchedulerAssign|RunScheduleOnly' -benchmem ./internal/sched \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_sched_baseline.json -o BENCH_sched.json

@@ -9,7 +9,9 @@
 // b.ReportMetric units. With -extra, a metrics snapshot (as written by
 // miccorun -metrics) is flattened into the document under the "_metrics"
 // key, so one BENCH_*.json carries both benchmark timings and the run's
-// observability counters.
+// observability counters. With -baseline, a previously recorded benchjson
+// document is merged under the "_baseline" key, so the file shows current
+// numbers next to the reference they are compared against.
 package main
 
 import (
@@ -31,9 +33,10 @@ func main() {
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"GOMAXPROCS of the go test run; only the matching -N name suffix is stripped (at 1, go test emits no suffix and nothing is stripped)")
 	extra := flag.String("extra", "", "metrics snapshot JSON (from miccorun -metrics) to merge under the _metrics key")
+	baseline := flag.String("baseline", "", "prior benchjson document to merge under the _baseline key")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *out, *procs, *extra); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *procs, *extra, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -42,8 +45,9 @@ func main() {
 // run tees bench output from in to tee and writes the parsed metrics as
 // JSON to outPath (or to tee when outPath is empty). procs is the
 // GOMAXPROCS value the benchmarks ran under, used to recognize the name
-// suffix. extraPath optionally names a metrics snapshot to merge in.
-func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath string) error {
+// suffix. extraPath optionally names a metrics snapshot to merge in;
+// baselinePath optionally names a prior document to keep alongside.
+func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath, baselinePath string) error {
 	metrics := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -66,6 +70,15 @@ func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath strin
 			return err
 		}
 		metrics["_metrics"] = flat
+	}
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		for name, m := range base {
+			metrics["_baseline/"+name] = m
+		}
 	}
 	doc, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
@@ -103,6 +116,26 @@ func loadExtra(path string) (map[string]float64, error) {
 		flat[name+"_count"] = float64(h.Count)
 	}
 	return flat, nil
+}
+
+// loadBaseline reads a prior benchjson document. Entries that are already
+// baseline- or metrics-prefixed are dropped so re-recording against an
+// annotated document never nests baselines.
+func loadBaseline(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for name := range doc {
+		if strings.HasPrefix(name, "_baseline/") || name == "_metrics" {
+			delete(doc, name)
+		}
+	}
+	return doc, nil
 }
 
 // parseLine extracts the metrics from one benchmark result line, e.g.

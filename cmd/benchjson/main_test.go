@@ -22,7 +22,7 @@ ok  	micco	4.2s
 func TestRunParsesAndTees(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4, ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, out, 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if tee.String() != sample {
@@ -51,7 +51,7 @@ func TestRunParsesAndTees(t *testing.T) {
 
 func TestRunJSONToStdout(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, "", 4, ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, "", 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// The JSON document follows the teed text.
@@ -79,7 +79,7 @@ func TestRunMergesExtraMetrics(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4, extra); err != nil {
+	if err := run(strings.NewReader(sample), &tee, out, 4, extra, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -108,7 +108,7 @@ func TestRunMergesExtraMetrics(t *testing.T) {
 
 func TestRunExtraErrors(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, "", 4, "/nonexistent-metrics.json"); err == nil {
+	if err := run(strings.NewReader(sample), &tee, "", 4, "/nonexistent-metrics.json", ""); err == nil {
 		t.Error("missing extra file: want error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
@@ -116,14 +116,65 @@ func TestRunExtraErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	tee.Reset()
-	if err := run(strings.NewReader(sample), &tee, "", 4, bad); err == nil {
+	if err := run(strings.NewReader(sample), &tee, "", 4, bad, ""); err == nil {
 		t.Error("unparsable extra file: want error")
+	}
+}
+
+func TestRunMergesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	// A prior document with a plain entry plus entries the merge must drop:
+	// an old baseline annotation and a metrics snapshot.
+	prior := `{
+  "BenchmarkContractionKernel": {"ns/op": 99, "allocs/op": 7},
+  "_baseline/BenchmarkContractionKernel": {"ns/op": 200},
+  "_metrics": {"micco_counter": 3}
+}`
+	if err := os.WriteFile(base, []byte(prior), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var tee strings.Builder
+	if err := run(strings.NewReader(sample), &tee, out, 4, "", base); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]float64
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["BenchmarkContractionKernel"]["ns/op"] != 14204604 {
+		t.Error("current metrics missing or overwritten by baseline")
+	}
+	got := doc["_baseline/BenchmarkContractionKernel"]
+	if got["ns/op"] != 99 || got["allocs/op"] != 7 {
+		t.Errorf("baseline entry = %v, want ns/op 99, allocs/op 7", got)
+	}
+	for name := range doc {
+		if name == "_baseline/_metrics" || strings.HasPrefix(name, "_baseline/_baseline/") {
+			t.Errorf("merge kept non-benchmark baseline entry %q", name)
+		}
+	}
+
+	if err := run(strings.NewReader(sample), &tee, "", 4, "", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sample), &tee, "", 4, "", bad); err == nil {
+		t.Error("unparsable baseline file: want error")
 	}
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4, ""); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4, "", ""); err == nil {
 		t.Error("input without results: want error")
 	}
 }
@@ -171,7 +222,7 @@ func TestStripProcs(t *testing.T) {
 func TestRunGOMAXPROCS1NoCollision(t *testing.T) {
 	in := "BenchmarkX/dim-64 \t 10\t 100 ns/op\nBenchmarkX/dim-128 \t 10\t 200 ns/op\n"
 	var tee strings.Builder
-	if err := run(strings.NewReader(in), &tee, "", 1, ""); err != nil {
+	if err := run(strings.NewReader(in), &tee, "", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	rest := strings.TrimPrefix(tee.String(), in)

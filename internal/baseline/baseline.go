@@ -86,17 +86,24 @@ func (*LocalityOnly) Name() string { return "LocalityOnly" }
 // BeginStage implements sched.Scheduler.
 func (*LocalityOnly) BeginStage(*sched.Context) {}
 
-// Assign implements sched.Scheduler.
+// Assign implements sched.Scheduler. Residency comes from the cluster's
+// index: two mask probes up front replace the former two map lookups per
+// device.
 func (*LocalityOnly) Assign(p workload.Pair, ctx *sched.Context) int {
+	ma := ctx.HoldersMask(p.A.ID)
+	mb := ctx.HoldersMask(p.B.ID)
+	if p.B.ID == p.A.ID {
+		mb = 0 // count the shared operand's bytes once
+	}
 	best, bestBytes := -1, int64(-1)
 	var bestClock float64
 	for i := 0; i < ctx.NumGPU; i++ {
 		d := ctx.Cluster.Device(i)
 		var res int64
-		if d.Holds(p.A.ID) {
+		if ma.Has(i) {
 			res += p.A.Bytes()
 		}
-		if d.Holds(p.B.ID) && p.B.ID != p.A.ID {
+		if mb.Has(i) {
 			res += p.B.Bytes()
 		}
 		if res > bestBytes || (res == bestBytes && d.Clock() < bestClock) {

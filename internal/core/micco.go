@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"micco/internal/gpusim"
 	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/workload"
@@ -103,22 +104,29 @@ func (s *Scheduler) BeginStage(ctx *sched.Context) {
 // Assign implements sched.Scheduler with Algorithm 1: classify the pair's
 // local reuse pattern, fill candiQueue with available GPUs under the
 // pattern's reuse bound, then let Algorithm 2 pick the final device.
+//
+// Residency is read through the cluster's constant-time index: two mask
+// probes answer every holder question, candidate filling iterates set bits,
+// and all scratch space (candiQueue, the min-filter buffer) is reused
+// across calls — the whole placement path performs zero allocations when
+// observability is off. Candidate order matches the former per-device scan
+// (ascending device ID; step II lists A-holders before B-only holders), so
+// random tie-breaks draw identically to the scan-path reference.
 func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	s.candi = s.candi[:0]
-	h1 := ctx.Holders(p.A.ID)
-	h2 := ctx.Holders(p.B.ID)
-	s.patterns[classifyHolders(h1, h2)]++
-	limit := func(bound int) int { return s.bounds[bound] + ctx.BalanceNum }
+	ma := ctx.HoldersMask(p.A.ID)
+	mb := ctx.HoldersMask(p.B.ID)
+	s.patterns[ClassifyMasks(ma, mb)]++
 	// boundIdx records which step's reuse bound gated the candidate set
 	// that survives to Algorithm 2; -1 means the defensive fallback fired.
 	boundIdx := -1
 
 	// Step I (Alg. 1 lines 4-7): twoRepeatedSame — GPUs holding both
 	// tensors, if within reuse bound 1's allowed imbalance.
-	if intersects(h1, h2) {
-		lim := limit(0)
-		for _, it := range h1 {
-			if contains(h2, it) && ctx.StageLoad[it] < lim {
+	if both := ma & mb; both != 0 {
+		lim := s.bounds[0] + ctx.BalanceNum
+		for m := both; m != 0; m = m.DropFirst() {
+			if it := m.First(); ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
 		}
@@ -130,16 +138,16 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	// Step II (lines 8-14): twoRepeatedDiff / oneRepeated — GPUs holding
 	// either tensor, under reuse bound 2. Also the fallback when every
 	// both-holder was unavailable.
-	if len(s.candi) == 0 && (len(h1) > 0 || len(h2) > 0) {
-		lim := limit(1)
-		for _, it := range h1 {
-			if ctx.StageLoad[it] < lim {
-				s.candi = appendUnique(s.candi, it)
+	if len(s.candi) == 0 && ma|mb != 0 {
+		lim := s.bounds[1] + ctx.BalanceNum
+		for m := ma; m != 0; m = m.DropFirst() {
+			if it := m.First(); ctx.StageLoad[it] < lim {
+				s.candi = append(s.candi, it)
 			}
 		}
-		for _, it := range h2 {
-			if ctx.StageLoad[it] < lim {
-				s.candi = appendUnique(s.candi, it)
+		for m := mb &^ ma; m != 0; m = m.DropFirst() {
+			if it := m.First(); ctx.StageLoad[it] < lim {
+				s.candi = append(s.candi, it)
 			}
 		}
 		if len(s.candi) > 0 {
@@ -150,7 +158,7 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	// Step III (lines 15-18): twoNew, or nothing available above — any GPU
 	// under reuse bound 3.
 	if len(s.candi) == 0 {
-		lim := limit(2)
+		lim := s.bounds[2] + ctx.BalanceNum
 		for it := 0; it < ctx.NumGPU; it++ {
 			if ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
@@ -180,17 +188,20 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 			rec.Bound = s.bounds[boundIdx]
 		}
 	}
-	return s.assignFromQueue(p, ctx)
+	return s.assignFromQueue(p, ctx, ma, mb)
 }
 
 // assignFromQueue is Algorithm 2: detect projected oversubscription among
 // the candidates; without it, pick least compute (memory as tie-break);
 // with it, pick most free memory (compute as tie-break). Remaining ties
-// break uniformly at random, as in the paper.
-func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
+// break uniformly at random, as in the paper. The pair's holder masks ride
+// along so memory projections need no further residency lookups.
+func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context, ma, mb gpusim.DeviceMask) int {
+	mem := func(id int) float64 { return float64(ctx.ProjectedMemMasked(id, p, ma, mb)) }
 	evict := false
+	poolBytes := ctx.Cluster.Config().MemoryBytes
 	for _, id := range s.candi {
-		if ctx.WouldOversubscribe(id, p) {
+		if ctx.ProjectedMemMasked(id, p, ma, mb) > poolBytes {
 			evict = true
 			s.evictionPolicyUses++
 			break
@@ -202,7 +213,6 @@ func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
 	// the cost model of the paper's mapping analysis (Fig. 4).
 	var primary, secondary func(id int) float64
 	comp := func(id int) float64 { return ctx.Cluster.Device(id).Clock() }
-	mem := func(id int) float64 { return float64(ctx.ProjectedMem(id, p)) }
 	if evict {
 		primary, secondary = mem, comp
 	} else {
@@ -218,9 +228,9 @@ func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
 			rec.Candidates = append(rec.Candidates, obs.CandidateScore{Device: id, Score: primary(id)})
 		}
 	}
-	sel := filterMin(s.candi, primary)
+	sel := filterMinInPlace(s.candi, primary)
 	if len(sel) > 1 {
-		sel = filterMin(sel, secondary)
+		sel = filterMinInPlace(sel, secondary)
 	}
 	if len(sel) == 1 {
 		return sel[0]
@@ -228,35 +238,22 @@ func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context) int {
 	return sel[s.rng.Intn(len(sel))]
 }
 
-// filterMin returns the ids attaining the minimum of key over ids.
-func filterMin(ids []int, key func(int) float64) []int {
+// filterMinInPlace compacts ids down to the ones attaining the minimum of
+// key, preserving order, writing into ids' own backing array (the write
+// index never passes the read index, so no element is read after being
+// overwritten). No allocation.
+func filterMinInPlace(ids []int, key func(int) float64) []int {
 	best := key(ids[0])
-	out := ids[:1:1]
+	out := ids[:1]
 	for _, id := range ids[1:] {
 		v := key(id)
 		switch {
 		case v < best:
 			best = v
-			out = append(out[:0:0], id)
+			out = append(ids[:0], id)
 		case v == best:
 			out = append(out, id)
 		}
 	}
 	return out
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func appendUnique(xs []int, v int) []int {
-	if contains(xs, v) {
-		return xs
-	}
-	return append(xs, v)
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"micco/internal/gpusim"
 	"micco/internal/sched"
 	"micco/internal/workload"
 )
@@ -59,33 +60,15 @@ func (r ReusePattern) BoundIndex() int {
 }
 
 // Classify determines the local reuse pattern of pair p under the current
-// cluster residency in ctx.
+// cluster residency in ctx. It delegates to sched.ClassifyMasks — the one
+// shared Table-II implementation the execution engine also uses to label
+// decision records — so the two layers cannot drift; the enumerations
+// correspond value for value (asserted in this package's tests).
 func Classify(p workload.Pair, ctx *sched.Context) ReusePattern {
-	return classifyHolders(ctx.Holders(p.A.ID), ctx.Holders(p.B.ID))
+	return ClassifyMasks(ctx.HoldersMask(p.A.ID), ctx.HoldersMask(p.B.ID))
 }
 
-// classifyHolders classifies from pre-fetched holder lists.
-func classifyHolders(h1, h2 []int) ReusePattern {
-	switch {
-	case len(h1) > 0 && len(h2) > 0:
-		if intersects(h1, h2) {
-			return TwoRepeatedSame
-		}
-		return TwoRepeatedDiff
-	case len(h1) > 0 || len(h2) > 0:
-		return OneRepeated
-	default:
-		return TwoNew
-	}
-}
-
-func intersects(a, b []int) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x == y {
-				return true
-			}
-		}
-	}
-	return false
+// ClassifyMasks classifies from pre-fetched holder masks.
+func ClassifyMasks(a, b gpusim.DeviceMask) ReusePattern {
+	return ReusePattern(sched.ClassifyMasks(a, b))
 }

@@ -31,6 +31,10 @@ type Cluster struct {
 	// metrics registry (SetObserver). Independent of tracing; survives
 	// Reset.
 	sink *obsSink
+	// index is the reverse residency map (tensor ID -> holder bitmask),
+	// maintained by the devices at every install and drop so residency
+	// queries cost one map probe instead of a device scan.
+	index *residencyIndex
 }
 
 // NewCluster builds a cluster from cfg.
@@ -38,9 +42,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, hostResident: make(map[uint64]tensor.Desc)}
+	c := &Cluster{cfg: cfg, hostResident: make(map[uint64]tensor.Desc), index: newResidencyIndex()}
 	for i := 0; i < cfg.NumDevices; i++ {
-		c.devices = append(c.devices, newDevice(i, &c.cfg))
+		c.devices = append(c.devices, newDevice(i, &c.cfg, c.index))
 	}
 	return c, nil
 }
@@ -64,15 +68,11 @@ func (c *Cluster) HostHolds(id uint64) bool {
 	return ok
 }
 
-// HoldersOf returns the IDs of devices with tensor id resident.
+// HoldersOf returns the IDs of devices with tensor id resident. It is a
+// compatibility wrapper over the residency index that allocates a fresh
+// slice per call; hot paths should use HoldersMask or AppendHoldersOf.
 func (c *Cluster) HoldersOf(id uint64) []int {
-	var out []int
-	for _, d := range c.devices {
-		if d.Holds(id) {
-			out = append(out, d.id)
-		}
-	}
-	return out
+	return c.AppendHoldersOf(nil, id)
 }
 
 // EnsureResident makes tensor desc resident on device dev, advancing the
@@ -100,26 +100,26 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 	}
 	// Locate a source before spending anything. Peer sourcing is only
 	// used when the config enables it; the default data path stages
-	// through the host.
+	// through the host. One index probe answers both questions.
+	holders := c.index.of(desc.ID)
 	var peer *Device
 	if c.cfg.PeerFetch {
-		for _, p := range c.devices {
-			if p != d && p.Holds(desc.ID) {
-				peer = p
-				break
-			}
+		if peers := holders &^ maskOf(d.id); peers != 0 {
+			peer = c.devices[peers.First()]
 		}
 	}
 	if peer == nil && !c.HostHolds(desc.ID) {
-		if len(c.HoldersOf(desc.ID)) > 0 {
+		if holders != 0 {
 			// Peer copies exist but peer fetch is disabled: stage through
 			// the host by paying one D2H write-back first.
-			src := c.devices[c.HoldersOf(desc.ID)[0]]
+			src := c.devices[holders.First()]
 			dur := float64(desc.Bytes()) / c.cfg.D2HBandwidth
 			c.hostTransfer(src, dur)
 			src.stats.D2HBytes += desc.Bytes()
-			c.trace(Event{Kind: EventD2H, Device: src.id, Tensor: desc.ID,
-				Start: src.CopyClock() - dur, End: src.CopyClock(), Bytes: desc.Bytes()})
+			if c.observing() {
+				c.trace(Event{Kind: EventD2H, Device: src.id, Tensor: desc.ID,
+					Start: src.CopyClock() - dur, End: src.CopyClock(), Bytes: desc.Bytes()})
+			}
 			c.hostResident[desc.ID] = desc
 		} else {
 			return 0, fmt.Errorf("gpusim: tensor %v resident nowhere (not registered on host?)", desc)
@@ -147,14 +147,18 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 			c.sink.p2pBusy.Add(dur)
 			c.sink.p2pStall.Add(start - queue)
 		}
-		c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
-			Start: start, End: end, Bytes: desc.Bytes()})
+		if c.observing() {
+			c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
+				Start: start, End: end, Bytes: desc.Bytes()})
+		}
 	} else {
 		dur := float64(desc.Bytes()) / c.cfg.H2DBandwidth
 		c.hostTransfer(d, dur)
 		d.stats.H2DBytes += desc.Bytes()
-		c.trace(Event{Kind: EventH2D, Device: d.id, Tensor: desc.ID,
-			Start: d.CopyClock() - dur, End: d.CopyClock(), Bytes: desc.Bytes()})
+		if c.observing() {
+			c.trace(Event{Kind: EventH2D, Device: d.id, Tensor: desc.ID,
+				Start: d.CopyClock() - dur, End: d.CopyClock(), Bytes: desc.Bytes()})
+		}
 	}
 	d.stats.ColdMisses++
 	b := d.install(desc, false)
@@ -269,8 +273,10 @@ func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error)
 	d.stats.KernelTime += kt
 	d.stats.Kernels++
 	d.stats.FLOPs += flops
-	c.trace(Event{Kind: EventKernel, Device: d.id, Tensor: out.ID,
-		Start: d.clock - kt, End: d.clock, FLOPs: flops})
+	if c.observing() {
+		c.trace(Event{Kind: EventKernel, Device: d.id, Tensor: out.ID,
+			Start: d.clock - kt, End: d.clock, FLOPs: flops})
+	}
 	c.unpin(d, a.ID)
 	c.unpin(d, b.ID)
 	return flops, nil
@@ -334,14 +340,19 @@ func (c *Cluster) GFLOPS() float64 {
 }
 
 // Reset returns every device to time zero with empty pools, frees the host
-// link, and clears the host registry.
+// link, and clears the host registry. Maps and device block pools keep
+// their capacity, so back-to-back runs on one cluster settle into a
+// steady state where the simulator allocates nothing.
 func (c *Cluster) Reset() {
 	for _, d := range c.devices {
 		d.reset()
 	}
+	// Devices skip per-tensor index updates during reset; one bulk clear
+	// replaces what would be a map delete per resident tensor.
+	c.index.clearAll()
 	c.linkClock = 0
 	c.p2pClock = 0
-	c.hostResident = make(map[uint64]tensor.Desc)
+	clear(c.hostResident)
 	c.traceEvents = nil
 }
 

@@ -19,6 +19,8 @@
 // total useful kernel FLOPs divided by makespan.
 package gpusim
 
+import "fmt"
+
 // Config describes the simulated cluster hardware.
 type Config struct {
 	// NumDevices is the number of GPUs in the node (the paper uses 1-8).
@@ -90,6 +92,10 @@ func (c Config) Validate() error {
 	switch {
 	case c.NumDevices <= 0:
 		return errConfig("NumDevices must be positive")
+	case c.NumDevices > MaxDevices:
+		// The residency index keeps holder sets as one bit per device in a
+		// DeviceMask (uint64); wider clusters need a wider mask ABI.
+		return errConfig(fmt.Sprintf("NumDevices %d exceeds the %d-device residency-index limit", c.NumDevices, MaxDevices))
 	case c.MemoryBytes <= 0:
 		return errConfig("MemoryBytes must be positive")
 	case c.FLOPS <= 0:

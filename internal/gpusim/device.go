@@ -1,18 +1,21 @@
 package gpusim
 
 import (
-	"container/list"
 	"fmt"
 
 	"micco/internal/tensor"
 )
 
-// block is a resident allocation on a device's memory pool.
+// block is a resident allocation on a device's memory pool. Blocks are
+// linked intrusively into the device's LRU list and recycled through a
+// per-device free list, so steady-state installs allocate nothing.
 type block struct {
 	desc   tensor.Desc
 	dirty  bool // produced on-device and not yet written back to host
 	pinned bool // in use by the op currently being scheduled; not evictable
-	elem   *list.Element
+	// prev/next chain the device's LRU order (front = least recently
+	// used); next doubles as the free-list link for recycled blocks.
+	prev, next *block
 	// readyAt is when the block's data is usable: the completion time of
 	// the copy that installed it (only ahead of the compute queue when
 	// the copy engine is asynchronous).
@@ -62,16 +65,22 @@ type Device struct {
 	memUsed   int64
 	memPeak   int64 // high-water mark of memUsed over the run
 	resident  map[uint64]*block
-	lru       *list.List // front = least recently used; values are tensor IDs
-	stats     DeviceStats
+	// lruHead/lruTail bound the intrusive LRU list (head = least recently
+	// used); free chains recycled blocks awaiting reuse.
+	lruHead, lruTail *block
+	free             *block
+	stats            DeviceStats
+	// index is the cluster's shared reverse residency map; install and
+	// drop keep it exact so it can never drift from resident.
+	index *residencyIndex
 }
 
-func newDevice(id int, cfg *Config) *Device {
+func newDevice(id int, cfg *Config, index *residencyIndex) *Device {
 	return &Device{
 		id:       id,
 		cfg:      cfg,
 		resident: make(map[uint64]*block),
-		lru:      list.New(),
+		index:    index,
 	}
 }
 
@@ -120,16 +129,54 @@ func (d *Device) Holds(id uint64) bool {
 // ResidentCount returns the number of tensors resident on the device.
 func (d *Device) ResidentCount() int { return len(d.resident) }
 
-// touch marks a resident tensor most-recently-used.
-func (d *Device) touch(b *block) {
-	d.lru.MoveToBack(b.elem)
+// lruPushBack appends b at the most-recently-used end.
+func (d *Device) lruPushBack(b *block) {
+	b.prev = d.lruTail
+	b.next = nil
+	if d.lruTail != nil {
+		d.lruTail.next = b
+	} else {
+		d.lruHead = b
+	}
+	d.lruTail = b
 }
 
-// install records a new resident block (most-recently-used position).
+// lruRemove unlinks b from the LRU list.
+func (d *Device) lruRemove(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		d.lruHead = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		d.lruTail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// touch marks a resident tensor most-recently-used.
+func (d *Device) touch(b *block) {
+	if d.lruTail != b {
+		d.lruRemove(b)
+		d.lruPushBack(b)
+	}
+}
+
+// install records a new resident block (most-recently-used position),
+// reusing a recycled block when one is free.
 func (d *Device) install(desc tensor.Desc, dirty bool) *block {
-	b := &block{desc: desc, dirty: dirty}
-	b.elem = d.lru.PushBack(desc.ID)
+	b := d.free
+	if b != nil {
+		d.free = b.next
+		*b = block{desc: desc, dirty: dirty}
+	} else {
+		b = &block{desc: desc, dirty: dirty}
+	}
+	d.lruPushBack(b)
 	d.resident[desc.ID] = b
+	d.index.set(desc.ID, d.id)
 	d.memUsed += desc.Bytes()
 	if d.memUsed > d.memPeak {
 		d.memPeak = d.memUsed
@@ -138,11 +185,15 @@ func (d *Device) install(desc tensor.Desc, dirty bool) *block {
 }
 
 // drop removes a resident block without any timing cost (used by eviction
-// and invalidation; callers account for cost).
+// and invalidation; callers account for cost) and recycles it onto the
+// free list. The block must not be used after drop returns.
 func (d *Device) drop(b *block) {
-	d.lru.Remove(b.elem)
+	d.lruRemove(b)
 	delete(d.resident, b.desc.ID)
+	d.index.unset(b.desc.ID, d.id)
 	d.memUsed -= b.desc.Bytes()
+	b.next = d.free
+	d.free = b
 }
 
 // evictFor frees space until size bytes fit, evicting least-recently-used
@@ -180,8 +231,7 @@ func (d *Device) evictFor(size int64, c *Cluster) error {
 }
 
 func (d *Device) oldestUnpinned() *block {
-	for e := d.lru.Front(); e != nil; e = e.Next() {
-		b := d.resident[e.Value.(uint64)]
+	for b := d.lruHead; b != nil; b = b.next {
 		if !b.pinned {
 			return b
 		}
@@ -200,13 +250,23 @@ func (d *Device) advanceTransferQueue(dur float64) {
 }
 
 // reset clears all state, returning the device to time zero with an empty
-// pool.
+// pool. Maps keep their capacity and every block is recycled, so the next
+// run's installs allocate nothing.
+// The residency index is NOT touched here: reset is only reachable from
+// Cluster.Reset, which bulk-clears the index once for all devices.
 func (d *Device) reset() {
+	for b := d.lruHead; b != nil; {
+		next := b.next
+		b.prev = nil
+		b.next = d.free
+		d.free = b
+		b = next
+	}
+	d.lruHead, d.lruTail = nil, nil
+	clear(d.resident)
 	d.clock = 0
 	d.copyClock = 0
 	d.memUsed = 0
 	d.memPeak = 0
-	d.resident = make(map[uint64]*block)
-	d.lru = list.New()
 	d.stats = DeviceStats{}
 }

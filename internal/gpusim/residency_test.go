@@ -1,0 +1,160 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"micco/internal/tensor"
+)
+
+func TestDeviceMaskOps(t *testing.T) {
+	var m DeviceMask
+	if m.Count() != 0 || m.First() != -1 || m.Has(0) {
+		t.Errorf("empty mask misbehaves: %v %v %v", m.Count(), m.First(), m.Has(0))
+	}
+	if got := m.AppendTo(nil); got != nil {
+		t.Errorf("empty AppendTo = %v, want nil", got)
+	}
+	m = maskOf(2) | maskOf(5) | maskOf(63)
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+	if m.First() != 2 {
+		t.Errorf("First = %d, want 2", m.First())
+	}
+	if !m.Has(5) || m.Has(4) {
+		t.Error("Has answers wrong membership")
+	}
+	if got := m.DropFirst(); got != maskOf(5)|maskOf(63) {
+		t.Errorf("DropFirst = %b", got)
+	}
+	buf := make([]int, 0, 3)
+	got := m.AppendTo(buf)
+	want := []int{2, 5, 63}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("AppendTo = %v, want %v", got, want)
+	}
+	if &got[0] != &buf[0:1][0] {
+		t.Error("AppendTo reallocated despite sufficient capacity")
+	}
+	// The canonical iteration idiom enumerates ascending device IDs.
+	var iter []int
+	for s := m; s != 0; s = s.DropFirst() {
+		iter = append(iter, s.First())
+	}
+	if len(iter) != 3 || iter[0] != 2 || iter[1] != 5 || iter[2] != 63 {
+		t.Errorf("iteration = %v, want %v", iter, want)
+	}
+}
+
+func TestConfigRejectsOversizedCluster(t *testing.T) {
+	cfg := MI100(MaxDevices + 1)
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatalf("NewCluster accepted %d devices; the mask ABI caps at %d",
+			MaxDevices+1, MaxDevices)
+	}
+	cfg = MI100(MaxDevices)
+	// 64 devices is the last legal size; it must still construct.
+	if _, err := NewCluster(cfg); err != nil {
+		t.Fatalf("NewCluster rejected %d devices: %v", MaxDevices, err)
+	}
+}
+
+// scanHolders recomputes a tensor's holder mask the pre-index way: a
+// residency probe on every device.
+func scanHolders(c *Cluster, id uint64) DeviceMask {
+	var m DeviceMask
+	for i := 0; i < c.NumDevices(); i++ {
+		if c.Device(i).Holds(id) {
+			m |= maskOf(i)
+		}
+	}
+	return m
+}
+
+// checkIndex asserts the residency index agrees with a brute-force scan of
+// every device's residency map, in both directions: every indexed tensor's
+// mask matches its scan, and every resident tensor is indexed.
+func checkIndex(t *testing.T, c *Cluster, ids []uint64) {
+	t.Helper()
+	for _, id := range ids {
+		if got, want := c.HoldersMask(id), scanHolders(c, id); got != want {
+			t.Fatalf("index mask for tensor %d = %b, scan says %b", id, got, want)
+		}
+	}
+	for i := 0; i < c.NumDevices(); i++ {
+		d := c.Device(i)
+		for id := range d.resident {
+			if !c.HoldersMask(id).Has(i) {
+				t.Fatalf("device %d holds tensor %d but index bit is clear", i, id)
+			}
+		}
+	}
+	// No stale entries: an indexed mask may never name a device that does
+	// not actually hold the tensor (covered per-id above), and the index
+	// never keeps empty masks alive.
+	for id, m := range c.index.mask {
+		if m == 0 {
+			t.Fatalf("index keeps empty mask for tensor %d", id)
+		}
+	}
+}
+
+// TestResidencyIndexInvariant drives the simulator through a randomized
+// sequence of contractions (allocations, peer copies, host staging, dirty
+// write-backs and evictions under scarce memory), discards and resets, and
+// after every operation asserts HoldersMask agrees with a brute-force scan
+// of Device.Holds. Run under -race via `make race`/`make check`.
+func TestResidencyIndexInvariant(t *testing.T) {
+	for _, devs := range []int{1, 3, 8} {
+		cfg := MI100(devs)
+		desc := func(id uint64) tensor.Desc {
+			return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 8, Batch: 1}
+		}
+		// Scarce memory: room for only a few tensors per device so the
+		// randomized walk constantly evicts and restages from host/peers.
+		cfg.MemoryBytes = 6 * desc(1).Bytes()
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + devs)))
+		const nTensors = 24
+		var ids []uint64
+		for id := uint64(1); id <= nTensors; id++ {
+			ids = append(ids, id)
+			c.RegisterHostTensor(desc(id))
+		}
+		nextOut := uint64(nTensors + 1)
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // contraction: allocs, transfers, maybe evictions
+				a := ids[rng.Intn(len(ids))]
+				b := ids[rng.Intn(len(ids))]
+				out := nextOut
+				nextOut++
+				ids = append(ids, out)
+				if _, err := c.ExecContraction(rng.Intn(devs), desc(a), desc(b), desc(out)); err != nil {
+					t.Fatalf("devs %d step %d: %v", devs, step, err)
+				}
+			case op < 7: // explicit staging
+				if err := c.EnsureResident(rng.Intn(devs), desc(ids[rng.Intn(len(ids))])); err != nil {
+					t.Fatalf("devs %d step %d: %v", devs, step, err)
+				}
+			case op < 9: // discard from all memories, then re-register on
+				// host so a later op may restage it
+				id := ids[rng.Intn(len(ids))]
+				c.Discard(id)
+				c.RegisterHostTensor(desc(id))
+			default: // full reset
+				c.Reset()
+				ids = ids[:nTensors]
+				nextOut = nTensors + 1
+				for _, id := range ids {
+					c.RegisterHostTensor(desc(id))
+				}
+			}
+			checkIndex(t, c, ids)
+		}
+	}
+}

@@ -87,6 +87,11 @@ func (c *Cluster) TraceEvents() []Event {
 	return out
 }
 
+// observing reports whether anyone consumes simulator events. Call sites
+// guard Event construction on it, so the hot path with tracing and
+// metrics both off never materializes event structs.
+func (c *Cluster) observing() bool { return c.tracing || c.sink != nil }
+
 func (c *Cluster) trace(e Event) {
 	if c.tracing {
 		c.traceEvents = append(c.traceEvents, e)

@@ -1,0 +1,201 @@
+// Scheduling-overhead benchmarks: the per-pair placement hot path in
+// isolation (BenchmarkSchedulerAssign) and the engine's schedule+simulate
+// phases end to end on a real correlator workload
+// (BenchmarkRunScheduleOnly). `make bench` records them as BENCH_sched.json
+// next to the pre-change baseline; benchsmoke runs them once per `make
+// check` so placement-path regressions fail fast in CI.
+package sched_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"micco/internal/baseline"
+	"micco/internal/core"
+	"micco/internal/gpusim"
+	"micco/internal/obs"
+	"micco/internal/redstar"
+	"micco/internal/sched"
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+// benchSchedulers is the fixed roster the overhead suite measures: MICCO
+// with the paper's reference bounds plus the three comparison baselines.
+func benchSchedulers() []sched.Scheduler {
+	return []sched.Scheduler{
+		core.NewFixed(core.Bounds{0, 2, 0}),
+		baseline.NewGroute(),
+		baseline.NewRoundRobin(),
+		baseline.NewLocalityOnly(),
+	}
+}
+
+// f0d4Workload builds the bundled f0d4 correlator workload once per
+// process (1026 pairs over 2 stages at 16 time slices, the repo's largest
+// deck — the scale of the paper's Table VI rows).
+var (
+	f0d4Once sync.Once
+	f0d4W    *workload.Workload
+	f0d4Err  error
+)
+
+func f0d4Workload(b *testing.B) *workload.Workload {
+	b.Helper()
+	f0d4Once.Do(func() {
+		build, err := redstar.F0D4().BuildPlan()
+		if err != nil {
+			f0d4Err = err
+			return
+		}
+		f0d4W = build.Workload
+	})
+	if f0d4Err != nil {
+		b.Fatal(f0d4Err)
+	}
+	return f0d4W
+}
+
+// assignFixture is a cluster warmed with one full engine run (so residency
+// reflects a realistic mid-run state with all four reuse patterns live)
+// plus a mid-stage scheduler context and the flattened pair stream.
+type assignFixture struct {
+	ctx   *sched.Context
+	pairs []workload.Pair
+}
+
+func newAssignFixture(b testing.TB, s sched.Scheduler) *assignFixture {
+	b.Helper()
+	w, err := workload.Generate(workload.Config{
+		Seed: 7, Stages: 6, VectorSize: 64, TensorDim: 128, Batch: 4,
+		Rank: tensor.RankMeson, RepeatRate: 0.6, Dist: workload.Uniform,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := gpusim.NewCluster(gpusim.MI100(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm run leaves tensors resident across the devices; the fixture then
+	// re-asks the scheduler about every pair against that settled state.
+	if _, err := sched.Run(context.Background(), w, s, c, sched.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	n := c.NumDevices()
+	fx := &assignFixture{ctx: &sched.Context{
+		Cluster:    c,
+		NumGPU:     n,
+		BalanceNum: (w.Stages[0].NumTensors() + n - 1) / n,
+		StageLoad:  make([]int, n),
+		Comp:       make([]float64, n),
+	}}
+	for si := range w.Stages {
+		fx.pairs = append(fx.pairs, w.Stages[si].Pairs...)
+	}
+	s.BeginStage(fx.ctx)
+	return fx
+}
+
+// BenchmarkSchedulerAssign measures one placement decision per op for each
+// scheduler against warm residency, observability off (sub-benchmark
+// "obs" repeats it with a live DecisionRecord). With obs off every
+// scheduler must report 0 allocs/op — the engine's placement hot path is
+// allocation-free end to end.
+func BenchmarkSchedulerAssign(b *testing.B) {
+	for _, s := range benchSchedulers() {
+		s := s
+		fx := newAssignFixture(b, s)
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fx.ctx.Decision = nil
+				s.Assign(fx.pairs[i%len(fx.pairs)], fx.ctx)
+			}
+		})
+		b.Run(s.Name()+"/obs", func(b *testing.B) {
+			reg := obs.New()
+			fx.ctx.Obs = reg
+			defer func() { fx.ctx.Obs = nil }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := obs.DecisionRecord{BoundIndex: -1}
+				fx.ctx.Decision = &rec
+				s.Assign(fx.pairs[i%len(fx.pairs)], fx.ctx)
+			}
+		})
+	}
+}
+
+// TestAssignZeroAllocsAllSchedulers is the alloc guard behind the
+// benchmark's 0 allocs/op claim: with observability off, no scheduler may
+// allocate on the placement path against warm multi-GPU residency. Unlike
+// the benchmark, this fails `go test` directly.
+func TestAssignZeroAllocsAllSchedulers(t *testing.T) {
+	for _, s := range benchSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			fx := newAssignFixture(t, s)
+			fx.ctx.Decision = nil
+			i := 0
+			avg := testing.AllocsPerRun(2000, func() {
+				s.Assign(fx.pairs[i%len(fx.pairs)], fx.ctx)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: %g allocs per Assign with obs off, want 0", s.Name(), avg)
+			}
+		})
+	}
+}
+
+// BenchmarkRunScheduleOnly measures the engine's schedule+simulate phases
+// (no numeric validation) over the full f0d4 correlator, reporting ns/pair
+// and allocs/pair so the per-placement constant factor is directly
+// comparable across changes. Sub-benchmarks cover observability off and
+// on, and the Groute baseline for scale.
+func BenchmarkRunScheduleOnly(b *testing.B) {
+	w := f0d4Workload(b)
+	cases := []struct {
+		name  string
+		mk    func() sched.Scheduler
+		obsOn bool
+	}{
+		{"MICCO/obs=off", func() sched.Scheduler { return core.NewFixed(core.Bounds{0, 2, 0}) }, false},
+		{"MICCO/obs=on", func() sched.Scheduler { return core.NewFixed(core.Bounds{0, 2, 0}) }, true},
+		{"Groute/obs=off", func() sched.Scheduler { return baseline.NewGroute() }, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := gpusim.NewCluster(gpusim.MI100(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := tc.mk()
+			b.ReportAllocs()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			mallocs0 := ms.Mallocs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := sched.Options{}
+				if tc.obsOn {
+					opts.Obs = obs.New()
+				}
+				if _, err := sched.Run(context.Background(), w, s, c, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms)
+			pairs := float64(b.N * w.NumPairs())
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pairs, "ns/pair")
+			b.ReportMetric(float64(ms.Mallocs-mallocs0)/pairs, "allocs/pair")
+		})
+	}
+}

@@ -58,17 +58,50 @@ type Context struct {
 }
 
 // Holders returns the devices on which tensor id is currently resident.
+// It allocates a fresh slice per call; hot paths should use HoldersMask.
 func (c *Context) Holders(id uint64) []int { return c.Cluster.HoldersOf(id) }
+
+// HoldersMask returns the bitmask of devices holding tensor id — one O(1)
+// index probe, no allocation.
+func (c *Context) HoldersMask(id uint64) gpusim.DeviceMask { return c.Cluster.HoldersMask(id) }
+
+// HolderCount returns how many devices hold tensor id.
+func (c *Context) HolderCount(id uint64) int { return c.Cluster.HoldersMask(id).Count() }
+
+// ClassifyMasks maps a pair's holder masks to its local reuse pattern
+// (paper Fig. 4): both operands share a device, both are resident on
+// disjoint devices, exactly one is resident, or neither is. It is the one
+// Table-II classification the engine, the MICCO scheduler and the
+// baselines all share — two mask lookups and three bit tests, no device
+// loop.
+func ClassifyMasks(a, b gpusim.DeviceMask) obs.ReusePattern {
+	switch {
+	case a&b != 0:
+		return obs.TwoRepeatedSame
+	case a != 0 && b != 0:
+		return obs.TwoRepeatedDiff
+	case a|b != 0:
+		return obs.OneRepeated
+	default:
+		return obs.TwoNew
+	}
+}
 
 // ProjectedMem returns the bytes GPU dev would hold after executing pair p
 // there: current usage plus any non-resident input plus the output.
 func (c *Context) ProjectedMem(dev int, p workload.Pair) int64 {
-	d := c.Cluster.Device(dev)
-	m := d.MemUsed()
-	if !d.Holds(p.A.ID) {
+	return c.ProjectedMemMasked(dev, p, c.HoldersMask(p.A.ID), c.HoldersMask(p.B.ID))
+}
+
+// ProjectedMemMasked is ProjectedMem with the pair's holder masks already
+// in hand, so schedulers probing many candidate devices against one pair
+// pay the residency lookups once instead of twice per device.
+func (c *Context) ProjectedMemMasked(dev int, p workload.Pair, ma, mb gpusim.DeviceMask) int64 {
+	m := c.Cluster.Device(dev).MemUsed()
+	if !ma.Has(dev) {
 		m += p.A.Bytes()
 	}
-	if !d.Holds(p.B.ID) && p.B.ID != p.A.ID {
+	if !mb.Has(dev) && p.B.ID != p.A.ID {
 		m += p.B.Bytes()
 	}
 	m += p.Out.Bytes()
@@ -206,29 +239,12 @@ func newObsRun(reg *obs.Registry, s Scheduler, w *workload.Workload) *obsRun {
 }
 
 // classifyReuse computes a pair's local reuse pattern against current
-// residency without allocating holder slices. The four-way classification
-// mirrors internal/core's Classify (which core asserts in its own tests);
-// it lives here so the engine can label decisions of schedulers that never
-// classify (Groute, RoundRobin).
+// residency: two index probes, no device loop, no allocation. It lives
+// here so the engine can label decisions of schedulers that never classify
+// (Groute, RoundRobin); internal/core's Classify delegates to the same
+// ClassifyMasks, so the two layers cannot drift.
 func classifyReuse(c *gpusim.Cluster, p workload.Pair) obs.ReusePattern {
-	var hasA, hasB, both bool
-	for i := 0; i < c.NumDevices(); i++ {
-		d := c.Device(i)
-		a, b := d.Holds(p.A.ID), d.Holds(p.B.ID)
-		hasA = hasA || a
-		hasB = hasB || b
-		both = both || (a && b)
-	}
-	switch {
-	case both:
-		return obs.TwoRepeatedSame
-	case hasA && hasB:
-		return obs.TwoRepeatedDiff
-	case hasA || hasB:
-		return obs.OneRepeated
-	default:
-		return obs.TwoNew
-	}
+	return ClassifyMasks(c.HoldersMask(p.A.ID), c.HoldersMask(p.B.ID))
 }
 
 // finish closes the run span and publishes the end-of-run gauges: run
@@ -306,6 +322,13 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		Obs:       opts.Obs,
 	}
 	res := &Result{Scheduler: s.Name(), Workload: w.Name}
+	// One flat buffer backs every stage's assignment record: appends never
+	// reallocate mid-run, and each stage gets a capacity-capped window.
+	var assignAll []int
+	if opts.RecordAssignments {
+		assignAll = make([]int, 0, w.NumPairs())
+		res.Assignments = make([][]int, 0, len(w.Stages))
+	}
 	var overhead time.Duration
 	for si := range w.Stages {
 		st := &w.Stages[si]
@@ -327,7 +350,7 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		d0 := time.Since(t0)
 		overhead += d0
 		scheduleW += d0
-		var stageAssign []int
+		stageStart := len(assignAll)
 		for pi, p := range st.Pairs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -355,10 +378,10 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 				sctx.Decision = nil
 				rec.Device = dev
 				rec.SimTime = c.Device(dev).Clock()
-				if !c.Device(dev).Holds(p.A.ID) {
+				if !c.HoldersMask(p.A.ID).Has(dev) {
 					rec.PredictedBytes += p.A.Bytes()
 				}
-				if !c.Device(dev).Holds(p.B.ID) && p.B.ID != p.A.ID {
+				if !c.HoldersMask(p.B.ID).Has(dev) && p.B.ID != p.A.ID {
 					rec.PredictedBytes += p.B.Bytes()
 				}
 				before = c.TotalStats()
@@ -399,11 +422,11 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 				}
 			}
 			if opts.RecordAssignments {
-				stageAssign = append(stageAssign, dev)
+				assignAll = append(assignAll, dev)
 			}
 		}
 		if opts.RecordAssignments {
-			res.Assignments = append(res.Assignments, stageAssign)
+			res.Assignments = append(res.Assignments, assignAll[stageStart:len(assignAll):len(assignAll)])
 		}
 		c.Barrier()
 		if ob != nil {
@@ -420,8 +443,9 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 	res.GFLOPS = c.GFLOPS()
 	res.SchedOverhead = overhead
 	res.Total = c.TotalStats()
+	res.PerDevice = make([]gpusim.DeviceStats, n)
 	for i := 0; i < n; i++ {
-		res.PerDevice = append(res.PerDevice, c.Device(i).Stats())
+		res.PerDevice[i] = c.Device(i).Stats()
 	}
 	if store != nil {
 		var t0 time.Time

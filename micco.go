@@ -78,7 +78,14 @@ type (
 	Device = gpusim.Device
 	// DeviceStats are per-device simulation counters.
 	DeviceStats = gpusim.DeviceStats
+	// DeviceMask is a bitset of device IDs, the unit of the cluster's
+	// constant-time residency index (Cluster.HoldersMask).
+	DeviceMask = gpusim.DeviceMask
 )
+
+// MaxDevices is the largest simulated cluster the residency index's mask
+// ABI supports (one bit per device).
+const MaxDevices = gpusim.MaxDevices
 
 // Workload types.
 type (
