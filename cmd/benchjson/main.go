@@ -36,7 +36,7 @@ func main() {
 	baseline := flag.String("baseline", "", "prior benchjson document to merge under the _baseline key")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *out, *procs, *extra, *baseline); err != nil {
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *out, *procs, *extra, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -46,8 +46,10 @@ func main() {
 // JSON to outPath (or to tee when outPath is empty). procs is the
 // GOMAXPROCS value the benchmarks ran under, used to recognize the name
 // suffix. extraPath optionally names a metrics snapshot to merge in;
-// baselinePath optionally names a prior document to keep alongside.
-func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath, baselinePath string) error {
+// baselinePath optionally names a prior document to keep alongside — a
+// missing or malformed baseline degrades to a warning on errw (recording
+// fresh numbers must not fail just because no reference exists yet).
+func run(in io.Reader, tee, errw io.Writer, outPath string, procs int, extraPath, baselinePath string) error {
 	metrics := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -74,10 +76,11 @@ func run(in io.Reader, tee io.Writer, outPath string, procs int, extraPath, base
 	if baselinePath != "" {
 		base, err := loadBaseline(baselinePath)
 		if err != nil {
-			return err
-		}
-		for name, m := range base {
-			metrics["_baseline/"+name] = m
+			fmt.Fprintf(errw, "benchjson: warning: baseline unusable, recording without it: %v\n", err)
+		} else {
+			for name, m := range base {
+				metrics["_baseline/"+name] = m
+			}
 		}
 	}
 	doc, err := json.MarshalIndent(metrics, "", "  ")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ ok  	micco	4.2s
 func TestRunParsesAndTees(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4, "", ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, out, 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if tee.String() != sample {
@@ -51,7 +52,7 @@ func TestRunParsesAndTees(t *testing.T) {
 
 func TestRunJSONToStdout(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, "", 4, "", ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, "", 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// The JSON document follows the teed text.
@@ -79,7 +80,7 @@ func TestRunMergesExtraMetrics(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4, extra, ""); err != nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, out, 4, extra, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -108,7 +109,7 @@ func TestRunMergesExtraMetrics(t *testing.T) {
 
 func TestRunExtraErrors(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, "", 4, "/nonexistent-metrics.json", ""); err == nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, "", 4, "/nonexistent-metrics.json", ""); err == nil {
 		t.Error("missing extra file: want error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
@@ -116,7 +117,7 @@ func TestRunExtraErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	tee.Reset()
-	if err := run(strings.NewReader(sample), &tee, "", 4, bad, ""); err == nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, "", 4, bad, ""); err == nil {
 		t.Error("unparsable extra file: want error")
 	}
 }
@@ -136,7 +137,7 @@ func TestRunMergesBaseline(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var tee strings.Builder
-	if err := run(strings.NewReader(sample), &tee, out, 4, "", base); err != nil {
+	if err := run(strings.NewReader(sample), &tee, io.Discard, out, 4, "", base); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -160,21 +161,54 @@ func TestRunMergesBaseline(t *testing.T) {
 		}
 	}
 
-	if err := run(strings.NewReader(sample), &tee, "", 4, "", filepath.Join(dir, "missing.json")); err == nil {
-		t.Error("missing baseline file: want error")
+}
+
+// TestRunBaselineDegradesGracefully: a missing or malformed -baseline file
+// must warn and record the fresh numbers without the _baseline annotation,
+// not abort — the first recording of a benchmark has no reference yet.
+func TestRunBaselineDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	check := func(t *testing.T, baseline, wantWarn string) {
+		out := filepath.Join(dir, "bench.json")
+		var tee, warn strings.Builder
+		if err := run(strings.NewReader(sample), &tee, &warn, out, 4, "", baseline); err != nil {
+			t.Fatalf("unusable baseline should not fail the run: %v", err)
+		}
+		if !strings.Contains(warn.String(), "warning") || !strings.Contains(warn.String(), wantWarn) {
+			t.Errorf("warning = %q, want mention of %q", warn.String(), wantWarn)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]map[string]float64
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc["BenchmarkContractionKernel"]["ns/op"] != 14204604 {
+			t.Error("fresh metrics missing despite unusable baseline")
+		}
+		for name := range doc {
+			if strings.HasPrefix(name, "_baseline/") {
+				t.Errorf("unusable baseline still produced entry %q", name)
+			}
+		}
 	}
-	bad := filepath.Join(dir, "bad.json")
-	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(strings.NewReader(sample), &tee, "", 4, "", bad); err == nil {
-		t.Error("unparsable baseline file: want error")
-	}
+	t.Run("missing", func(t *testing.T) {
+		check(t, filepath.Join(dir, "missing.json"), "missing.json")
+	})
+	t.Run("malformed", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, bad, "bad.json")
+	})
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var tee strings.Builder
-	if err := run(strings.NewReader("no benchmarks here\n"), &tee, "", 4, "", ""); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &tee, io.Discard, "", 4, "", ""); err == nil {
 		t.Error("input without results: want error")
 	}
 }
@@ -222,7 +256,7 @@ func TestStripProcs(t *testing.T) {
 func TestRunGOMAXPROCS1NoCollision(t *testing.T) {
 	in := "BenchmarkX/dim-64 \t 10\t 100 ns/op\nBenchmarkX/dim-128 \t 10\t 200 ns/op\n"
 	var tee strings.Builder
-	if err := run(strings.NewReader(in), &tee, "", 1, "", ""); err != nil {
+	if err := run(strings.NewReader(in), &tee, io.Discard, "", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	rest := strings.TrimPrefix(tee.String(), in)

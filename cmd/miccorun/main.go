@@ -8,6 +8,7 @@
 //	miccorun -workload w.json -scheduler micco -gpus 8
 //	miccorun -workload w.json -scheduler groute -compare
 //	miccorun -workload w.json -metrics m.json -decisions d.ndjson
+//	miccorun -workload w.json -faults plan.json
 package main
 
 import (
@@ -34,6 +35,7 @@ type runConfig struct {
 	traceOut     string
 	metricsOut   string
 	decisionsOut string
+	faultsIn     string
 }
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 	flag.StringVar(&cfg.traceOut, "trace", "", "write a Chrome trace of the primary run")
 	flag.StringVar(&cfg.metricsOut, "metrics", "", "write a JSON metrics snapshot of the primary run")
 	flag.StringVar(&cfg.decisionsOut, "decisions", "", "write per-placement decision records as NDJSON")
+	flag.StringVar(&cfg.faultsIn, "faults", "", "fault-injection plan JSON: replay device loss, link degradation and transient failures into the run")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,8 +134,25 @@ func run(ctx context.Context, rc runConfig) error {
 		w.Name, w.NumPairs(), len(w.Stages), float64(w.TotalUniqueBytes())/1e9)
 	fmt.Printf("cluster: %d GPUs, %.1f GiB pools\n\n", rc.gpus, float64(cfg.MemoryBytes)/(1<<30))
 
+	var plan *micco.FaultPlan
+	if rc.faultsIn != "" {
+		f, err := os.Open(rc.faultsIn)
+		if err != nil {
+			return err
+		}
+		plan, err = micco.LoadFaultPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := plan.Validate(rc.gpus); err != nil {
+			return err
+		}
+		fmt.Printf("fault plan %s: %d events\n\n", rc.faultsIn, len(plan.Events))
+	}
+
 	var reg *micco.MetricsRegistry
-	opts := micco.RunOptions{}
+	opts := micco.RunOptions{FaultPlan: plan}
 	if rc.metricsOut != "" || rc.decisionsOut != "" || rc.traceOut != "" {
 		// The registry also feeds decision instant events into the trace.
 		reg = micco.NewMetricsRegistry()
@@ -144,6 +164,12 @@ func run(ctx context.Context, rc runConfig) error {
 	res, err := micco.Run(ctx, &w, primary, cluster, opts)
 	if err != nil {
 		return err
+	}
+	if plan != nil {
+		rec := res.Recovery
+		fmt.Printf("faults: %d injected, %d devices lost, %d restored, %d pairs rescheduled, %d transient retries (%.4fs backoff)\n\n",
+			rec.FaultsInjected, rec.DevicesLost, rec.DevicesRestored,
+			rec.PairsRescheduled, rec.TransientRetries, rec.BackoffSimSeconds)
 	}
 	if rc.traceOut != "" {
 		events := cluster.StopTrace()
@@ -188,7 +214,8 @@ func run(ctx context.Context, rc runConfig) error {
 			if err != nil {
 				return err
 			}
-			other, err := micco.Run(ctx, &w, s, cluster, micco.RunOptions{})
+			// Replay the same fault plan so speedups compare like with like.
+			other, err := micco.Run(ctx, &w, s, cluster, micco.RunOptions{FaultPlan: plan})
 			if err != nil {
 				return err
 			}

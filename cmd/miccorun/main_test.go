@@ -189,6 +189,53 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunWithFaultPlan(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	plan := &micco.FaultPlan{Events: []micco.FaultEvent{
+		{Kind: micco.FaultDeviceLoss, Stage: 1, Pair: 0, Device: 1},
+		{Kind: micco.FaultTransientTransfer, Stage: 2, Pair: 0, Failures: 2},
+		{Kind: micco.FaultDeviceRestore, Stage: 3, Pair: -1, Device: 1},
+	}}
+	f, err := os.Create(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := micco.SaveFaultPlan(f, plan); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg := base(workloadFile(t))
+	cfg.faultsIn = planPath
+	cfg.compare = true
+	if err := silence(t, func() error { return run(context.Background(), cfg) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A malformed plan file fails loudly.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"evnets":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = base(workloadFile(t))
+	cfg.faultsIn = bad
+	if err := run(context.Background(), cfg); err == nil {
+		t.Error("malformed fault plan: want error")
+	}
+
+	// A plan naming a device outside the cluster fails validation.
+	oob := filepath.Join(dir, "oob.json")
+	if err := os.WriteFile(oob, []byte(`{"events":[{"kind":"device-loss","device":99}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = base(workloadFile(t))
+	cfg.faultsIn = oob
+	if err := run(context.Background(), cfg); err == nil {
+		t.Error("out-of-range fault device: want error")
+	}
+}
+
 func TestRunWithExplicitMemory(t *testing.T) {
 	cfg := base(workloadFile(t))
 	cfg.scheduler = "groute"

@@ -29,18 +29,28 @@ func (*Groute) Name() string { return "Groute" }
 // BeginStage implements sched.Scheduler.
 func (*Groute) BeginStage(*sched.Context) {}
 
-// Assign implements sched.Scheduler.
+// Assign implements sched.Scheduler. Devices removed by fault injection
+// (ctx.Down) never count as available.
 func (*Groute) Assign(_ workload.Pair, ctx *sched.Context) int {
-	best := 0
-	bestClock := ctx.Cluster.Device(0).Clock()
-	for i := 1; i < ctx.NumGPU; i++ {
-		if c := ctx.Cluster.Device(i).Clock(); c < bestClock {
+	best := -1
+	var bestClock float64
+	for i := 0; i < ctx.NumGPU; i++ {
+		if ctx.Down.Has(i) {
+			continue
+		}
+		if c := ctx.Cluster.Device(i).Clock(); best < 0 || c < bestClock {
 			best, bestClock = i, c
 		}
+	}
+	if best < 0 {
+		best = 0 // no live device: unreachable, the engine errors first
 	}
 	if rec := ctx.Decision; rec != nil {
 		rec.Policy = "earliest-device"
 		for i := 0; i < ctx.NumGPU; i++ {
+			if ctx.Down.Has(i) {
+				continue
+			}
 			rec.Candidates = append(rec.Candidates,
 				obs.CandidateScore{Device: i, Score: ctx.Cluster.Device(i).Clock()})
 		}
@@ -60,9 +70,16 @@ func (*RoundRobin) Name() string { return "RoundRobin" }
 // BeginStage implements sched.Scheduler.
 func (*RoundRobin) BeginStage(*sched.Context) {}
 
-// Assign implements sched.Scheduler.
+// Assign implements sched.Scheduler. A down device's turns are skipped (its
+// slot in the cycle is consumed, not reassigned), so the surviving devices
+// keep their phase in the rotation and a restored device slots back into
+// its old position.
 func (r *RoundRobin) Assign(_ workload.Pair, ctx *sched.Context) int {
 	d := r.next % ctx.NumGPU
+	for probes := 0; ctx.Down.Has(d) && probes < ctx.NumGPU; probes++ {
+		r.next++
+		d = r.next % ctx.NumGPU
+	}
 	r.next++
 	if rec := ctx.Decision; rec != nil {
 		rec.Policy = "round-robin"
@@ -98,6 +115,9 @@ func (*LocalityOnly) Assign(p workload.Pair, ctx *sched.Context) int {
 	best, bestBytes := -1, int64(-1)
 	var bestClock float64
 	for i := 0; i < ctx.NumGPU; i++ {
+		if ctx.Down.Has(i) {
+			continue
+		}
 		d := ctx.Cluster.Device(i)
 		var res int64
 		if ma.Has(i) {

@@ -155,12 +155,14 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 		}
 	}
 
-	// Step III (lines 15-18): twoNew, or nothing available above — any GPU
-	// under reuse bound 3.
+	// Step III (lines 15-18): twoNew, or nothing available above — any live
+	// GPU under reuse bound 3. Steps I and II need no down-device filter:
+	// a failed device's residency is dropped the moment it fails, so it can
+	// never appear in a holder mask.
 	if len(s.candi) == 0 {
 		lim := s.bounds[2] + ctx.BalanceNum
 		for it := 0; it < ctx.NumGPU; it++ {
-			if ctx.StageLoad[it] < lim {
+			if ctx.StageLoad[it] < lim && !ctx.Down.Has(it) {
 				s.candi = append(s.candi, it)
 			}
 		}
@@ -171,13 +173,21 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 
 	// Defensive fallback: with non-negative bounds and BalanceNum =
 	// ceil(numTensor/numGPU) at least one GPU is always below the step-III
-	// limit mid-stage, but guard against pathological bound settings.
+	// limit mid-stage, but guard against pathological bound settings (and
+	// stages whose recovery re-placements pushed every survivor past the
+	// limit). Pick the least-loaded live device.
 	if len(s.candi) == 0 {
-		best := 0
-		for it := 1; it < ctx.NumGPU; it++ {
-			if ctx.StageLoad[it] < ctx.StageLoad[best] {
+		best := -1
+		for it := 0; it < ctx.NumGPU; it++ {
+			if ctx.Down.Has(it) {
+				continue
+			}
+			if best < 0 || ctx.StageLoad[it] < ctx.StageLoad[best] {
 				best = it
 			}
+		}
+		if best < 0 {
+			best = 0 // no live device: unreachable, the engine errors first
 		}
 		s.candi = append(s.candi, best)
 	}
@@ -199,9 +209,10 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context, ma, mb gpusim.DeviceMask) int {
 	mem := func(id int) float64 { return float64(ctx.ProjectedMemMasked(id, p, ma, mb)) }
 	evict := false
-	poolBytes := ctx.Cluster.Config().MemoryBytes
 	for _, id := range s.candi {
-		if ctx.ProjectedMemMasked(id, p, ma, mb) > poolBytes {
+		// Per-device capacity: a fault plan's mem-shrink can hold one
+		// device's pool below the configured size.
+		if ctx.ProjectedMemMasked(id, p, ma, mb) > ctx.Cluster.Device(id).Capacity() {
 			evict = true
 			s.evictionPolicyUses++
 			break

@@ -1,0 +1,116 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+
+	"micco/internal/tensor"
+)
+
+// BlockState is the serializable state of one resident block.
+type BlockState struct {
+	Desc    tensor.Desc
+	Dirty   bool
+	ReadyAt float64
+}
+
+// DeviceState is the serializable state of one device: clocks, counters,
+// capacity override, failure flag, and the resident set in LRU order
+// (least recently used first, so replaying installs reproduces the
+// eviction order exactly).
+type DeviceState struct {
+	Clock     float64
+	CopyClock float64
+	MemPeak   int64
+	Capacity  int64 // capOverride; 0 = configured capacity
+	Failed    bool
+	Stats     DeviceStats
+	Resident  []BlockState
+}
+
+// Checkpoint is a full snapshot of cluster simulation state, sufficient to
+// continue a run with bit-identical timing. Pinned flags are not captured:
+// checkpoints are only taken at stage barriers, where no operation is in
+// flight and nothing is pinned.
+type Checkpoint struct {
+	LinkClock     float64
+	P2PClock      float64
+	LinkFactor    float64 // bwFactor; 0 = undegraded
+	TransientLeft int
+	// Host lists host-resident tensor descriptors, ID-sorted for
+	// deterministic iteration.
+	Host    []tensor.Desc
+	Devices []DeviceState
+}
+
+// Checkpoint captures the cluster's complete simulation state. Intended at
+// stage barriers (quiescent points with no pinned blocks); the snapshot
+// shares nothing with the live cluster.
+func (c *Cluster) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		LinkClock:     c.linkClock,
+		P2PClock:      c.p2pClock,
+		LinkFactor:    c.bwFactor,
+		TransientLeft: c.transientLeft,
+		Host:          make([]tensor.Desc, 0, len(c.hostResident)),
+		Devices:       make([]DeviceState, len(c.devices)),
+	}
+	for _, desc := range c.hostResident {
+		cp.Host = append(cp.Host, desc)
+	}
+	sort.Slice(cp.Host, func(i, j int) bool { return cp.Host[i].ID < cp.Host[j].ID })
+	for i, d := range c.devices {
+		ds := DeviceState{
+			Clock:     d.clock,
+			CopyClock: d.copyClock,
+			MemPeak:   d.memPeak,
+			Capacity:  d.capOverride,
+			Failed:    d.failed,
+			Stats:     d.stats,
+			Resident:  make([]BlockState, 0, len(d.resident)),
+		}
+		for b := d.lruHead; b != nil; b = b.next {
+			ds.Resident = append(ds.Resident, BlockState{Desc: b.desc, Dirty: b.dirty, ReadyAt: b.readyAt})
+		}
+		cp.Devices[i] = ds
+	}
+	return cp
+}
+
+// Restore replaces the cluster's simulation state with cp (taken from a
+// cluster of the same device count). The restored cluster continues with
+// bit-identical timing to the one that was checkpointed.
+func (c *Cluster) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("gpusim: %w: checkpoint", ErrNilArgument)
+	}
+	if len(cp.Devices) != len(c.devices) {
+		return fmt.Errorf("gpusim: checkpoint has %d devices, cluster has %d", len(cp.Devices), len(c.devices))
+	}
+	c.Reset()
+	c.linkClock = cp.LinkClock
+	c.p2pClock = cp.P2PClock
+	c.bwFactor = cp.LinkFactor
+	c.transientLeft = cp.TransientLeft
+	for _, desc := range cp.Host {
+		c.hostResident[desc.ID] = desc
+	}
+	for i, ds := range cp.Devices {
+		d := c.devices[i]
+		// Install in checkpoint (LRU) order so the rebuilt list evicts in
+		// the same order the original would have; install also rebuilds
+		// the residency index and memUsed as a side effect.
+		for _, bs := range ds.Resident {
+			b := d.install(bs.Desc, bs.Dirty)
+			b.readyAt = bs.ReadyAt
+		}
+		// Overwrite what install perturbed, then the rest of the state.
+		d.clock = ds.Clock
+		d.copyClock = ds.CopyClock
+		d.memPeak = ds.MemPeak
+		d.capOverride = ds.Capacity
+		d.failed = ds.Failed
+		d.stats = ds.Stats
+	}
+	return nil
+}

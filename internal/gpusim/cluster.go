@@ -35,6 +35,12 @@ type Cluster struct {
 	// maintained by the devices at every install and drop so residency
 	// queries cost one map probe instead of a device scan.
 	index *residencyIndex
+	// bwFactor scales all transfer bandwidths under fault-injected link
+	// degradation; zero means no degradation (factor 1).
+	bwFactor float64
+	// transientLeft is how many injected transient transfer failures
+	// remain to be consumed by operand fetches.
+	transientLeft int
 }
 
 // NewCluster builds a cluster from cfg.
@@ -84,6 +90,9 @@ func (c *Cluster) EnsureResident(dev int, desc tensor.Desc) error {
 	if err != nil {
 		return err
 	}
+	if d.failed {
+		return fmt.Errorf("gpusim: %w: device %d (staging tensor %d)", ErrDeviceLost, dev, desc.ID)
+	}
 	_, err = c.ensureResident(d, desc, false)
 	return err
 }
@@ -97,6 +106,14 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 		b.pinned = b.pinned || pin
 		d.stats.ReuseHits++
 		return b.readyAt, nil
+	}
+	// Injected transient failures strike cold fetches only (a reuse hit
+	// moves no data). The attempt itself charges nothing; the engine's
+	// retry policy charges backoff to simulated time.
+	if c.transientLeft > 0 {
+		c.transientLeft--
+		return 0, fmt.Errorf("gpusim: %w: device %d fetching tensor %d (%d bytes)",
+			ErrTransientTransfer, d.id, desc.ID, desc.Bytes())
 	}
 	// Locate a source before spending anything. Peer sourcing is only
 	// used when the config enables it; the default data path stages
@@ -113,7 +130,7 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 			// Peer copies exist but peer fetch is disabled: stage through
 			// the host by paying one D2H write-back first.
 			src := c.devices[holders.First()]
-			dur := float64(desc.Bytes()) / c.cfg.D2HBandwidth
+			dur := float64(desc.Bytes()) / c.d2hBandwidth()
 			c.hostTransfer(src, dur)
 			src.stats.D2HBytes += desc.Bytes()
 			if c.observing() {
@@ -122,17 +139,18 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 			}
 			c.hostResident[desc.ID] = desc
 		} else {
-			return 0, fmt.Errorf("gpusim: tensor %v resident nowhere (not registered on host?)", desc)
+			return 0, fmt.Errorf("gpusim: %w: tensor %d (%d bytes) resident on no device and absent from host (device %d requesting)",
+				ErrTensorUnavailable, desc.ID, desc.Bytes(), d.id)
 		}
 	}
-	if err := c.alloc(d, desc.Bytes()); err != nil {
+	if err := c.alloc(d, desc); err != nil {
 		return 0, err
 	}
 	if peer != nil {
 		// P2P copies run on the inter-GPU fabric, shared by all pairs:
 		// the copy starts when both the destination's transfer queue and
 		// the fabric are free.
-		dur := float64(desc.Bytes()) / c.cfg.P2PBandwidth
+		dur := float64(desc.Bytes()) / c.p2pBandwidth()
 		queue := d.CopyClock()
 		start := queue
 		if c.p2pClock > start {
@@ -152,7 +170,7 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 				Start: start, End: end, Bytes: desc.Bytes()})
 		}
 	} else {
-		dur := float64(desc.Bytes()) / c.cfg.H2DBandwidth
+		dur := float64(desc.Bytes()) / c.h2dBandwidth()
 		c.hostTransfer(d, dur)
 		d.stats.H2DBytes += desc.Bytes()
 		if c.observing() {
@@ -206,10 +224,10 @@ func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
 }
 
 // alloc charges allocation latency (on the transfer queue: it is part of
-// the staging path) and evicts LRU blocks until size fits.
-func (c *Cluster) alloc(d *Device, size int64) error {
-	if err := d.evictFor(size, c); err != nil {
-		return err
+// the staging path) and evicts LRU blocks until desc fits.
+func (c *Cluster) alloc(d *Device, desc tensor.Desc) error {
+	if err := d.evictFor(desc.Bytes(), c); err != nil {
+		return fmt.Errorf("allocating tensor %d: %w", desc.ID, err)
 	}
 	d.advanceTransferQueue(c.cfg.AllocLatency)
 	d.stats.AllocTime += c.cfg.AllocLatency
@@ -223,6 +241,9 @@ func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error)
 	d, err := c.device(dev)
 	if err != nil {
 		return 0, err
+	}
+	if d.failed {
+		return 0, fmt.Errorf("gpusim: %w: device %d (contraction for tensor %d)", ErrDeviceLost, dev, out.ID)
 	}
 	flops, err := tensor.ContractFLOPs(a, b)
 	if err != nil {
@@ -245,7 +266,7 @@ func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error)
 		ob.dirty = true
 		outReady = ob.readyAt
 	} else {
-		if err := c.alloc(d, out.Bytes()); err != nil {
+		if err := c.alloc(d, out); err != nil {
 			c.unpin(d, a.ID)
 			c.unpin(d, b.ID)
 			return 0, err
@@ -354,6 +375,8 @@ func (c *Cluster) Reset() {
 	c.p2pClock = 0
 	clear(c.hostResident)
 	c.traceEvents = nil
+	c.bwFactor = 0
+	c.transientLeft = 0
 }
 
 func (c *Cluster) device(i int) (*Device, error) {

@@ -38,6 +38,29 @@ type DeviceStats struct {
 	FLOPs        int64
 }
 
+// Sub returns the counter-wise difference s - o, for charging deltas of
+// TotalStats snapshots (e.g. fault-injected evictions) to an accounting
+// bucket.
+func (s DeviceStats) Sub(o DeviceStats) DeviceStats {
+	return DeviceStats{
+		KernelTime:   s.KernelTime - o.KernelTime,
+		TransferTime: s.TransferTime - o.TransferTime,
+		EvictTime:    s.EvictTime - o.EvictTime,
+		AllocTime:    s.AllocTime - o.AllocTime,
+		H2DBytes:     s.H2DBytes - o.H2DBytes,
+		P2PBytes:     s.P2PBytes - o.P2PBytes,
+		D2HBytes:     s.D2HBytes - o.D2HBytes,
+		Kernels:      s.Kernels - o.Kernels,
+		Evictions:    s.Evictions - o.Evictions,
+		ReuseHits:    s.ReuseHits - o.ReuseHits,
+		ColdMisses:   s.ColdMisses - o.ColdMisses,
+		FLOPs:        s.FLOPs - o.FLOPs,
+	}
+}
+
+// Add accumulates o into s (the exported form of the engine-internal add).
+func (s *DeviceStats) Add(o DeviceStats) { s.add(o) }
+
 // add accumulates o into s.
 func (s *DeviceStats) add(o DeviceStats) {
 	s.KernelTime += o.KernelTime
@@ -73,6 +96,12 @@ type Device struct {
 	// index is the cluster's shared reverse residency map; install and
 	// drop keep it exact so it can never drift from resident.
 	index *residencyIndex
+	// failed marks the device as removed by fault injection
+	// (Cluster.FailDevice); operations issued to it return ErrDeviceLost.
+	failed bool
+	// capOverride, when positive, caps the memory pool below
+	// Config.MemoryBytes (Cluster.SetMemoryCapacity).
+	capOverride int64
 }
 
 func newDevice(id int, cfg *Config, index *residencyIndex) *Device {
@@ -111,7 +140,23 @@ func (d *Device) busyUntil() float64 {
 func (d *Device) MemUsed() int64 { return d.memUsed }
 
 // MemFree returns the bytes still available on the device.
-func (d *Device) MemFree() int64 { return d.cfg.MemoryBytes - d.memUsed }
+func (d *Device) MemFree() int64 { return d.capacity() - d.memUsed }
+
+// capacity is the effective pool size: the fault-injected override when one
+// is active, the configured size otherwise.
+func (d *Device) capacity() int64 {
+	if d.capOverride > 0 {
+		return d.capOverride
+	}
+	return d.cfg.MemoryBytes
+}
+
+// Capacity returns the device's effective memory-pool size in bytes; it is
+// below Config.MemoryBytes while a fault plan's mem-shrink is in effect.
+func (d *Device) Capacity() int64 { return d.capacity() }
+
+// Failed reports whether the device has been removed by fault injection.
+func (d *Device) Failed() bool { return d.failed }
 
 // MemPeak returns the high-water mark of allocated bytes over the run,
 // the paper's per-device memory-pressure observable.
@@ -200,15 +245,15 @@ func (d *Device) drop(b *block) {
 // unpinned blocks. Dirty blocks are written back to host (the cluster marks
 // them host-resident). Returns an error if the request can never fit.
 func (d *Device) evictFor(size int64, c *Cluster) error {
-	if size > d.cfg.MemoryBytes {
-		return fmt.Errorf("gpusim: %w: tensor of %d bytes exceeds device %d capacity %d",
-			ErrOutOfMemory, size, d.id, d.cfg.MemoryBytes)
+	if size > d.capacity() {
+		return fmt.Errorf("gpusim: %w: device %d: tensor of %d bytes exceeds capacity %d (used %d, free %d)",
+			ErrOutOfMemory, d.id, size, d.capacity(), d.memUsed, d.MemFree())
 	}
-	for d.memUsed+size > d.cfg.MemoryBytes {
+	for d.memUsed+size > d.capacity() {
 		victim := d.oldestUnpinned()
 		if victim == nil {
-			return fmt.Errorf("gpusim: %w: device %d cannot evict: all %d resident tensors pinned",
-				ErrOutOfMemory, d.id, len(d.resident))
+			return fmt.Errorf("gpusim: %w: device %d cannot free %d bytes: all %d resident tensors pinned (capacity %d, used %d, free %d)",
+				ErrOutOfMemory, d.id, size, len(d.resident), d.capacity(), d.memUsed, d.MemFree())
 		}
 		cost := d.cfg.EvictLatency
 		d.advanceTransferQueue(cost)
@@ -216,7 +261,7 @@ func (d *Device) evictFor(size int64, c *Cluster) error {
 			Start: d.CopyClock() - cost, End: d.CopyClock(), Bytes: victim.desc.Bytes()})
 		if victim.dirty {
 			// Dirty write-back occupies the shared host link.
-			dur := float64(victim.desc.Bytes()) / d.cfg.D2HBandwidth
+			dur := float64(victim.desc.Bytes()) / c.d2hBandwidth()
 			cost += c.hostLinkOccupy(d, dur)
 			d.stats.D2HBytes += victim.desc.Bytes()
 			c.hostResident[victim.desc.ID] = victim.desc
@@ -269,4 +314,6 @@ func (d *Device) reset() {
 	d.memUsed = 0
 	d.memPeak = 0
 	d.stats = DeviceStats{}
+	d.failed = false
+	d.capOverride = 0
 }

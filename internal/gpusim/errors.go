@@ -16,4 +16,17 @@ var (
 	// after evicting every unpinned block: the tensor exceeds the pool, or
 	// everything resident is pinned by the executing operation.
 	ErrOutOfMemory = errors.New("out of device memory")
+	// ErrDeviceLost marks an operation issued to a device removed by a
+	// fault-injection plan (Cluster.FailDevice). Not retryable: recovery
+	// must re-place the work on a surviving device.
+	ErrDeviceLost = errors.New("device lost")
+	// ErrTransientTransfer marks an operand fetch that failed transiently
+	// (injected by Cluster.InjectTransientFailures). Retryable: the engine
+	// retries under the fault plan's backoff policy, charging the backoff
+	// to simulated time.
+	ErrTransientTransfer = errors.New("transient transfer failure")
+	// ErrTensorUnavailable marks a tensor resident on no device and absent
+	// from the host: there is nothing to copy from. Seen when data was
+	// never registered, or when a fault destroyed the only copy.
+	ErrTensorUnavailable = errors.New("tensor unavailable")
 )

@@ -1,0 +1,177 @@
+package gpusim
+
+import "fmt"
+
+// This file is the simulator's fault surface: devices can be lost and
+// restored, the transfer links can be degraded, memory pools can shrink
+// mid-run, and operand fetches can be made to fail transiently. All
+// mutations route residency changes through Device.install/drop, so the
+// cluster's DeviceMask residency index stays exact across every fault.
+
+// FailDevice removes device dev from service: every resident block is
+// dropped (through the install/drop index, so HoldersMask can never show a
+// dead holder), dirty data that was never written back is lost, the
+// device's clocks freeze at their current values, and any subsequent
+// EnsureResident/ExecContraction on it fails with ErrDeviceLost. Failing
+// an already-failed device is a no-op.
+func (c *Cluster) FailDevice(dev int) error {
+	d, err := c.device(dev)
+	if err != nil {
+		return err
+	}
+	if d.failed {
+		return nil
+	}
+	for b := d.lruHead; b != nil; {
+		next := b.next
+		d.drop(b)
+		b = next
+	}
+	d.failed = true
+	if c.observing() {
+		t := c.Makespan()
+		c.trace(Event{Kind: EventFault, Device: dev, Start: t, End: t, Note: "device-loss"})
+	}
+	return nil
+}
+
+// RestoreDevice returns a failed device to service with an empty memory
+// pool, its clocks aligned to the current makespan (it rejoins at "now",
+// not in the past). Restoring a live device is a no-op.
+func (c *Cluster) RestoreDevice(dev int) error {
+	d, err := c.device(dev)
+	if err != nil {
+		return err
+	}
+	if !d.failed {
+		return nil
+	}
+	d.failed = false
+	m := c.Makespan()
+	d.clock = m
+	d.copyClock = m
+	if c.observing() {
+		c.trace(Event{Kind: EventFault, Device: dev, Start: m, End: m, Note: "device-restore"})
+	}
+	return nil
+}
+
+// DeviceFailed reports whether device dev has been removed by FailDevice.
+func (c *Cluster) DeviceFailed(dev int) bool {
+	if dev < 0 || dev >= len(c.devices) {
+		return false
+	}
+	return c.devices[dev].failed
+}
+
+// FailedMask returns the set of failed devices as a bitmask.
+func (c *Cluster) FailedMask() DeviceMask {
+	var m DeviceMask
+	for _, d := range c.devices {
+		if d.failed {
+			m |= maskOf(d.id)
+		}
+	}
+	return m
+}
+
+// AliveMask returns the set of in-service devices as a bitmask.
+func (c *Cluster) AliveMask() DeviceMask {
+	var m DeviceMask
+	for _, d := range c.devices {
+		if !d.failed {
+			m |= maskOf(d.id)
+		}
+	}
+	return m
+}
+
+// DegradeLink scales every transfer bandwidth (H2D, D2H, P2P) by factor:
+// 0.25 quarters throughput, 1 restores full speed. Transfers in flight are
+// unaffected; the factor applies to durations charged from now on.
+func (c *Cluster) DegradeLink(factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("gpusim: link degrade factor %v must be positive", factor)
+	}
+	c.bwFactor = factor
+	if c.observing() {
+		t := c.Makespan()
+		c.trace(Event{Kind: EventFault, Device: -1, Start: t, End: t,
+			Note: fmt.Sprintf("link-degrade x%g", factor)})
+	}
+	return nil
+}
+
+// LinkFactor returns the current bandwidth multiplier (1 = full speed).
+func (c *Cluster) LinkFactor() float64 { return c.linkFactor() }
+
+func (c *Cluster) linkFactor() float64 {
+	if c.bwFactor == 0 {
+		return 1
+	}
+	return c.bwFactor
+}
+
+// Effective bandwidths under the current link degradation factor.
+func (c *Cluster) h2dBandwidth() float64 { return c.cfg.H2DBandwidth * c.linkFactor() }
+func (c *Cluster) d2hBandwidth() float64 { return c.cfg.D2HBandwidth * c.linkFactor() }
+func (c *Cluster) p2pBandwidth() float64 { return c.cfg.P2PBandwidth * c.linkFactor() }
+
+// SetMemoryCapacity caps device dev's memory pool at capacity bytes
+// (restoring Config.MemoryBytes when capacity equals it). If the device
+// currently holds more than the new capacity, LRU blocks are evicted —
+// dirty ones written back to host — until the pool fits, charging the
+// usual eviction and write-back costs to the device's queues.
+func (c *Cluster) SetMemoryCapacity(dev int, capacity int64) error {
+	d, err := c.device(dev)
+	if err != nil {
+		return err
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("gpusim: capacity %d for device %d must be positive", capacity, dev)
+	}
+	d.capOverride = capacity
+	if c.observing() {
+		t := c.Makespan()
+		c.trace(Event{Kind: EventFault, Device: dev, Start: t, End: t,
+			Note: fmt.Sprintf("mem-capacity %d", capacity)})
+	}
+	if d.memUsed > capacity {
+		// evictFor(0) loops until memUsed fits the (new) capacity.
+		if err := d.evictFor(0, c); err != nil {
+			return fmt.Errorf("gpusim: shrinking device %d to %d bytes: %w", dev, capacity, err)
+		}
+	}
+	return nil
+}
+
+// InjectTransientFailures makes the next n operand fetches (EnsureResident
+// cold misses, from any device) fail with ErrTransientTransfer. Injected
+// failures accumulate; each fetch attempt consumes one.
+func (c *Cluster) InjectTransientFailures(n int) {
+	if n <= 0 {
+		return
+	}
+	c.transientLeft += n
+	if c.observing() {
+		t := c.Makespan()
+		c.trace(Event{Kind: EventFault, Device: -1, Start: t, End: t,
+			Note: fmt.Sprintf("transient-transfer x%d", n)})
+	}
+}
+
+// TransientFailuresLeft returns how many injected transfer failures have
+// not yet been consumed.
+func (c *Cluster) TransientFailuresLeft() int { return c.transientLeft }
+
+// DiscardDeviceCopies drops tensor id from every device without touching
+// any host copy. The engine uses it instead of Discard while a fault plan
+// is active: the host copy (when one exists) remains the recovery source
+// should a device loss destroy downstream results.
+func (c *Cluster) DiscardDeviceCopies(id uint64) {
+	for _, d := range c.devices {
+		if b, ok := d.resident[id]; ok {
+			d.drop(b)
+		}
+	}
+}

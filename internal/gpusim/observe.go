@@ -27,8 +27,8 @@ type obsSink struct {
 	memPeak []*obs.Gauge
 }
 
-// numEventKinds is the number of EventKind values (EventEvict is last).
-const numEventKinds = int(EventEvict) + 1
+// numEventKinds is the number of EventKind values (EventFault is last).
+const numEventKinds = int(EventFault) + 1
 
 // SetObserver attaches (or, with nil, detaches) a metrics registry. While
 // attached, every simulated operation — kernels, transfers on each

@@ -23,6 +23,11 @@ const (
 	// EventEvict is an eviction (excluding any write-back transfer, which
 	// is traced separately as EventD2H).
 	EventEvict
+	// EventFault is an injected fault (device loss/restore, link
+	// degradation, capacity shrink, transient-failure arming). Zero
+	// duration; Note carries the description. Device -1 marks
+	// cluster-wide faults.
+	EventFault
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +43,8 @@ func (k EventKind) String() string {
 		return "p2p"
 	case EventEvict:
 		return "evict"
+	case EventFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -55,6 +62,9 @@ type Event struct {
 	// Bytes is the payload for transfers/evictions; FLOPs for kernels.
 	Bytes int64
 	FLOPs int64
+	// Note describes fault events ("device-loss", "link-degrade x0.25",
+	// ...); empty for ordinary simulator events.
+	Note string
 }
 
 // Duration returns the event length in seconds.
@@ -131,6 +141,22 @@ func writeChromeTrace(w io.Writer, events []Event, decisions []obs.DecisionRecor
 		return ","
 	}
 	for _, e := range events {
+		if e.Kind == EventFault {
+			// Faults render as process-scoped instants so Perfetto pins
+			// them to the moment of injection rather than a duration bar.
+			pid := e.Device
+			if pid < 0 {
+				pid = 0
+			}
+			_, err := fmt.Fprintf(w,
+				"  {\"name\":%q,\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"s\":\"p\","+
+					"\"args\":{\"device\":%d}}%s\n",
+				fmt.Sprintf("fault %s", e.Note), e.Start*1e6, pid, e.Device, sep())
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		tid := 0 // kernel queue
 		if e.Kind != EventKernel {
 			tid = 1 // copy/eviction queue
@@ -177,6 +203,10 @@ func TraceSummary(w io.Writer, events []Event) error {
 	devs := map[int]bool{}
 	var makespan float64
 	for _, e := range events {
+		if e.Kind == EventFault {
+			// Zero-duration annotations, not device busy time.
+			continue
+		}
 		k := key{e.Device, e.Kind}
 		busy[k] += e.Duration()
 		count[k]++

@@ -295,6 +295,13 @@ func Run(ctx context.Context, w *workload.Workload, mc *Cluster) (*Result, error
 	res := &Result{Workload: w.Name, PairsPerNode: make([]int, nNodes)}
 	var totalFLOPs int64
 	for si := range w.Stages {
+		// Stage boundary: honor cancellation before refreshing per-node
+		// scheduler state, not just between pairs — a cancel that lands
+		// during the barrier would otherwise start the next stage's
+		// BeginStage work before being noticed.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st := &w.Stages[si]
 		nodeLoad := make([]int, nNodes)
 		nodeBalance := (len(st.Pairs) + nNodes - 1) / nNodes

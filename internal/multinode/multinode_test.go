@@ -230,3 +230,75 @@ func TestNetworkScalingShapes(t *testing.T) {
 			two.Makespan, one.Makespan)
 	}
 }
+
+// countdownContext reports itself cancelled after Err has been consulted n
+// times, making mid-run cancellation deterministic: no goroutines, no
+// timing, the cut lands at an exact pair or stage boundary.
+type countdownContext struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownContext) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	w := testWorkload(t, 0.5)
+	mc, err := NewCluster(fitConfig(w, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Already-cancelled context: not a single pair may execute.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(cancelled, w, mc); err != context.Canceled {
+		t.Fatalf("pre-cancelled run: got %v, want context.Canceled", err)
+	}
+
+	// Cancellation landing at a stage boundary: the engine consults Err
+	// once per stage plus once per pair, so a budget of exactly one
+	// stage's worth of checks stops the run before stage 1 does any
+	// scheduling work.
+	budget := 1 + len(w.Stages[0].Pairs)
+	mcBoundary, err := NewCluster(fitConfig(w, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&countdownContext{Context: context.Background(), remaining: budget}, w, mcBoundary)
+	if err != context.Canceled {
+		t.Fatalf("stage-boundary cancel: got %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run should not return a result")
+	}
+	// Exactly stage 0 executed on the cluster before the cut.
+	var kernels int64
+	for i := 0; i < mcBoundary.NumNodes(); i++ {
+		kernels += mcBoundary.Node(i).TotalStats().Kernels
+	}
+	if kernels != int64(len(w.Stages[0].Pairs)) {
+		t.Errorf("kernels before cancellation = %d, want exactly stage 0's %d",
+			kernels, len(w.Stages[0].Pairs))
+	}
+
+	// Mid-stage cancellation stops between pairs.
+	mcMid, err := NewCluster(fitConfig(w, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(&countdownContext{Context: context.Background(), remaining: 3}, w, mcMid); err != context.Canceled {
+		t.Fatalf("mid-stage cancel: got %v, want context.Canceled", err)
+	}
+	var midKernels int64
+	for i := 0; i < mcMid.NumNodes(); i++ {
+		midKernels += mcMid.Node(i).TotalStats().Kernels
+	}
+	if midKernels != 2 {
+		t.Errorf("kernels before mid-stage cancellation = %d, want 2", midKernels)
+	}
+}

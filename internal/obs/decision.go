@@ -121,6 +121,10 @@ type DecisionRecord struct {
 	// SimTime is the chosen device's simulated clock when the pair was
 	// placed (seconds), anchoring the record on the trace timeline.
 	SimTime float64 `json:"sim_time"`
+	// Recovery marks a re-placement performed by the failure-recovery
+	// path after a device loss (the pair had already executed once on the
+	// lost device).
+	Recovery bool `json:"recovery,omitempty"`
 }
 
 // RecordDecision appends one decision record. Nil-safe.

@@ -1,6 +1,10 @@
 package sched
 
-import "micco/internal/gpusim"
+import (
+	"errors"
+
+	"micco/internal/gpusim"
+)
 
 // The engine shares the simulator's sentinel errors so errors.Is works
 // regardless of which package name a caller imports them under.
@@ -14,4 +18,17 @@ var (
 	// ErrOutOfMemory marks a simulated allocation that cannot fit even
 	// after evicting every unpinned block.
 	ErrOutOfMemory = gpusim.ErrOutOfMemory
+	// ErrDeviceLost marks an operation issued to a fault-injected failed
+	// device.
+	ErrDeviceLost = gpusim.ErrDeviceLost
+	// ErrTransientTransfer marks a retryable injected transfer failure.
+	ErrTransientTransfer = gpusim.ErrTransientTransfer
+	// ErrTensorUnavailable marks a tensor with no live copy anywhere.
+	ErrTensorUnavailable = gpusim.ErrTensorUnavailable
 )
+
+// ErrClusterLost is returned when a fault plan removes the last surviving
+// device: no recovery is possible within the run. With Options.Checkpoint
+// set, the partial Result accompanying the error carries the last
+// stage-boundary checkpoint for Options.ResumeFrom.
+var ErrClusterLost = errors.New("all devices lost")

@@ -8,11 +8,13 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"time"
 
+	"micco/internal/fault"
 	"micco/internal/gpusim"
 	"micco/internal/obs"
 	"micco/internal/workload"
@@ -44,6 +46,11 @@ type Context struct {
 	Features workload.Features
 	// StageIndex is the index of the current stage.
 	StageIndex int
+	// Down is the bitmask of devices currently removed by fault injection
+	// (always empty in fault-free runs). Schedulers must not assign pairs
+	// to a down device — the engine rejects such placements with
+	// ErrInvalidDevice. One bit test per candidate keeps the check free.
+	Down gpusim.DeviceMask
 	// Obs is the run's metrics registry, nil when observability is off.
 	// All obs instruments are nil-safe, so schedulers may use it
 	// unconditionally.
@@ -109,9 +116,11 @@ func (c *Context) ProjectedMemMasked(dev int, p workload.Pair, ma, mb gpusim.Dev
 }
 
 // WouldOversubscribe reports whether executing p on dev would exceed the
-// device's memory pool (forcing evictions).
+// device's memory pool (forcing evictions). It consults the device's
+// effective capacity, which a fault plan's mem-shrink can hold below the
+// configured pool size.
 func (c *Context) WouldOversubscribe(dev int, p workload.Pair) bool {
-	return c.ProjectedMem(dev, p) > c.Cluster.Config().MemoryBytes
+	return c.ProjectedMem(dev, p) > c.Cluster.Device(dev).Capacity()
 }
 
 // Scheduler assigns tensor pairs to GPUs. Implementations must be
@@ -172,6 +181,26 @@ type Options struct {
 	Parallelism int
 	// RecordAssignments retains the per-pair device choices in the result.
 	RecordAssignments bool
+	// FaultPlan injects the plan's fault events (device loss, link
+	// degradation, memory shrink, transient transfer failures) at their
+	// deterministic pair boundaries and enables the recovery machinery:
+	// lost outputs are recomputed on survivors, transient failures retried
+	// under the plan's backoff policy. Nil (the default) disables fault
+	// injection entirely; the per-pair hot path then costs one extra nil
+	// check and no allocations.
+	FaultPlan *fault.Plan
+	// Checkpoint snapshots the run at every stage boundary;
+	// Result.Checkpoint carries the latest snapshot — the completed run's
+	// on success, the last boundary before failure when Run returns an
+	// error (alongside the partial Result) — for Options.ResumeFrom.
+	Checkpoint bool
+	// ResumeFrom restarts a run from a stage-boundary checkpoint instead
+	// of from scratch: the cluster is restored to the snapshot and
+	// execution continues at Checkpoint.NextStage. The workload, cluster
+	// shape and (for bit-identical fingerprints) numeric options must
+	// match the checkpointed run; events of an attached FaultPlan that had
+	// already fired do not re-fire.
+	ResumeFrom *Checkpoint
 }
 
 // PoolSize resolves Parallelism to the effective worker count.
@@ -206,6 +235,13 @@ type Result struct {
 	// observability was off). Decision records are not embedded — read
 	// them from the registry via Decisions().
 	Metrics *obs.Snapshot
+	// Recovery summarizes fault-injection and recovery activity; all
+	// fields are zero when no fault plan was attached.
+	Recovery RecoveryStats
+	// Checkpoint is the latest stage-boundary snapshot when
+	// Options.Checkpoint is set (nil otherwise): the final state on
+	// success, the last completed boundary when the run failed mid-stage.
+	Checkpoint *Checkpoint
 }
 
 // obsRun bundles the engine's per-run observability state: the registry,
@@ -271,8 +307,180 @@ func (o *obsRun) finish(res *Result, c *gpusim.Cluster) {
 	res.Metrics = o.reg.Snapshot()
 }
 
+// engine is the per-run execution state: everything the stage loop, the
+// placement path and the fault machinery share. One engine value lives per
+// Run call; its hot-path fields are read through one pointer, keeping the
+// fault-free per-pair loop free of allocations.
+type engine struct {
+	ctx   context.Context
+	w     *workload.Workload
+	s     Scheduler
+	c     *gpusim.Cluster
+	opts  Options
+	ob    *obsRun
+	sctx  *Context
+	store *numericStore
+	res   *Result
+	// fr is the live fault-injection state, nil without a fault plan (the
+	// per-pair cost of the feature is then a single nil check).
+	fr *faultRun
+	n  int
+	// overhead is cumulative scheduler wall time; scheduleW/simulateW/
+	// numericW are the current stage's wall-time attribution (zeroed at
+	// each stage start).
+	overhead                       time.Duration
+	scheduleW, simulateW, numericW time.Duration
+	// assignAll is the flat stage-major device-per-pair record, indexed
+	// through stageOffsets so recovery re-placements of earlier pairs
+	// update in place (nil unless RecordAssignments).
+	assignAll    []int
+	stageOffsets []int
+	lastCP       *Checkpoint
+}
+
+// fail finishes an erroring run: with checkpointing on, the last
+// stage-boundary snapshot (updated to the live fired-event mask, so the
+// fatal event does not re-fire on resume) is attached to the partial
+// result; otherwise the result is dropped as before.
+func (e *engine) fail(err error) (*Result, error) {
+	if e.opts.Checkpoint && e.lastCP != nil {
+		if e.fr != nil {
+			e.lastCP.faultsFired = append([]bool(nil), e.fr.fired...)
+		}
+		e.res.Checkpoint = e.lastCP
+		return e.res, err
+	}
+	return nil, err
+}
+
+// discard drops a dead input. Under a fault plan only device copies are
+// dropped: the host copy must survive as the recovery source if a later
+// device loss destroys tensors the input's consumers produced.
+func (e *engine) discard(id uint64) {
+	if e.fr != nil {
+		e.c.DiscardDeviceCopies(id)
+	} else {
+		e.c.Discard(id)
+	}
+}
+
+// execSim runs one contraction on the simulator. Under a fault plan,
+// injected transient transfer failures are retried under the plan's
+// capped-exponential backoff policy, each retry charging its backoff to
+// the device's simulated transfer queue; the error surfaces as fatal once
+// the attempt budget is exhausted.
+func (e *engine) execSim(si, dev int, p workload.Pair) (int64, error) {
+	flops, err := e.c.ExecContraction(dev, p.A, p.B, p.Out)
+	if err != nil && e.fr != nil {
+		for attempt := 1; errors.Is(err, gpusim.ErrTransientTransfer); attempt++ {
+			if attempt > e.fr.retry.Max {
+				return 0, fmt.Errorf("sched: stage %d: %d transfer retries exhausted: %w", si, e.fr.retry.Max, err)
+			}
+			backoff := e.fr.retry.Backoff(attempt)
+			if cerr := e.c.ChargeExternalTransfer(dev, backoff); cerr != nil {
+				return 0, cerr
+			}
+			e.res.Recovery.TransientRetries++
+			e.res.Recovery.BackoffSimSeconds += backoff
+			e.fr.retries.Inc()
+			e.fr.backoff.Add(backoff)
+			flops, err = e.c.ExecContraction(dev, p.A, p.B, p.Out)
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sched: stage %d: %w", si, err)
+	}
+	return flops, nil
+}
+
+// placePair runs one pair through the full placement path: decision-record
+// setup, scheduler Assign (timed), device validation, simulated execution
+// (with transient retry), decision actuals, per-stage load accounting,
+// dead-input discard and numeric execution. recovery marks a re-placement
+// by the failure-recovery path: the decision record is tagged, and the
+// numeric contraction is NOT repeated (the CPU-side result already
+// exists), which keeps fingerprints bit-identical to a fault-free run.
+func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
+	sctx, c := e.sctx, e.c
+	var rec *obs.DecisionRecord
+	var before gpusim.DeviceStats
+	if e.ob != nil {
+		rec = &obs.DecisionRecord{
+			Stage: si, Pair: pi,
+			Out: p.Out.ID, A: p.A.ID, B: p.B.ID,
+			BalanceNum: sctx.BalanceNum, BoundIndex: -1,
+			Pattern:  classifyReuse(c, p),
+			Recovery: recovery,
+		}
+		sctx.Decision = rec
+	}
+	t0 := time.Now()
+	dev := e.s.Assign(p, sctx)
+	d0 := time.Since(t0)
+	e.overhead += d0
+	e.scheduleW += d0
+	if dev < 0 || dev >= e.n {
+		return fmt.Errorf("sched: %w: %s assigned pair to device %d of %d", ErrInvalidDevice, e.s.Name(), dev, e.n)
+	}
+	if sctx.Down.Has(dev) {
+		return fmt.Errorf("sched: %w: %s assigned stage %d pair %d to failed device %d", ErrInvalidDevice, e.s.Name(), si, pi, dev)
+	}
+	if rec != nil {
+		sctx.Decision = nil
+		rec.Device = dev
+		rec.SimTime = c.Device(dev).Clock()
+		if !c.HoldersMask(p.A.ID).Has(dev) {
+			rec.PredictedBytes += p.A.Bytes()
+		}
+		if !c.HoldersMask(p.B.ID).Has(dev) && p.B.ID != p.A.ID {
+			rec.PredictedBytes += p.B.Bytes()
+		}
+		before = c.TotalStats()
+		t0 = time.Now()
+	}
+	flops, err := e.execSim(si, dev, p)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		e.simulateW += time.Since(t0)
+		after := c.TotalStats()
+		rec.ActualBytes = (after.H2DBytes + after.P2PBytes) - (before.H2DBytes + before.P2PBytes)
+		rec.ActualD2HBytes = after.D2HBytes - before.D2HBytes
+		rec.Evictions = after.Evictions - before.Evictions
+		e.ob.patterns[rec.Pattern].Inc()
+		e.ob.reg.RecordDecision(*rec)
+	}
+	sctx.StageLoad[dev] += 2
+	sctx.Comp[dev] += float64(flops) / c.Config().FLOPS
+	if e.opts.DiscardDeadInputs {
+		if p.LastUse[0] {
+			e.discard(p.A.ID)
+		}
+		if p.LastUse[1] && p.B.ID != p.A.ID {
+			e.discard(p.B.ID)
+		}
+	}
+	if !recovery && e.store != nil {
+		if e.ob != nil {
+			t0 = time.Now()
+		}
+		if err := e.store.exec(p); err != nil {
+			return err
+		}
+		if e.ob != nil {
+			e.numericW += time.Since(t0)
+		}
+	}
+	if e.assignAll != nil {
+		e.assignAll[e.stageOffsets[si]+pi] = dev
+	}
+	return nil
+}
+
 // Run replays workload w through scheduler s on cluster c. The cluster is
-// reset first, so each Run is independent and deterministic.
+// reset first (or restored, with Options.ResumeFrom), so each Run is
+// independent and deterministic.
 //
 // Scheduler decisions and the timing simulation replay sequentially; in
 // numeric mode the real CPU contractions run on a dependency-aware worker
@@ -283,6 +491,12 @@ func (o *obsRun) finish(res *Result, c *gpusim.Cluster) {
 // registry: one DecisionRecord per placement, per-stage spans with
 // schedule/simulate/numeric wall-time attribution, reuse-pattern counters,
 // and end-of-run device gauges; Result.Metrics carries the snapshot.
+//
+// With Options.FaultPlan set the plan's events are injected at their
+// deterministic pair boundaries and recovered from (Result.Recovery
+// summarizes the damage); with Options.Checkpoint set an erroring run —
+// fault-fatal or cancelled — returns its partial Result carrying the last
+// stage-boundary checkpoint alongside the error.
 func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Cluster, opts Options) (*Result, error) {
 	if w == nil || s == nil || c == nil {
 		return nil, fmt.Errorf("sched: %w: workload, scheduler and cluster must be non-nil", ErrNilArgument)
@@ -293,14 +507,32 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.Reset()
+	n := c.NumDevices()
+	resume := opts.ResumeFrom
+	if resume != nil {
+		if err := resume.validateFor(w.Name, len(w.Stages), n); err != nil {
+			return nil, err
+		}
+	}
+	if opts.FaultPlan != nil {
+		if err := opts.FaultPlan.Validate(n); err != nil {
+			return nil, err
+		}
+	}
+	if resume != nil {
+		if err := c.Restore(resume.cluster); err != nil {
+			return nil, err
+		}
+	} else {
+		c.Reset()
+		for _, d := range w.Inputs {
+			c.RegisterHostTensor(d)
+		}
+	}
 	ob := newObsRun(opts.Obs, s, w)
 	if ob != nil {
 		c.SetObserver(opts.Obs)
 		defer c.SetObserver(nil)
-	}
-	for _, d := range w.Inputs {
-		c.RegisterHostTensor(d)
 	}
 	var store *numericStore
 	if opts.Numeric {
@@ -313,24 +545,59 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		// outlives the run (idempotent; finish() on success already did).
 		defer store.shutdown()
 	}
-	n := c.NumDevices()
 	sctx := &Context{
 		Cluster:   c,
 		NumGPU:    n,
 		StageLoad: make([]int, n),
 		Comp:      make([]float64, n),
 		Obs:       opts.Obs,
+		Down:      c.FailedMask(),
 	}
 	res := &Result{Scheduler: s.Name(), Workload: w.Name}
-	// One flat buffer backs every stage's assignment record: appends never
-	// reallocate mid-run, and each stage gets a capacity-capped window.
-	var assignAll []int
-	if opts.RecordAssignments {
-		assignAll = make([]int, 0, w.NumPairs())
-		res.Assignments = make([][]int, 0, len(w.Stages))
+	e := &engine{ctx: ctx, w: w, s: s, c: c, opts: opts, ob: ob, sctx: sctx, store: store, res: res, n: n}
+	if opts.FaultPlan != nil {
+		e.fr = newFaultRun(opts.FaultPlan, resume, opts.Obs)
 	}
-	var overhead time.Duration
-	for si := range w.Stages {
+	if opts.RecordAssignments {
+		// One flat buffer backs every stage's assignment record, indexed
+		// through per-stage offsets so recovery re-placements of earlier
+		// pairs update their original slot in place.
+		e.stageOffsets = make([]int, len(w.Stages)+1)
+		for si := range w.Stages {
+			e.stageOffsets[si+1] = e.stageOffsets[si] + len(w.Stages[si].Pairs)
+		}
+		e.assignAll = make([]int, e.stageOffsets[len(w.Stages)])
+		for i := range e.assignAll {
+			e.assignAll[i] = -1
+		}
+	}
+	startStage := 0
+	if resume != nil {
+		startStage = resume.nextStage
+		e.overhead = resume.overhead
+		res.Recovery = resume.recovery
+		if e.assignAll != nil && len(resume.assignments) == len(e.assignAll) {
+			copy(e.assignAll, resume.assignments)
+		}
+		// Replay the completed prefix numerically: numeric state is a pure
+		// function of the seed and the stream order, so re-executing it is
+		// exactly equivalent to having checkpointed it, without snapshotting
+		// tensor storage. (With a concurrent pool, exec is a queue no-op and
+		// the pool re-runs the full stream on its own.)
+		if store != nil {
+			for si := 0; si < startStage; si++ {
+				for _, p := range w.Stages[si].Pairs {
+					if err := store.exec(p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if opts.Checkpoint {
+		e.snapshot(startStage)
+	}
+	for si := startStage; si < len(w.Stages); si++ {
 		st := &w.Stages[si]
 		sctx.StageIndex = si
 		sctx.BalanceNum = (st.NumTensors() + n - 1) / n
@@ -339,7 +606,7 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		}
 		sctx.Features = w.StageFeatures(si)
 		var stageSpan *obs.ActiveSpan
-		var scheduleW, simulateW, numericW time.Duration
+		e.scheduleW, e.simulateW, e.numericW = 0, 0, 0
 		if ob != nil {
 			stageSpan = ob.reg.StartSpan("stage", ob.runSpan)
 			stageSpan.SetAttr("index", strconv.Itoa(si))
@@ -348,104 +615,48 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		t0 := time.Now()
 		s.BeginStage(sctx)
 		d0 := time.Since(t0)
-		overhead += d0
-		scheduleW += d0
-		stageStart := len(assignAll)
-		for pi, p := range st.Pairs {
+		e.overhead += d0
+		e.scheduleW += d0
+		for pi := range st.Pairs {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return e.fail(err)
 			}
-			var rec *obs.DecisionRecord
-			var before gpusim.DeviceStats
-			if ob != nil {
-				rec = &obs.DecisionRecord{
-					Stage: si, Pair: pi,
-					Out: p.Out.ID, A: p.A.ID, B: p.B.ID,
-					BalanceNum: sctx.BalanceNum, BoundIndex: -1,
-					Pattern: classifyReuse(c, p),
-				}
-				sctx.Decision = rec
-			}
-			t0 = time.Now()
-			dev := s.Assign(p, sctx)
-			d0 = time.Since(t0)
-			overhead += d0
-			scheduleW += d0
-			if dev < 0 || dev >= n {
-				return nil, fmt.Errorf("sched: %w: %s assigned pair to device %d of %d", ErrInvalidDevice, s.Name(), dev, n)
-			}
-			if rec != nil {
-				sctx.Decision = nil
-				rec.Device = dev
-				rec.SimTime = c.Device(dev).Clock()
-				if !c.HoldersMask(p.A.ID).Has(dev) {
-					rec.PredictedBytes += p.A.Bytes()
-				}
-				if !c.HoldersMask(p.B.ID).Has(dev) && p.B.ID != p.A.ID {
-					rec.PredictedBytes += p.B.Bytes()
-				}
-				before = c.TotalStats()
-				t0 = time.Now()
-			}
-			flops, err := c.ExecContraction(dev, p.A, p.B, p.Out)
-			if err != nil {
-				return nil, fmt.Errorf("sched: stage %d: %w", si, err)
-			}
-			if rec != nil {
-				simulateW += time.Since(t0)
-				after := c.TotalStats()
-				rec.ActualBytes = (after.H2DBytes + after.P2PBytes) - (before.H2DBytes + before.P2PBytes)
-				rec.ActualD2HBytes = after.D2HBytes - before.D2HBytes
-				rec.Evictions = after.Evictions - before.Evictions
-				ob.patterns[rec.Pattern].Inc()
-				ob.reg.RecordDecision(*rec)
-			}
-			sctx.StageLoad[dev] += 2
-			sctx.Comp[dev] += float64(flops) / c.Config().FLOPS
-			if opts.DiscardDeadInputs {
-				if p.LastUse[0] {
-					c.Discard(p.A.ID)
-				}
-				if p.LastUse[1] && p.B.ID != p.A.ID {
-					c.Discard(p.B.ID)
+			if e.fr != nil {
+				if err := e.fire(si, pi); err != nil {
+					return e.fail(err)
 				}
 			}
-			if store != nil {
-				if ob != nil {
-					t0 = time.Now()
-				}
-				if err := store.exec(p); err != nil {
-					return nil, err
-				}
-				if ob != nil {
-					numericW += time.Since(t0)
-				}
+			if err := e.placePair(si, pi, st.Pairs[pi], false); err != nil {
+				return e.fail(err)
 			}
-			if opts.RecordAssignments {
-				assignAll = append(assignAll, dev)
-			}
-		}
-		if opts.RecordAssignments {
-			res.Assignments = append(res.Assignments, assignAll[stageStart:len(assignAll):len(assignAll)])
 		}
 		c.Barrier()
 		if ob != nil {
-			ob.schedule.Add(scheduleW.Seconds())
-			ob.simulate.Add(simulateW.Seconds())
-			ob.numeric.Add(numericW.Seconds())
-			stageSpan.SetAttr("schedule_s", formatSeconds(scheduleW))
-			stageSpan.SetAttr("simulate_s", formatSeconds(simulateW))
-			stageSpan.SetAttr("numeric_s", formatSeconds(numericW))
+			ob.schedule.Add(e.scheduleW.Seconds())
+			ob.simulate.Add(e.simulateW.Seconds())
+			ob.numeric.Add(e.numericW.Seconds())
+			stageSpan.SetAttr("schedule_s", formatSeconds(e.scheduleW))
+			stageSpan.SetAttr("simulate_s", formatSeconds(e.simulateW))
+			stageSpan.SetAttr("numeric_s", formatSeconds(e.numericW))
 			stageSpan.End()
+		}
+		if opts.Checkpoint {
+			e.snapshot(si + 1)
 		}
 	}
 	res.Makespan = c.Makespan()
 	res.GFLOPS = c.GFLOPS()
-	res.SchedOverhead = overhead
+	res.SchedOverhead = e.overhead
 	res.Total = c.TotalStats()
 	res.PerDevice = make([]gpusim.DeviceStats, n)
 	for i := 0; i < n; i++ {
 		res.PerDevice[i] = c.Device(i).Stats()
+	}
+	if e.assignAll != nil {
+		res.Assignments = make([][]int, len(w.Stages))
+		for si := range w.Stages {
+			res.Assignments[si] = e.assignAll[e.stageOffsets[si]:e.stageOffsets[si+1]:e.stageOffsets[si+1]]
+		}
 	}
 	if store != nil {
 		var t0 time.Time
@@ -461,6 +672,9 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			ob.reg.Counter("micco_engine_numeric_drain_seconds_total").Add(time.Since(t0).Seconds())
 		}
 		res.NumericFingerprint = store.fingerprint()
+	}
+	if opts.Checkpoint {
+		res.Checkpoint = e.lastCP
 	}
 	ob.finish(res, c)
 	return res, nil

@@ -40,6 +40,7 @@ import (
 	"micco/internal/baseline"
 	"micco/internal/core"
 	"micco/internal/experiment"
+	"micco/internal/fault"
 	"micco/internal/gpusim"
 	"micco/internal/mlearn"
 	"micco/internal/multinode"
@@ -137,6 +138,46 @@ type (
 	ModelKind = autotune.ModelKind
 	// ModelScore is one Table IV row.
 	ModelScore = autotune.ModelScore
+)
+
+// Fault-injection and recovery types. A FaultPlan passed through
+// RunOptions.FaultPlan is replayed deterministically into the simulator;
+// the engine recovers from device loss by re-running lost intermediates
+// on the survivors, retries transient transfers under the plan's
+// FaultRetry policy, and (with RunOptions.Checkpoint) snapshots every
+// stage boundary so an interrupted run can resume via
+// RunOptions.ResumeFrom.
+type (
+	// FaultPlan is a deterministic fault schedule.
+	FaultPlan = fault.Plan
+	// FaultEvent is one fault to inject.
+	FaultEvent = fault.Event
+	// FaultKind classifies fault events.
+	FaultKind = fault.Kind
+	// FaultRetry is the transient-failure retry/backoff policy.
+	FaultRetry = fault.Retry
+	// FaultGenConfig parameterizes GenerateFaultPlan.
+	FaultGenConfig = fault.GenConfig
+	// Checkpoint is a resumable stage-boundary snapshot of a run. It is an
+	// in-memory handle (it holds live simulator state), not a serialized
+	// artifact.
+	Checkpoint = sched.Checkpoint
+	// RecoveryStats summarizes fault-recovery work done during a run.
+	RecoveryStats = sched.RecoveryStats
+)
+
+// Fault event kinds.
+const (
+	// FaultDeviceLoss permanently removes a device mid-run.
+	FaultDeviceLoss = fault.DeviceLoss
+	// FaultDeviceRestore returns a lost device to service, memory cold.
+	FaultDeviceRestore = fault.DeviceRestore
+	// FaultLinkDegrade scales all transfer bandwidth by Factor.
+	FaultLinkDegrade = fault.LinkDegrade
+	// FaultMemShrink caps a device's memory pool at Factor of capacity.
+	FaultMemShrink = fault.MemShrink
+	// FaultTransientTransfer makes the next Failures fetches retryable-fail.
+	FaultTransientTransfer = fault.TransientTransfer
 )
 
 // Local reuse patterns (paper Fig. 4).
@@ -282,7 +323,32 @@ var (
 	// ErrOutOfMemory marks a tensor that cannot fit on a device even after
 	// evicting every unpinned block.
 	ErrOutOfMemory = sched.ErrOutOfMemory
+	// ErrDeviceLost marks an operation issued to a fault-injected failed
+	// device.
+	ErrDeviceLost = sched.ErrDeviceLost
+	// ErrTransientTransfer marks a retryable injected transfer failure; the
+	// engine surfaces it only after the FaultRetry budget is exhausted.
+	ErrTransientTransfer = sched.ErrTransientTransfer
+	// ErrTensorUnavailable marks a tensor with no live copy anywhere.
+	ErrTensorUnavailable = sched.ErrTensorUnavailable
+	// ErrClusterLost is returned when a fault plan removes the last
+	// surviving device; with RunOptions.Checkpoint the Result carries the
+	// last stage-boundary Checkpoint for resumption.
+	ErrClusterLost = sched.ErrClusterLost
 )
+
+// LoadFaultPlan parses a JSON fault plan; unknown fields are rejected.
+func LoadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.Load(r) }
+
+// SaveFaultPlan serializes a fault plan as indented JSON.
+func SaveFaultPlan(w io.Writer, p *FaultPlan) error { return fault.Save(w, p) }
+
+// GenerateFaultPlan builds a randomized but deterministic fault plan that
+// never loses device 0, so generated plans always run to completion.
+func GenerateFaultPlan(cfg FaultGenConfig) *FaultPlan { return fault.Generate(cfg) }
+
+// DefaultFaultRetry is the retry policy used when a plan specifies none.
+func DefaultFaultRetry() FaultRetry { return fault.DefaultRetry() }
 
 // ExperimentIDs lists the runnable experiments in paper order.
 func ExperimentIDs() []string { return experiment.IDs() }
@@ -323,6 +389,8 @@ const (
 	TraceD2H    = gpusim.EventD2H
 	TraceP2P    = gpusim.EventP2P
 	TraceEvict  = gpusim.EventEvict
+	// TraceFault marks an injected fault taking effect (instant event).
+	TraceFault = gpusim.EventFault
 )
 
 // WriteChromeTrace serializes trace events in the Chrome tracing JSON

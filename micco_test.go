@@ -2,6 +2,7 @@ package micco_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -52,6 +53,81 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if _, err := micco.Run(context.Background(), w, s, cluster, micco.RunOptions{}); err != nil {
 			t.Errorf("%s: %v", s.Name(), err)
 		}
+	}
+}
+
+// TestPublicAPIFaultInjection drives the fault surface end to end through
+// the facade: a faulted run matches the fault-free fingerprint, plan
+// save/load round-trips, and checkpoint/resume recovers from total
+// cluster loss.
+func TestPublicAPIFaultInjection(t *testing.T) {
+	w := testWorkload(t)
+	cluster, err := micco.NewCluster(micco.MI100(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := micco.Run(context.Background(), w, micco.NewRoundRobin(), cluster, micco.RunOptions{Numeric: true, NumericSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := &micco.FaultPlan{Events: []micco.FaultEvent{
+		{Kind: micco.FaultDeviceLoss, Stage: 1, Pair: 1, Device: 2},
+		{Kind: micco.FaultLinkDegrade, Stage: 2, Pair: -1, Factor: 0.5},
+		{Kind: micco.FaultTransientTransfer, Stage: 3, Pair: 0, Failures: 2},
+		{Kind: micco.FaultDeviceRestore, Stage: 4, Pair: -1, Device: 2},
+	}}
+	var buf strings.Builder
+	if err := micco.SaveFaultPlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := micco.LoadFaultPlan(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted, err := micco.Run(context.Background(), w, micco.NewRoundRobin(), cluster,
+		micco.RunOptions{Numeric: true, NumericSeed: 7, FaultPlan: plan2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.NumericFingerprint != clean.NumericFingerprint {
+		t.Errorf("faulted fingerprint %v != clean %v", faulted.NumericFingerprint, clean.NumericFingerprint)
+	}
+	if faulted.Recovery.FaultsInjected != len(plan.Events) {
+		t.Errorf("injected %d faults, want %d", faulted.Recovery.FaultsInjected, len(plan.Events))
+	}
+	if faulted.Recovery.DevicesLost != 1 || faulted.Recovery.DevicesRestored != 1 {
+		t.Errorf("lost/restored = %d/%d, want 1/1",
+			faulted.Recovery.DevicesLost, faulted.Recovery.DevicesRestored)
+	}
+
+	// Lose every device: ErrClusterLost plus a resumable checkpoint.
+	fatal := &micco.FaultPlan{Events: []micco.FaultEvent{
+		{Kind: micco.FaultDeviceLoss, Stage: 2, Pair: 0, Device: 0},
+		{Kind: micco.FaultDeviceLoss, Stage: 2, Pair: 0, Device: 1},
+		{Kind: micco.FaultDeviceLoss, Stage: 2, Pair: 0, Device: 2},
+		{Kind: micco.FaultDeviceLoss, Stage: 2, Pair: 0, Device: 3},
+	}}
+	res, err := micco.Run(context.Background(), w, micco.NewRoundRobin(), cluster,
+		micco.RunOptions{Numeric: true, NumericSeed: 7, FaultPlan: fatal, Checkpoint: true})
+	if !errors.Is(err, micco.ErrClusterLost) {
+		t.Fatalf("got %v, want ErrClusterLost", err)
+	}
+	if res == nil || res.Checkpoint == nil {
+		t.Fatal("no checkpoint attached to the failed run")
+	}
+	fresh, err := micco.NewCluster(micco.MI100(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := micco.Run(context.Background(), w, micco.NewRoundRobin(), fresh,
+		micco.RunOptions{Numeric: true, NumericSeed: 7, ResumeFrom: res.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.NumericFingerprint != clean.NumericFingerprint {
+		t.Errorf("resumed fingerprint %v != clean %v", resumed.NumericFingerprint, clean.NumericFingerprint)
 	}
 }
 
