@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench benchsmoke
+.PHONY: build test vet race check bench benchsmoke benchguard
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet test race benchsmoke
+check: vet test race benchsmoke benchguard
 
 # benchsmoke compiles and runs every benchmark once — including the
 # scheduler-overhead suite in internal/sched — so check catches bit-rot
 # in benchmark code without paying for real measurements.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# benchguard checks the recorded scheduler placement numbers: any
+# BenchmarkSchedulerAssign* entry in BENCH_sched.json (obs-on variants
+# excepted) must report 0 allocs/op and stay within 2x the _baseline/
+# ns/op merged into the same document. Re-run `make bench` to refresh
+# the recording before the guard.
+benchguard:
+	$(GO) run ./cmd/benchjson -guard BENCH_sched.json -guard-tol 2.0
 
 # bench measures the contraction-kernel component benchmarks with
 # allocation stats and records them as BENCH_kernel.json (via

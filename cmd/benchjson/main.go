@@ -12,6 +12,18 @@
 // observability counters. With -baseline, a previously recorded benchjson
 // document is merged under the "_baseline" key, so the file shows current
 // numbers next to the reference they are compared against.
+//
+// With -guard, benchjson runs as a checker instead of a recorder: it reads
+// the named document (stdin is ignored) and fails when the scheduler
+// placement hot path regressed — any BenchmarkSchedulerAssign* entry
+// (observability-on "/obs" variants excepted) reporting allocs/op above
+// zero, or ns/op beyond -guard-tol times its "_baseline/" entry in the
+// same document:
+//
+//	benchjson -guard BENCH_sched.json -guard-tol 2.0
+//
+// Entries without a baseline are reported and skipped (first recording of
+// a new benchmark); a guard run that finds no entries to check fails.
 package main
 
 import (
@@ -34,12 +46,80 @@ func main() {
 		"GOMAXPROCS of the go test run; only the matching -N name suffix is stripped (at 1, go test emits no suffix and nothing is stripped)")
 	extra := flag.String("extra", "", "metrics snapshot JSON (from miccorun -metrics) to merge under the _metrics key")
 	baseline := flag.String("baseline", "", "prior benchjson document to merge under the _baseline key")
+	guard := flag.String("guard", "", "benchjson document to check for scheduler hot-path regressions (no recording; stdin ignored)")
+	guardTol := flag.Float64("guard-tol", 2.0, "with -guard, the allowed ns/op growth factor over the document's _baseline entries")
 	flag.Parse()
 
+	if *guard != "" {
+		if err := runGuard(os.Stderr, *guard, *guardTol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, os.Stderr, *out, *procs, *extra, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// guardPrefix selects the entries the guard checks: the scheduler
+// placement benchmarks (per-decision and large-cluster variants).
+const guardPrefix = "BenchmarkSchedulerAssign"
+
+// runGuard checks the recorded scheduler placement benchmarks in the
+// document at path against the hot-path contract: zero allocations per
+// placement with observability off, and ns/op within tol times the
+// document's own "_baseline/" entry. Observability-on variants (names
+// containing "/obs") are exempt — a live DecisionRecord legitimately
+// allocates. Entries without a baseline are noted on w and skipped; zero
+// checkable entries is itself an error (the guard would be vacuous).
+func runGuard(w io.Writer, path string, tol float64) error {
+	doc, err := loadBaseline(path) // same shape; baseline-prefix pruning is harmless here
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var full map[string]map[string]float64
+	if err := json.Unmarshal(raw, &full); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if tol <= 0 {
+		return fmt.Errorf("guard tolerance must be positive, got %g", tol)
+	}
+	checked := 0
+	var failures []string
+	for name, m := range doc {
+		if !strings.HasPrefix(name, guardPrefix) || strings.Contains(name, "/obs") {
+			continue
+		}
+		checked++
+		if a := m["allocs/op"]; a > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %g allocs/op, want 0 (placement hot path must not allocate)", name, a))
+		}
+		base, ok := full["_baseline/"+name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: note: %s has no _baseline entry, ns/op unchecked\n", name)
+			continue
+		}
+		if bn := base["ns/op"]; bn > 0 && m["ns/op"] > tol*bn {
+			failures = append(failures, fmt.Sprintf("%s: %g ns/op exceeds %gx baseline %g", name, m["ns/op"], tol, bn))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s holds no %s* entries; the guard checked nothing", path, guardPrefix)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(w, "benchjson: FAIL:", f)
+		}
+		return fmt.Errorf("%d hot-path regression(s) in %s", len(failures), path)
+	}
+	fmt.Fprintf(w, "benchjson: guard ok: %d scheduler placement entries within bounds\n", checked)
+	return nil
 }
 
 // run tees bench output from in to tee and writes the parsed metrics as

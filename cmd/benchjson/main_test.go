@@ -206,6 +206,107 @@ func TestRunBaselineDegradesGracefully(t *testing.T) {
 	})
 }
 
+// writeGuardDoc writes a benchjson document for guard tests and returns
+// its path.
+func writeGuardDoc(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGuardPasses(t *testing.T) {
+	path := writeGuardDoc(t, `{
+  "BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 150, "allocs/op": 0},
+  "BenchmarkSchedulerAssign/MICCO(0,2,0)/obs": {"ns/op": 400, "allocs/op": 3},
+  "BenchmarkSchedulerAssignLarge/Hier/devs=4096": {"ns/op": 650, "allocs/op": 0},
+  "BenchmarkRunScheduleOnly/MICCO/obs=off": {"ns/op": 9e9, "allocs/op": 12345},
+  "_baseline/BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 140},
+  "_baseline/BenchmarkSchedulerAssignLarge/Hier/devs=4096": {"ns/op": 600}
+}`)
+	var w strings.Builder
+	if err := runGuard(&w, path, 2.0); err != nil {
+		t.Fatalf("clean document failed the guard: %v\n%s", err, w.String())
+	}
+	// The /obs variant (allocates by design) and non-Assign benchmarks must
+	// not have been counted among the checked entries.
+	if !strings.Contains(w.String(), "2 scheduler placement entries") {
+		t.Errorf("guard summary = %q, want 2 entries checked", w.String())
+	}
+}
+
+func TestGuardFailsOnAllocs(t *testing.T) {
+	path := writeGuardDoc(t, `{
+  "BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 150, "allocs/op": 1},
+  "_baseline/BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 140}
+}`)
+	var w strings.Builder
+	err := runGuard(&w, path, 2.0)
+	if err == nil {
+		t.Fatal("allocating hot path passed the guard")
+	}
+	if !strings.Contains(w.String(), "allocs/op") {
+		t.Errorf("failure output = %q, want allocs/op mention", w.String())
+	}
+}
+
+func TestGuardFailsOnSlowdown(t *testing.T) {
+	path := writeGuardDoc(t, `{
+  "BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 500, "allocs/op": 0},
+  "_baseline/BenchmarkSchedulerAssign/MICCO(0,2,0)": {"ns/op": 140}
+}`)
+	var w strings.Builder
+	if err := runGuard(&w, path, 2.0); err == nil {
+		t.Fatal("3.6x slowdown passed a 2x guard")
+	}
+	// The same numbers under a forgiving tolerance must pass.
+	w.Reset()
+	if err := runGuard(&w, path, 4.0); err != nil {
+		t.Fatalf("3.6x slowdown failed a 4x guard: %v", err)
+	}
+}
+
+func TestGuardMissingBaselineWarnsAndSkips(t *testing.T) {
+	path := writeGuardDoc(t, `{
+  "BenchmarkSchedulerAssign/NewScheduler": {"ns/op": 9e9, "allocs/op": 0}
+}`)
+	var w strings.Builder
+	if err := runGuard(&w, path, 2.0); err != nil {
+		t.Fatalf("entry without baseline must pass (first recording): %v", err)
+	}
+	if !strings.Contains(w.String(), "no _baseline entry") {
+		t.Errorf("output = %q, want a note about the missing baseline", w.String())
+	}
+}
+
+func TestGuardErrors(t *testing.T) {
+	t.Run("no-entries", func(t *testing.T) {
+		path := writeGuardDoc(t, `{"BenchmarkContractionKernel": {"ns/op": 1, "allocs/op": 0}}`)
+		if err := runGuard(io.Discard, path, 2.0); err == nil {
+			t.Error("document without scheduler entries passed a vacuous guard")
+		}
+	})
+	t.Run("missing-file", func(t *testing.T) {
+		if err := runGuard(io.Discard, filepath.Join(t.TempDir(), "missing.json"), 2.0); err == nil {
+			t.Error("missing document: want error")
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		path := writeGuardDoc(t, "not json")
+		if err := runGuard(io.Discard, path, 2.0); err == nil {
+			t.Error("malformed document: want error")
+		}
+	})
+	t.Run("bad-tolerance", func(t *testing.T) {
+		path := writeGuardDoc(t, `{"BenchmarkSchedulerAssign/X": {"ns/op": 1, "allocs/op": 0}}`)
+		if err := runGuard(io.Discard, path, 0); err == nil {
+			t.Error("zero tolerance: want error")
+		}
+	})
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var tee strings.Builder
 	if err := run(strings.NewReader("no benchmarks here\n"), &tee, io.Discard, "", 4, "", ""); err == nil {

@@ -8,6 +8,7 @@
 package baseline
 
 import (
+	"micco/internal/gpusim"
 	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/workload"
@@ -110,7 +111,7 @@ func (*LocalityOnly) Assign(p workload.Pair, ctx *sched.Context) int {
 	ma := ctx.HoldersMask(p.A.ID)
 	mb := ctx.HoldersMask(p.B.ID)
 	if p.B.ID == p.A.ID {
-		mb = 0 // count the shared operand's bytes once
+		mb = gpusim.DevSet{} // count the shared operand's bytes once
 	}
 	best, bestBytes := -1, int64(-1)
 	var bestClock float64

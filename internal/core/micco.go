@@ -122,11 +122,14 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	boundIdx := -1
 
 	// Step I (Alg. 1 lines 4-7): twoRepeatedSame — GPUs holding both
-	// tensors, if within reuse bound 1's allowed imbalance.
-	if both := ma & mb; both != 0 {
+	// tensors, if within reuse bound 1's allowed imbalance. Iterating ma
+	// and filtering on mb.Has enumerates the intersection in ascending
+	// device order without materializing it (DevSet intersection of wide
+	// sets would allocate).
+	if ma.Intersects(mb) {
 		lim := s.bounds[0] + ctx.BalanceNum
-		for m := both; m != 0; m = m.DropFirst() {
-			if it := m.First(); ctx.StageLoad[it] < lim {
+		for it := ma.First(); it >= 0; it = ma.NextFrom(it + 1) {
+			if mb.Has(it) && ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
 		}
@@ -138,15 +141,15 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 	// Step II (lines 8-14): twoRepeatedDiff / oneRepeated — GPUs holding
 	// either tensor, under reuse bound 2. Also the fallback when every
 	// both-holder was unavailable.
-	if len(s.candi) == 0 && ma|mb != 0 {
+	if len(s.candi) == 0 && !(ma.Empty() && mb.Empty()) {
 		lim := s.bounds[1] + ctx.BalanceNum
-		for m := ma; m != 0; m = m.DropFirst() {
-			if it := m.First(); ctx.StageLoad[it] < lim {
+		for it := ma.First(); it >= 0; it = ma.NextFrom(it + 1) {
+			if ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
 		}
-		for m := mb &^ ma; m != 0; m = m.DropFirst() {
-			if it := m.First(); ctx.StageLoad[it] < lim {
+		for it := mb.First(); it >= 0; it = mb.NextFrom(it + 1) {
+			if !ma.Has(it) && ctx.StageLoad[it] < lim {
 				s.candi = append(s.candi, it)
 			}
 		}
@@ -206,7 +209,7 @@ func (s *Scheduler) Assign(p workload.Pair, ctx *sched.Context) int {
 // with it, pick most free memory (compute as tie-break). Remaining ties
 // break uniformly at random, as in the paper. The pair's holder masks ride
 // along so memory projections need no further residency lookups.
-func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context, ma, mb gpusim.DeviceMask) int {
+func (s *Scheduler) assignFromQueue(p workload.Pair, ctx *sched.Context, ma, mb gpusim.DevSet) int {
 	mem := func(id int) float64 { return float64(ctx.ProjectedMemMasked(id, p, ma, mb)) }
 	evict := false
 	for _, id := range s.candi {

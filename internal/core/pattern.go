@@ -68,7 +68,7 @@ func Classify(p workload.Pair, ctx *sched.Context) ReusePattern {
 	return ClassifyMasks(ctx.HoldersMask(p.A.ID), ctx.HoldersMask(p.B.ID))
 }
 
-// ClassifyMasks classifies from pre-fetched holder masks.
-func ClassifyMasks(a, b gpusim.DeviceMask) ReusePattern {
+// ClassifyMasks classifies from pre-fetched holder sets.
+func ClassifyMasks(a, b gpusim.DevSet) ReusePattern {
 	return ReusePattern(sched.ClassifyMasks(a, b))
 }

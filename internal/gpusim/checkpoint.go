@@ -28,18 +28,31 @@ type DeviceState struct {
 	Resident  []BlockState
 }
 
+// HostState is one host-resident tensor and, on multi-node clusters, the
+// nodes whose host partition holds the copy (nil on single-node clusters,
+// where host memory is one pool).
+type HostState struct {
+	Desc  tensor.Desc
+	Nodes []int
+}
+
 // Checkpoint is a full snapshot of cluster simulation state, sufficient to
 // continue a run with bit-identical timing. Pinned flags are not captured:
 // checkpoints are only taken at stage barriers, where no operation is in
 // flight and nothing is pinned.
 type Checkpoint struct {
-	LinkClock     float64
-	P2PClock      float64
+	// LinkClocks and P2PClocks hold each node's host-link and P2P-fabric
+	// availability times (one entry on single-node clusters).
+	LinkClocks []float64
+	P2PClocks  []float64
+	// InterClock and InterBytes snapshot the inter-node interconnect.
+	InterClock    float64
+	InterBytes    int64
 	LinkFactor    float64 // bwFactor; 0 = undegraded
 	TransientLeft int
-	// Host lists host-resident tensor descriptors, ID-sorted for
-	// deterministic iteration.
-	Host    []tensor.Desc
+	// Host lists host-resident tensors with their node presence,
+	// ID-sorted for deterministic iteration.
+	Host    []HostState
 	Devices []DeviceState
 }
 
@@ -48,17 +61,23 @@ type Checkpoint struct {
 // shares nothing with the live cluster.
 func (c *Cluster) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{
-		LinkClock:     c.linkClock,
-		P2PClock:      c.p2pClock,
+		LinkClocks:    append([]float64(nil), c.linkClocks...),
+		P2PClocks:     append([]float64(nil), c.p2pClocks...),
+		InterClock:    c.interClock,
+		InterBytes:    c.interBytes,
 		LinkFactor:    c.bwFactor,
 		TransientLeft: c.transientLeft,
-		Host:          make([]tensor.Desc, 0, len(c.hostResident)),
+		Host:          make([]HostState, 0, len(c.hostResident)),
 		Devices:       make([]DeviceState, len(c.devices)),
 	}
 	for _, desc := range c.hostResident {
-		cp.Host = append(cp.Host, desc)
+		hs := HostState{Desc: desc}
+		if c.hostNodes != nil {
+			hs.Nodes = c.hostNodes[desc.ID].AppendTo(nil)
+		}
+		cp.Host = append(cp.Host, hs)
 	}
-	sort.Slice(cp.Host, func(i, j int) bool { return cp.Host[i].ID < cp.Host[j].ID })
+	sort.Slice(cp.Host, func(i, j int) bool { return cp.Host[i].Desc.ID < cp.Host[j].Desc.ID })
 	for i, d := range c.devices {
 		ds := DeviceState{
 			Clock:     d.clock,
@@ -78,7 +97,7 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 }
 
 // Restore replaces the cluster's simulation state with cp (taken from a
-// cluster of the same device count). The restored cluster continues with
+// cluster of the same topology). The restored cluster continues with
 // bit-identical timing to the one that was checkpointed.
 func (c *Cluster) Restore(cp *Checkpoint) error {
 	if cp == nil {
@@ -87,13 +106,24 @@ func (c *Cluster) Restore(cp *Checkpoint) error {
 	if len(cp.Devices) != len(c.devices) {
 		return fmt.Errorf("gpusim: checkpoint has %d devices, cluster has %d", len(cp.Devices), len(c.devices))
 	}
+	if len(cp.LinkClocks) != c.numNodes || len(cp.P2PClocks) != c.numNodes {
+		return fmt.Errorf("gpusim: checkpoint has %d/%d node link clocks, cluster has %d nodes",
+			len(cp.LinkClocks), len(cp.P2PClocks), c.numNodes)
+	}
 	c.Reset()
-	c.linkClock = cp.LinkClock
-	c.p2pClock = cp.P2PClock
+	copy(c.linkClocks, cp.LinkClocks)
+	copy(c.p2pClocks, cp.P2PClocks)
+	c.interClock = cp.InterClock
+	c.interBytes = cp.InterBytes
 	c.bwFactor = cp.LinkFactor
 	c.transientLeft = cp.TransientLeft
-	for _, desc := range cp.Host {
-		c.hostResident[desc.ID] = desc
+	for _, hs := range cp.Host {
+		c.hostResident[hs.Desc.ID] = hs.Desc
+		if c.hostNodes != nil {
+			for _, n := range hs.Nodes {
+				c.markHostOn(hs.Desc.ID, n)
+			}
+		}
 	}
 	for i, ds := range cp.Devices {
 		d := c.devices[i]

@@ -6,24 +6,42 @@ import (
 	"micco/internal/tensor"
 )
 
-// Cluster is a simulated multi-GPU node plus its host. The host is assumed
-// to have unbounded memory; input tensors are registered host-resident
-// before simulation, and dirty evictions write outputs back to the host.
+// Cluster is a simulated multi-GPU cluster plus its host(s). Hosts are
+// assumed to have unbounded memory; input tensors are registered
+// host-resident before simulation, and dirty evictions write outputs back
+// to the host. With Config.NodeSize set, consecutive devices group into
+// nodes, each with its own host link and P2P fabric, joined by a shared
+// inter-node interconnect.
 type Cluster struct {
 	cfg          Config
 	devices      []*Device
 	hostResident map[uint64]tensor.Desc
-	// linkClock is the shared host-link (PCIe fabric) availability time.
-	// Every H2D and D2H transfer, from any device, serializes on it: a
+	// hostNodes tracks, per host-resident tensor, the set of nodes whose
+	// host partition has the copy (bit n = node n). nil on single-node
+	// clusters, where host memory is one pool and the map would be pure
+	// overhead; non-nil iff numNodes > 1.
+	hostNodes map[uint64]DevSet
+	// linkClocks[n] is node n's host-link (PCIe fabric) availability time.
+	// Every H2D and D2H transfer from node n's devices serializes on it: a
 	// transfer starts at max(device clock, link clock) and advances both.
 	// This models the single-CPU testbed of the paper, where aggregate
 	// host traffic is the scaling bottleneck (its Fig. 9 shows only 1.65x
 	// throughput from 1 to 8 GPUs). P2P copies bypass the host link.
-	linkClock float64
-	// p2pClock is the shared inter-GPU fabric availability time; P2P
-	// copies (Config.PeerFetch) serialize on it the same way host traffic
-	// serializes on the host link.
-	p2pClock float64
+	linkClocks []float64
+	// p2pClocks[n] is node n's inter-GPU fabric availability time;
+	// intra-node P2P copies (Config.PeerFetch) serialize on it the same
+	// way host traffic serializes on the host link.
+	p2pClocks []float64
+	// interClock is the inter-node interconnect availability time: every
+	// cross-node transfer — peer copies between nodes, and host-copy
+	// shipping between host partitions — serializes on this one fabric.
+	interClock float64
+	// interBytes counts total bytes moved over the inter-node fabric.
+	interBytes int64
+	numNodes   int
+	// nodeRestWords sizes the spill of node sets in hostNodes (clusters
+	// with more than 64 nodes).
+	nodeRestWords int
 	// tracing/traceEvents implement optional event recording (StartTrace).
 	tracing     bool
 	traceEvents []Event
@@ -31,7 +49,7 @@ type Cluster struct {
 	// metrics registry (SetObserver). Independent of tracing; survives
 	// Reset.
 	sink *obsSink
-	// index is the reverse residency map (tensor ID -> holder bitmask),
+	// index is the reverse residency map (tensor ID -> holder set),
 	// maintained by the devices at every install and drop so residency
 	// queries cost one map probe instead of a device scan.
 	index *residencyIndex
@@ -48,7 +66,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, hostResident: make(map[uint64]tensor.Desc), index: newResidencyIndex()}
+	nn := cfg.NumNodes()
+	c := &Cluster{
+		cfg:          cfg,
+		hostResident: make(map[uint64]tensor.Desc),
+		index:        newResidencyIndex(cfg.NumDevices),
+		linkClocks:   make([]float64, nn),
+		p2pClocks:    make([]float64, nn),
+		numNodes:     nn,
+	}
+	if nn > 1 {
+		c.hostNodes = make(map[uint64]DevSet)
+		if nn > InlineDevices {
+			c.nodeRestWords = (nn - InlineDevices + 63) >> 6
+		}
+	}
 	for i := 0; i < cfg.NumDevices; i++ {
 		c.devices = append(c.devices, newDevice(i, &c.cfg, c.index))
 	}
@@ -61,22 +93,52 @@ func (c *Cluster) Config() Config { return c.cfg }
 // NumDevices returns the device count.
 func (c *Cluster) NumDevices() int { return len(c.devices) }
 
+// NumNodes returns the node count (1 unless Config.NodeSize groups the
+// devices into several nodes).
+func (c *Cluster) NumNodes() int { return c.numNodes }
+
+// NodeOf returns the node device dev belongs to.
+func (c *Cluster) NodeOf(dev int) int { return c.cfg.NodeOf(dev) }
+
+// InterNodeBytes returns total bytes moved over the inter-node
+// interconnect so far (zero on single-node clusters).
+func (c *Cluster) InterNodeBytes() int64 { return c.interBytes }
+
 // Device returns device i.
 func (c *Cluster) Device(i int) *Device { return c.devices[i] }
 
 // RegisterHostTensor marks a tensor as available in host memory (an input
-// produced upstream, e.g. a perambulator loaded from disk).
-func (c *Cluster) RegisterHostTensor(d tensor.Desc) { c.hostResident[d.ID] = d }
+// produced upstream, e.g. a perambulator loaded from disk). On multi-node
+// clusters the copy lands in node 0's host partition — the gateway node
+// where upstream I/O arrives — and other nodes' first use pays one
+// inter-node shipment.
+func (c *Cluster) RegisterHostTensor(d tensor.Desc) {
+	c.hostResident[d.ID] = d
+	if c.hostNodes != nil {
+		c.hostNodes[d.ID] = c.hostNodes[d.ID].with(0, c.nodeRestWords)
+	}
+}
 
-// HostHolds reports whether the host has a copy of tensor id.
+// HostHolds reports whether any host partition has a copy of tensor id.
 func (c *Cluster) HostHolds(id uint64) bool {
 	_, ok := c.hostResident[id]
 	return ok
 }
 
-// HoldersOf returns the IDs of devices with tensor id resident. It is a
-// compatibility wrapper over the residency index that allocates a fresh
-// slice per call; hot paths should use HoldersMask or AppendHoldersOf.
+// markHostOn records a host copy of id in node n's partition (no-op on
+// single-node clusters, where hostResident alone is the host state).
+func (c *Cluster) markHostOn(id uint64, n int) {
+	if c.hostNodes != nil {
+		c.hostNodes[id] = c.hostNodes[id].with(n, c.nodeRestWords)
+	}
+}
+
+// HoldersOf returns the IDs of devices with tensor id resident. It
+// allocates a fresh slice per call.
+//
+// Deprecated: use HoldersMask (allocation-free DevSet view) or
+// AppendHoldersOf (caller-owned buffer); HoldersOf survives only for
+// callers that want a throwaway slice.
 func (c *Cluster) HoldersOf(id uint64) []int {
 	return c.AppendHoldersOf(nil, id)
 }
@@ -117,20 +179,37 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 	}
 	// Locate a source before spending anything. Peer sourcing is only
 	// used when the config enables it; the default data path stages
-	// through the host. One index probe answers both questions.
+	// through the host. One index probe answers both questions. A
+	// same-node peer is preferred (xGMI-class fabric); failing that, the
+	// lowest-numbered cross-node holder serves over the inter-node
+	// interconnect.
 	holders := c.index.of(desc.ID)
 	var peer *Device
 	if c.cfg.PeerFetch {
-		if peers := holders &^ maskOf(d.id); peers != 0 {
-			peer = c.devices[peers.First()]
+		var cross *Device
+		for it := holders.First(); it >= 0; it = holders.NextFrom(it + 1) {
+			if it == d.id {
+				continue
+			}
+			p := c.devices[it]
+			if p.node == d.node {
+				peer = p
+				break
+			}
+			if cross == nil {
+				cross = p
+			}
+		}
+		if peer == nil {
+			peer = cross
 		}
 	}
 	if peer == nil && !c.HostHolds(desc.ID) {
-		if holders != 0 {
+		if !holders.Empty() {
 			// Peer copies exist but peer fetch is disabled: stage through
 			// the host by paying one D2H write-back first.
 			src := c.devices[holders.First()]
-			dur := float64(desc.Bytes()) / c.d2hBandwidth()
+			dur := float64(desc.Bytes()) / c.d2hBandwidth(src)
 			c.hostTransfer(src, dur)
 			src.stats.D2HBytes += desc.Bytes()
 			if c.observing() {
@@ -138,39 +217,55 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 					Start: src.CopyClock() - dur, End: src.CopyClock(), Bytes: desc.Bytes()})
 			}
 			c.hostResident[desc.ID] = desc
+			c.markHostOn(desc.ID, src.node)
 		} else {
 			return 0, fmt.Errorf("gpusim: %w: tensor %d (%d bytes) resident on no device and absent from host (device %d requesting)",
 				ErrTensorUnavailable, desc.ID, desc.Bytes(), d.id)
 		}
 	}
+	if peer == nil && c.hostNodes != nil && !c.hostNodes[desc.ID].Has(d.node) {
+		// The host copy lives in another node's partition: ship it over
+		// the inter-node interconnect into this node's partition first,
+		// then fetch locally. The copy stays cached node-side, so repeat
+		// misses on this node pay only the local H2D.
+		c.interTransfer(d, desc)
+		c.markHostOn(desc.ID, d.node)
+	}
 	if err := c.alloc(d, desc); err != nil {
 		return 0, err
 	}
 	if peer != nil {
-		// P2P copies run on the inter-GPU fabric, shared by all pairs:
-		// the copy starts when both the destination's transfer queue and
-		// the fabric are free.
-		dur := float64(desc.Bytes()) / c.p2pBandwidth()
-		queue := d.CopyClock()
-		start := queue
-		if c.p2pClock > start {
-			start = c.p2pClock
-		}
-		end := start + dur
-		c.p2pClock = end
-		d.advanceTransferQueue(end - queue)
-		d.stats.TransferTime += end - queue
-		d.stats.P2PBytes += desc.Bytes()
-		if c.sink != nil {
-			c.sink.p2pBusy.Add(dur)
-			c.sink.p2pStall.Add(start - queue)
-		}
-		if c.observing() {
-			c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
-				Start: start, End: end, Bytes: desc.Bytes()})
+		if peer.node == d.node {
+			// Intra-node P2P copies run on the node's inter-GPU fabric,
+			// shared by all of its pairs: the copy starts when both the
+			// destination's transfer queue and the fabric are free.
+			dur := float64(desc.Bytes()) / c.p2pBandwidth(d)
+			queue := d.CopyClock()
+			start := queue
+			if pc := c.p2pClocks[d.node]; pc > start {
+				start = pc
+			}
+			end := start + dur
+			c.p2pClocks[d.node] = end
+			d.advanceTransferQueue(end - queue)
+			d.stats.TransferTime += end - queue
+			d.stats.P2PBytes += desc.Bytes()
+			if c.sink != nil {
+				c.sink.p2pBusy.Add(dur)
+				c.sink.p2pStall.Add(start - queue)
+			}
+			if c.observing() {
+				c.trace(Event{Kind: EventP2P, Device: d.id, Tensor: desc.ID,
+					Start: start, End: end, Bytes: desc.Bytes()})
+			}
+		} else {
+			// Cross-node peer copy: serialized on the inter-node fabric,
+			// charged at its bandwidth plus fixed latency.
+			c.interTransfer(d, desc)
+			d.stats.P2PBytes += desc.Bytes()
 		}
 	} else {
-		dur := float64(desc.Bytes()) / c.h2dBandwidth()
+		dur := float64(desc.Bytes()) / c.h2dBandwidth(d)
 		c.hostTransfer(d, dur)
 		d.stats.H2DBytes += desc.Bytes()
 		if c.observing() {
@@ -188,16 +283,42 @@ func (c *Cluster) ensureResident(d *Device, desc tensor.Desc, pin bool) (float64
 	return b.readyAt, nil
 }
 
+// interTransfer charges one inter-node shipment of desc toward device d's
+// node: fixed interconnect latency plus bytes at the (degradable)
+// inter-node bandwidth, serialized on the single shared inter-node fabric
+// and on d's transfer queue.
+func (c *Cluster) interTransfer(d *Device, desc tensor.Desc) {
+	dur := c.cfg.InterNodeLatency + float64(desc.Bytes())/c.interBandwidth()
+	queue := d.CopyClock()
+	start := queue
+	if c.interClock > start {
+		start = c.interClock
+	}
+	end := start + dur
+	c.interClock = end
+	d.advanceTransferQueue(end - queue)
+	d.stats.TransferTime += end - queue
+	c.interBytes += desc.Bytes()
+	if c.sink != nil {
+		c.sink.interBusy.Add(dur)
+		c.sink.interStall.Add(start - queue)
+	}
+	if c.observing() {
+		c.trace(Event{Kind: EventInter, Device: d.id, Tensor: desc.ID,
+			Start: start, End: end, Bytes: desc.Bytes()})
+	}
+}
+
 // hostTransfer charges a transfer of duration dur that occupies both the
-// device's transfer queue and the shared host link: it begins when both
+// device's transfer queue and its node's host link: it begins when both
 // are free and advances both to its completion, charging the
 // stall-inclusive elapsed time to the device's TransferTime.
 func (c *Cluster) hostTransfer(d *Device, dur float64) {
 	d.stats.TransferTime += c.hostLinkOccupy(d, dur)
 }
 
-// hostLinkOccupy reserves the shared host link for dur seconds on behalf
-// of device d's transfer queue and returns the elapsed queue time
+// hostLinkOccupy reserves device d's node's host link for dur seconds on
+// behalf of d's transfer queue and returns the elapsed queue time
 // including any stall waiting for the link.
 func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
 	queue := d.clock
@@ -205,8 +326,8 @@ func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
 		queue = d.copyClock
 	}
 	start := queue
-	if c.linkClock > start {
-		start = c.linkClock
+	if lc := c.linkClocks[d.node]; lc > start {
+		start = lc
 	}
 	end := start + dur
 	elapsed := end - queue
@@ -215,7 +336,7 @@ func (c *Cluster) hostLinkOccupy(d *Device, dur float64) float64 {
 	} else {
 		d.clock = end
 	}
-	c.linkClock = end
+	c.linkClocks[d.node] = end
 	if c.sink != nil {
 		c.sink.hostBusy.Add(dur)
 		c.sink.hostStall.Add(start - queue)
@@ -229,8 +350,8 @@ func (c *Cluster) alloc(d *Device, desc tensor.Desc) error {
 	if err := d.evictFor(desc.Bytes(), c); err != nil {
 		return fmt.Errorf("allocating tensor %d: %w", desc.ID, err)
 	}
-	d.advanceTransferQueue(c.cfg.AllocLatency)
-	d.stats.AllocTime += c.cfg.AllocLatency
+	d.advanceTransferQueue(d.prof.AllocLatency)
+	d.stats.AllocTime += d.prof.AllocLatency
 	return nil
 }
 
@@ -289,7 +410,7 @@ func (c *Cluster) ExecContraction(dev int, a, b, out tensor.Desc) (int64, error)
 		}
 		d.clock = start
 	}
-	kt := c.cfg.KernelLaunch + float64(flops)/c.cfg.FLOPS
+	kt := d.prof.KernelLaunch + float64(flops)/d.prof.FLOPS
 	d.clock += kt
 	d.stats.KernelTime += kt
 	d.stats.Kernels++
@@ -318,6 +439,9 @@ func (c *Cluster) Discard(id uint64) {
 		}
 	}
 	delete(c.hostResident, id)
+	if c.hostNodes != nil {
+		delete(c.hostNodes, id)
+	}
 }
 
 // Barrier synchronizes all device queues to the maximum, modeling the
@@ -360,8 +484,8 @@ func (c *Cluster) GFLOPS() float64 {
 	return float64(c.TotalStats().FLOPs) / m / 1e9
 }
 
-// Reset returns every device to time zero with empty pools, frees the host
-// link, and clears the host registry. Maps and device block pools keep
+// Reset returns every device to time zero with empty pools, frees the
+// links, and clears the host registry. Maps and device block pools keep
 // their capacity, so back-to-back runs on one cluster settle into a
 // steady state where the simulator allocates nothing.
 func (c *Cluster) Reset() {
@@ -371,9 +495,16 @@ func (c *Cluster) Reset() {
 	// Devices skip per-tensor index updates during reset; one bulk clear
 	// replaces what would be a map delete per resident tensor.
 	c.index.clearAll()
-	c.linkClock = 0
-	c.p2pClock = 0
+	for n := range c.linkClocks {
+		c.linkClocks[n] = 0
+		c.p2pClocks[n] = 0
+	}
+	c.interClock = 0
+	c.interBytes = 0
 	clear(c.hostResident)
+	if c.hostNodes != nil {
+		clear(c.hostNodes)
+	}
 	c.traceEvents = nil
 	c.bwFactor = 0
 	c.transientLeft = 0
@@ -387,8 +518,8 @@ func (c *Cluster) device(i int) (*Device, error) {
 }
 
 // ChargeExternalTransfer advances device dev's transfer queue by seconds,
-// accounting it as transfer time. Multi-node extensions use this to charge
-// inter-node network time that the intra-node model knows nothing about.
+// accounting it as transfer time. Multi-cluster compositions use this to
+// charge network time that this cluster's model knows nothing about.
 func (c *Cluster) ChargeExternalTransfer(dev int, seconds float64) error {
 	d, err := c.device(dev)
 	if err != nil {
@@ -402,7 +533,7 @@ func (c *Cluster) ChargeExternalTransfer(dev int, seconds float64) error {
 	return nil
 }
 
-// BarrierAt raises every device queue (and the host link) to at least t,
+// BarrierAt raises every device queue (and the host links) to at least t,
 // implementing barriers that span multiple clusters.
 func (c *Cluster) BarrierAt(t float64) {
 	for _, d := range c.devices {
@@ -413,7 +544,9 @@ func (c *Cluster) BarrierAt(t float64) {
 			d.copyClock = t
 		}
 	}
-	if c.linkClock < t {
-		c.linkClock = t
+	for n := range c.linkClocks {
+		if c.linkClocks[n] < t {
+			c.linkClocks[n] = t
+		}
 	}
 }

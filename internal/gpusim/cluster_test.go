@@ -587,7 +587,7 @@ func TestP2PFabricContention(t *testing.T) {
 		t.Errorf("second P2P copy took %v, want >= %v (fabric contention)", got, 2*p2pDur)
 	}
 	c.Reset()
-	if c.p2pClock != 0 {
+	if c.p2pClocks[0] != 0 {
 		t.Error("Reset should clear the fabric clock")
 	}
 }

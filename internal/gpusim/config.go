@@ -1,5 +1,5 @@
 // Package gpusim implements a deterministic discrete-event simulator of a
-// multi-GPU node, substituting for the eight-MI100 testbed of the MICCO
+// multi-GPU cluster, substituting for the eight-MI100 testbed of the MICCO
 // paper. It models exactly the observables the schedulers react to: tensor
 // residency per device, host-to-device and peer-to-peer transfer cost,
 // memory-pool pressure with LRU eviction (including dirty write-back), and
@@ -9,36 +9,66 @@
 // operation scheduled on a device — allocation, transfer, eviction
 // write-back, kernel — advances that device's clock by the operation's
 // cost. All host traffic (H2D fetches, D2H write-backs and staging) from
-// every device additionally serializes on one shared host-link clock,
-// modeling the single-CPU fabric of the paper's testbed; a transfer begins
-// when both the device queue and the link are free. P2P copies (when
-// enabled) use a dedicated inter-GPU fabric and bypass the link. Stage
-// barriers synchronize all device clocks to the maximum, matching the
-// sequential-stage execution of the paper's dependency-partitioned
-// contraction graphs. The makespan is the maximum clock, and throughput is
-// total useful kernel FLOPs divided by makespan.
+// every device additionally serializes on its node's shared host-link
+// clock, modeling the single-CPU fabric of the paper's testbed; a transfer
+// begins when both the device queue and the link are free. P2P copies
+// (when enabled) use a dedicated per-node inter-GPU fabric and bypass the
+// link; peers on different nodes copy over the inter-node interconnect
+// instead (see Config.NodeSize). Stage barriers synchronize all device
+// clocks to the maximum, matching the sequential-stage execution of the
+// paper's dependency-partitioned contraction graphs. The makespan is the
+// maximum clock, and throughput is total useful kernel FLOPs divided by
+// makespan.
 package gpusim
 
 import "fmt"
 
+// DeviceProfile describes one hardware class of device in a heterogeneous
+// cluster: its memory pool, sustained contraction rate, and link
+// bandwidths/latencies. A zero field inherits the corresponding top-level
+// Config value, so a profile only states what differs from the cluster
+// default (e.g. {Name: "MI100-HBM2e", MemoryBytes: 64 << 30}).
+type DeviceProfile struct {
+	// Name labels the class in errors and traces (e.g. "MI100", "H100").
+	Name string
+	// MemoryBytes is the usable memory pool of devices in this class.
+	MemoryBytes int64
+	// FLOPS is the sustained contraction rate of devices in this class.
+	FLOPS float64
+	// H2DBandwidth and D2HBandwidth are this class's host-link rates.
+	H2DBandwidth float64
+	D2HBandwidth float64
+	// P2PBandwidth is this class's intra-node peer-copy rate.
+	P2PBandwidth float64
+	// KernelLaunch, AllocLatency and EvictLatency are this class's fixed
+	// per-operation costs. Zero means "inherit", so a profile cannot
+	// express a literal zero latency distinct from the cluster default;
+	// none of the modeled hardware needs one.
+	KernelLaunch float64
+	AllocLatency float64
+	EvictLatency float64
+}
+
 // Config describes the simulated cluster hardware.
 type Config struct {
-	// NumDevices is the number of GPUs in the node (the paper uses 1-8).
+	// NumDevices is the number of GPUs in the cluster (the paper uses 1-8;
+	// the simulator accepts up to MaxDevices).
 	NumDevices int
 	// MemoryBytes is the usable memory pool per device.
 	MemoryBytes int64
 	// FLOPS is the sustained rate, in FLOP/s, a device achieves on batched
 	// complex contraction kernels.
 	FLOPS float64
-	// H2DBandwidth is host-to-device copy bandwidth in bytes/s. The host
-	// link is a single shared resource: concurrent transfers from all
-	// devices serialize on it.
+	// H2DBandwidth is host-to-device copy bandwidth in bytes/s. Each
+	// node's host link is a single shared resource: concurrent transfers
+	// from all of that node's devices serialize on it.
 	H2DBandwidth float64
 	// D2HBandwidth is device-to-host bandwidth in bytes/s, paid by dirty
 	// eviction write-backs and host staging; it shares the host link.
 	D2HBandwidth float64
 	// P2PBandwidth is device-to-device copy bandwidth in bytes/s
-	// (xGMI-class), used when a needed tensor is resident on a peer.
+	// (xGMI-class), used when a needed tensor is resident on a peer in the
+	// same node.
 	P2PBandwidth float64
 	// KernelLaunch is the fixed per-kernel launch latency in seconds.
 	KernelLaunch float64
@@ -63,6 +93,33 @@ type Config struct {
 	// and prefetching are its stated future work, implemented here as an
 	// extension (see the ablation benchmarks).
 	AsyncCopy bool
+
+	// NodeSize groups consecutive device IDs into nodes of this size:
+	// devices [0,NodeSize) form node 0, [NodeSize,2*NodeSize) node 1, and
+	// so on (a final partial node is allowed). Each node owns its own host
+	// link and P2P fabric; traffic between nodes rides a distinct
+	// inter-node interconnect (InterNodeBandwidth/InterNodeLatency). Zero
+	// means the whole cluster is one node, the paper's single-box testbed.
+	NodeSize int
+	// InterNodeBandwidth is the bytes/s rate of the inter-node
+	// interconnect (InfiniBand/Slingshot-class). Transfers between nodes —
+	// cross-node peer copies, and host staging of data whose host copy
+	// lives on another node — serialize on this single shared fabric.
+	// Required (positive) when NodeSize yields more than one node.
+	InterNodeBandwidth float64
+	// InterNodeLatency is the fixed per-transfer latency of the
+	// inter-node interconnect, in seconds.
+	InterNodeLatency float64
+
+	// Profiles declares the hardware classes present in the cluster, for
+	// heterogeneous simulations. Empty means every device follows the
+	// top-level fields above. Profile fields left zero inherit the
+	// top-level value (see DeviceProfile).
+	Profiles []DeviceProfile
+	// DeviceClass maps each device ID to an index into Profiles. When
+	// Profiles is non-empty and DeviceClass is nil, every device uses
+	// Profiles[0]. Otherwise it must have exactly NumDevices entries.
+	DeviceClass []int
 }
 
 // MI100 returns a configuration calibrated to the paper's testbed: n AMD
@@ -87,27 +144,131 @@ func MI100(n int) Config {
 	}
 }
 
-// Validate reports whether the configuration is usable.
+// MI100Nodes returns a multi-node configuration of MI100-class devices:
+// nodes nodes of perNode GPUs each, joined by an InfiniBand-class
+// inter-node interconnect an order of magnitude slower than the in-node
+// host link. It is the stock large-cluster configuration of the
+// scalability benchmarks.
+func MI100Nodes(nodes, perNode int) Config {
+	cfg := MI100(nodes * perNode)
+	cfg.NodeSize = perNode
+	cfg.InterNodeBandwidth = 12e9
+	cfg.InterNodeLatency = 5e-6
+	return cfg
+}
+
+// NumNodes returns the number of nodes the configuration describes (1 when
+// NodeSize is zero or covers the whole cluster).
+func (c Config) NumNodes() int {
+	if c.NodeSize <= 0 || c.NodeSize >= c.NumDevices {
+		return 1
+	}
+	return (c.NumDevices + c.NodeSize - 1) / c.NodeSize
+}
+
+// NodeOf returns the node a device belongs to.
+func (c Config) NodeOf(dev int) int {
+	if c.NodeSize <= 0 {
+		return 0
+	}
+	return dev / c.NodeSize
+}
+
+// profileOf resolves the effective hardware profile of device dev: its
+// class's profile with zero fields replaced by the top-level defaults. The
+// configuration must have passed Validate.
+func (c Config) profileOf(dev int) DeviceProfile {
+	p := DeviceProfile{}
+	if len(c.Profiles) > 0 {
+		if c.DeviceClass != nil {
+			p = c.Profiles[c.DeviceClass[dev]]
+		} else {
+			p = c.Profiles[0]
+		}
+	}
+	if p.MemoryBytes == 0 {
+		p.MemoryBytes = c.MemoryBytes
+	}
+	if p.FLOPS == 0 {
+		p.FLOPS = c.FLOPS
+	}
+	if p.H2DBandwidth == 0 {
+		p.H2DBandwidth = c.H2DBandwidth
+	}
+	if p.D2HBandwidth == 0 {
+		p.D2HBandwidth = c.D2HBandwidth
+	}
+	if p.P2PBandwidth == 0 {
+		p.P2PBandwidth = c.P2PBandwidth
+	}
+	if p.KernelLaunch == 0 {
+		p.KernelLaunch = c.KernelLaunch
+	}
+	if p.AllocLatency == 0 {
+		p.AllocLatency = c.AllocLatency
+	}
+	if p.EvictLatency == 0 {
+		p.EvictLatency = c.EvictLatency
+	}
+	return p
+}
+
+// Validate reports whether the configuration is usable. Failures are
+// *ConfigError values naming the offending field, wrapping
+// ErrInvalidConfig.
 func (c Config) Validate() error {
 	switch {
 	case c.NumDevices <= 0:
-		return errConfig("NumDevices must be positive")
+		return &ConfigError{Field: "NumDevices", Reason: "must be positive"}
 	case c.NumDevices > MaxDevices:
-		// The residency index keeps holder sets as one bit per device in a
-		// DeviceMask (uint64); wider clusters need a wider mask ABI.
-		return errConfig(fmt.Sprintf("NumDevices %d exceeds the %d-device residency-index limit", c.NumDevices, MaxDevices))
+		// DevSet holder sets widen automatically; this caps simulator
+		// memory (one Device with residency maps per simulated GPU).
+		return &ConfigError{Field: "NumDevices", Reason: fmt.Sprintf("%d exceeds the %d-device simulator cap", c.NumDevices, MaxDevices)}
 	case c.MemoryBytes <= 0:
-		return errConfig("MemoryBytes must be positive")
+		return &ConfigError{Field: "MemoryBytes", Reason: "must be positive"}
 	case c.FLOPS <= 0:
-		return errConfig("FLOPS must be positive")
+		return &ConfigError{Field: "FLOPS", Reason: "must be positive"}
 	case c.H2DBandwidth <= 0 || c.D2HBandwidth <= 0 || c.P2PBandwidth <= 0:
-		return errConfig("all bandwidths must be positive")
+		return &ConfigError{Field: "Bandwidth", Reason: "all bandwidths must be positive"}
 	case c.KernelLaunch < 0 || c.AllocLatency < 0 || c.EvictLatency < 0:
-		return errConfig("latencies must be non-negative")
+		return &ConfigError{Field: "Latency", Reason: "latencies must be non-negative"}
+	case c.NodeSize < 0:
+		return &ConfigError{Field: "NodeSize", Reason: "must be non-negative"}
+	case c.NumNodes() > 1 && c.InterNodeBandwidth <= 0:
+		return &ConfigError{Field: "InterNodeBandwidth", Reason: "must be positive when the cluster spans multiple nodes"}
+	case c.InterNodeBandwidth < 0:
+		return &ConfigError{Field: "InterNodeBandwidth", Reason: "must be non-negative"}
+	case c.InterNodeLatency < 0:
+		return &ConfigError{Field: "InterNodeLatency", Reason: "must be non-negative"}
+	}
+	if c.DeviceClass != nil {
+		if len(c.Profiles) == 0 {
+			return &ConfigError{Field: "DeviceClass", Reason: "set without Profiles"}
+		}
+		if len(c.DeviceClass) != c.NumDevices {
+			return &ConfigError{Field: "DeviceClass", Reason: fmt.Sprintf("has %d entries for %d devices", len(c.DeviceClass), c.NumDevices)}
+		}
+		for dev, class := range c.DeviceClass {
+			if class < 0 || class >= len(c.Profiles) {
+				return &ConfigError{Field: "DeviceClass", Reason: fmt.Sprintf("device %d names profile %d of %d", dev, class, len(c.Profiles))}
+			}
+		}
+	}
+	for i, p := range c.Profiles {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", i)
+		}
+		switch {
+		case p.MemoryBytes < 0:
+			return &ConfigError{Field: "Profiles", Reason: fmt.Sprintf("profile %s: MemoryBytes must be non-negative", name)}
+		case p.FLOPS < 0:
+			return &ConfigError{Field: "Profiles", Reason: fmt.Sprintf("profile %s: FLOPS must be non-negative", name)}
+		case p.H2DBandwidth < 0 || p.D2HBandwidth < 0 || p.P2PBandwidth < 0:
+			return &ConfigError{Field: "Profiles", Reason: fmt.Sprintf("profile %s: bandwidths must be non-negative", name)}
+		case p.KernelLaunch < 0 || p.AllocLatency < 0 || p.EvictLatency < 0:
+			return &ConfigError{Field: "Profiles", Reason: fmt.Sprintf("profile %s: latencies must be non-negative", name)}
+		}
 	}
 	return nil
 }
-
-type errConfig string
-
-func (e errConfig) Error() string { return "gpusim: invalid config: " + string(e) }

@@ -81,8 +81,14 @@ func (s *DeviceStats) add(o DeviceStats) {
 // copy-engine clock (Config.AsyncCopy), a memory pool with LRU
 // replacement, and the set of resident tensors.
 type Device struct {
-	id        int
-	cfg       *Config
+	id  int
+	cfg *Config
+	// prof is the device's resolved hardware profile: its class's
+	// DeviceProfile with zero fields replaced by the Config defaults.
+	// Homogeneous clusters resolve every device to the Config values.
+	prof DeviceProfile
+	// node is the node the device belongs to (Config.NodeSize grouping).
+	node      int
 	clock     float64 // compute queue
 	copyClock float64 // copy engine queue (used when cfg.AsyncCopy)
 	memUsed   int64
@@ -108,6 +114,8 @@ func newDevice(id int, cfg *Config, index *residencyIndex) *Device {
 	return &Device{
 		id:       id,
 		cfg:      cfg,
+		prof:     cfg.profileOf(id),
+		node:     cfg.NodeOf(id),
 		resident: make(map[uint64]*block),
 		index:    index,
 	}
@@ -115,6 +123,13 @@ func newDevice(id int, cfg *Config, index *residencyIndex) *Device {
 
 // ID returns the device index within its cluster.
 func (d *Device) ID() int { return d.id }
+
+// Node returns the node the device belongs to.
+func (d *Device) Node() int { return d.node }
+
+// Profile returns the device's resolved hardware profile (its class's
+// DeviceProfile with zero fields replaced by the Config defaults).
+func (d *Device) Profile() DeviceProfile { return d.prof }
 
 // Clock returns the device's compute-queue time in seconds.
 func (d *Device) Clock() float64 { return d.clock }
@@ -143,16 +158,17 @@ func (d *Device) MemUsed() int64 { return d.memUsed }
 func (d *Device) MemFree() int64 { return d.capacity() - d.memUsed }
 
 // capacity is the effective pool size: the fault-injected override when one
-// is active, the configured size otherwise.
+// is active, the profile's (or configured) size otherwise.
 func (d *Device) capacity() int64 {
 	if d.capOverride > 0 {
 		return d.capOverride
 	}
-	return d.cfg.MemoryBytes
+	return d.prof.MemoryBytes
 }
 
 // Capacity returns the device's effective memory-pool size in bytes; it is
-// below Config.MemoryBytes while a fault plan's mem-shrink is in effect.
+// below the profile's MemoryBytes while a fault plan's mem-shrink is in
+// effect.
 func (d *Device) Capacity() int64 { return d.capacity() }
 
 // Failed reports whether the device has been removed by fault injection.
@@ -255,16 +271,17 @@ func (d *Device) evictFor(size int64, c *Cluster) error {
 			return fmt.Errorf("gpusim: %w: device %d cannot free %d bytes: all %d resident tensors pinned (capacity %d, used %d, free %d)",
 				ErrOutOfMemory, d.id, size, len(d.resident), d.capacity(), d.memUsed, d.MemFree())
 		}
-		cost := d.cfg.EvictLatency
+		cost := d.prof.EvictLatency
 		d.advanceTransferQueue(cost)
 		c.trace(Event{Kind: EventEvict, Device: d.id, Tensor: victim.desc.ID,
 			Start: d.CopyClock() - cost, End: d.CopyClock(), Bytes: victim.desc.Bytes()})
 		if victim.dirty {
-			// Dirty write-back occupies the shared host link.
-			dur := float64(victim.desc.Bytes()) / c.d2hBandwidth()
+			// Dirty write-back occupies the node's shared host link.
+			dur := float64(victim.desc.Bytes()) / c.d2hBandwidth(d)
 			cost += c.hostLinkOccupy(d, dur)
 			d.stats.D2HBytes += victim.desc.Bytes()
 			c.hostResident[victim.desc.ID] = victim.desc
+			c.markHostOn(victim.desc.ID, d.node)
 			c.trace(Event{Kind: EventD2H, Device: d.id, Tensor: victim.desc.ID,
 				Start: d.CopyClock() - dur, End: d.CopyClock(), Bytes: victim.desc.Bytes()})
 		}

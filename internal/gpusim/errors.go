@@ -29,4 +29,24 @@ var (
 	// from the host: there is nothing to copy from. Seen when data was
 	// never registered, or when a fault destroyed the only copy.
 	ErrTensorUnavailable = errors.New("tensor unavailable")
+	// ErrInvalidConfig marks a Config that fails Validate. The concrete
+	// error is a *ConfigError naming the offending field.
+	ErrInvalidConfig = errors.New("invalid config")
 )
+
+// ConfigError reports which Config field failed validation and why, so
+// callers building topologies programmatically can branch on the field
+// instead of parsing a message. It wraps ErrInvalidConfig for errors.Is.
+type ConfigError struct {
+	// Field is the Config field (or field group, e.g. "Bandwidth",
+	// "Latency", "Profiles") that failed.
+	Field string
+	// Reason states the constraint that was violated.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "gpusim: invalid config: " + e.Field + ": " + e.Reason
+}
+
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }

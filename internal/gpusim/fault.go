@@ -6,7 +6,7 @@ import "fmt"
 // restored, the transfer links can be degraded, memory pools can shrink
 // mid-run, and operand fetches can be made to fail transiently. All
 // mutations route residency changes through Device.install/drop, so the
-// cluster's DeviceMask residency index stays exact across every fault.
+// cluster's DevSet residency index stays exact across every fault.
 
 // FailDevice removes device dev from service: every resident block is
 // dropped (through the install/drop index, so HoldersMask can never show a
@@ -64,31 +64,32 @@ func (c *Cluster) DeviceFailed(dev int) bool {
 	return c.devices[dev].failed
 }
 
-// FailedMask returns the set of failed devices as a bitmask.
-func (c *Cluster) FailedMask() DeviceMask {
-	var m DeviceMask
+// FailedMask returns the set of failed devices.
+func (c *Cluster) FailedMask() DevSet {
+	var m DevSet
 	for _, d := range c.devices {
 		if d.failed {
-			m |= maskOf(d.id)
+			m = m.with(d.id, c.index.restWords)
 		}
 	}
 	return m
 }
 
-// AliveMask returns the set of in-service devices as a bitmask.
-func (c *Cluster) AliveMask() DeviceMask {
-	var m DeviceMask
+// AliveMask returns the set of in-service devices.
+func (c *Cluster) AliveMask() DevSet {
+	var m DevSet
 	for _, d := range c.devices {
 		if !d.failed {
-			m |= maskOf(d.id)
+			m = m.with(d.id, c.index.restWords)
 		}
 	}
 	return m
 }
 
-// DegradeLink scales every transfer bandwidth (H2D, D2H, P2P) by factor:
-// 0.25 quarters throughput, 1 restores full speed. Transfers in flight are
-// unaffected; the factor applies to durations charged from now on.
+// DegradeLink scales every transfer bandwidth (H2D, D2H, P2P, inter-node)
+// by factor: 0.25 quarters throughput, 1 restores full speed. Transfers in
+// flight are unaffected; the factor applies to durations charged from now
+// on.
 func (c *Cluster) DegradeLink(factor float64) error {
 	if factor <= 0 {
 		return fmt.Errorf("gpusim: link degrade factor %v must be positive", factor)
@@ -112,13 +113,15 @@ func (c *Cluster) linkFactor() float64 {
 	return c.bwFactor
 }
 
-// Effective bandwidths under the current link degradation factor.
-func (c *Cluster) h2dBandwidth() float64 { return c.cfg.H2DBandwidth * c.linkFactor() }
-func (c *Cluster) d2hBandwidth() float64 { return c.cfg.D2HBandwidth * c.linkFactor() }
-func (c *Cluster) p2pBandwidth() float64 { return c.cfg.P2PBandwidth * c.linkFactor() }
+// Effective bandwidths — the device's profile rate (the Config rate on
+// homogeneous clusters) under the current link degradation factor.
+func (c *Cluster) h2dBandwidth(d *Device) float64 { return d.prof.H2DBandwidth * c.linkFactor() }
+func (c *Cluster) d2hBandwidth(d *Device) float64 { return d.prof.D2HBandwidth * c.linkFactor() }
+func (c *Cluster) p2pBandwidth(d *Device) float64 { return d.prof.P2PBandwidth * c.linkFactor() }
+func (c *Cluster) interBandwidth() float64        { return c.cfg.InterNodeBandwidth * c.linkFactor() }
 
 // SetMemoryCapacity caps device dev's memory pool at capacity bytes
-// (restoring Config.MemoryBytes when capacity equals it). If the device
+// (restoring the profile's MemoryBytes when capacity equals it). If the device
 // currently holds more than the new capacity, LRU blocks are evicted —
 // dirty ones written back to host — until the pool fits, charging the
 // usual eviction and write-back costs to the device's queues.

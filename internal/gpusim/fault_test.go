@@ -18,7 +18,7 @@ func TestFailDeviceDropsResidencyAndRejectsWork(t *testing.T) {
 	if _, err := c.ExecContraction(0, a, b, desc(3, 16, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if c.HoldersMask(3) == 0 {
+	if c.HoldersMask(3).Empty() {
 		t.Fatal("output not resident before failure")
 	}
 	frozen := c.Device(0).Clock()
@@ -43,8 +43,8 @@ func TestFailDeviceDropsResidencyAndRejectsWork(t *testing.T) {
 	if !c.DeviceFailed(0) || c.DeviceFailed(1) {
 		t.Error("DeviceFailed flags wrong")
 	}
-	if c.AliveMask() != maskOf(1) || c.FailedMask() != maskOf(0) {
-		t.Errorf("masks wrong: alive %b failed %b", c.AliveMask(), c.FailedMask())
+	if !c.AliveMask().Equal(maskOf(1)) || !c.FailedMask().Equal(maskOf(0)) {
+		t.Errorf("masks wrong: alive %v failed %v", c.AliveMask().AppendTo(nil), c.FailedMask().AppendTo(nil))
 	}
 	// Operations on a failed device return ErrDeviceLost with context.
 	if _, err := c.ExecContraction(0, a, b, desc(4, 16, 1)); !errors.Is(err, ErrDeviceLost) {
@@ -76,7 +76,7 @@ func TestFailDeviceLosesDirtyDataNotWrittenBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The dirty output was never written back: it is now gone everywhere.
-	if c.HostHolds(out.ID) || c.HoldersMask(out.ID) != 0 {
+	if c.HostHolds(out.ID) || !c.HoldersMask(out.ID).Empty() {
 		t.Error("dirty output survived device loss")
 	}
 	if err := c.RestoreDevice(0); err != nil {
@@ -356,7 +356,7 @@ func TestDiscardDeviceCopiesKeepsHostCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.DiscardDeviceCopies(a.ID)
-	if c.HoldersMask(a.ID) != 0 {
+	if !c.HoldersMask(a.ID).Empty() {
 		t.Error("device copies survive DiscardDeviceCopies")
 	}
 	if !c.HostHolds(a.ID) {

@@ -18,11 +18,14 @@ type obsSink struct {
 	bytes [numEventKinds]*obs.Counter
 	busy  [numEventKinds]*obs.Counter
 	dur   [numEventKinds]*obs.Histogram
-	// Shared-channel occupancy: the host link (all H2D/D2H traffic) and
-	// the P2P fabric, busy seconds plus time transfers stalled waiting.
-	hostBusy, hostStall *obs.Counter
-	p2pBusy, p2pStall   *obs.Counter
-	flops               *obs.Counter
+	// Shared-channel occupancy: the host links (all H2D/D2H traffic), the
+	// P2P fabrics, and the inter-node interconnect — busy seconds plus
+	// time transfers stalled waiting. Multi-node clusters aggregate all
+	// their per-node links into these counters.
+	hostBusy, hostStall   *obs.Counter
+	p2pBusy, p2pStall     *obs.Counter
+	interBusy, interStall *obs.Counter
+	flops                 *obs.Counter
 	// memPeak tracks each device's memory high-water mark live.
 	memPeak []*obs.Gauge
 }
@@ -53,6 +56,8 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 	s.hostStall = r.Counter("micco_sim_hostlink_stall_seconds_total")
 	s.p2pBusy = r.Counter("micco_sim_p2plink_busy_seconds_total")
 	s.p2pStall = r.Counter("micco_sim_p2plink_stall_seconds_total")
+	s.interBusy = r.Counter("micco_sim_interlink_busy_seconds_total")
+	s.interStall = r.Counter("micco_sim_interlink_stall_seconds_total")
 	s.flops = r.Counter("micco_sim_flops_total")
 	for i := range c.devices {
 		s.memPeak = append(s.memPeak, r.Gauge(fmt.Sprintf("micco_device_mem_peak_bytes{device=%q}", strconv.Itoa(i))))

@@ -1,91 +1,57 @@
 package gpusim
 
-import "math/bits"
-
-// MaxDevices is the largest cluster the residency index supports: holder
-// sets are kept as one bit per device in a DeviceMask, so a cluster may
-// have at most 64 devices (Config.Validate enforces the limit with an
-// explicit error). The paper's testbed peaks at 8; 64 leaves an order of
-// magnitude of headroom before the mask ABI needs widening.
-const MaxDevices = 64
-
-// DeviceMask is a bitset of device IDs: bit i is set when device i holds
-// the tensor in question. It is the unit of the cluster's constant-time
-// residency index — schedulers classify reuse patterns and intersect
-// holder sets with single machine-word operations instead of scanning
-// per-device residency maps.
-type DeviceMask uint64
-
-// Has reports whether device dev is in the set.
-func (m DeviceMask) Has(dev int) bool { return m&(1<<uint(dev)) != 0 }
-
-// Count returns the number of devices in the set.
-func (m DeviceMask) Count() int { return bits.OnesCount64(uint64(m)) }
-
-// First returns the lowest device ID in the set, or -1 when empty. Holder
-// sets enumerate in ascending device order, matching the scan order of the
-// former per-device loops.
-func (m DeviceMask) First() int {
-	if m == 0 {
-		return -1
-	}
-	return bits.TrailingZeros64(uint64(m))
-}
-
-// DropFirst returns the set without its lowest device, the iteration step
-// of the idiom:
-//
-//	for s := m; s != 0; s = s.DropFirst() {
-//		dev := s.First()
-//		...
-//	}
-func (m DeviceMask) DropFirst() DeviceMask { return m & (m - 1) }
-
-// AppendTo appends the set's device IDs to buf in ascending order and
-// returns the extended slice, allocating only when buf lacks capacity.
-func (m DeviceMask) AppendTo(buf []int) []int {
-	for ; m != 0; m &= m - 1 {
-		buf = append(buf, bits.TrailingZeros64(uint64(m)))
-	}
-	return buf
-}
-
-// maskOf returns the singleton set {dev}.
-func maskOf(dev int) DeviceMask { return 1 << uint(dev) }
+// maskOf returns the singleton set {dev}. The result carries no spill
+// storage for dev < InlineDevices, so singleton probes stay allocation-free
+// on any cluster size.
+func maskOf(dev int) DevSet { return DevSet{}.with(dev, 0) }
 
 // residencyIndex is the cluster's reverse residency map: tensor ID to the
 // set of devices holding it. Devices update it inside install/drop, so it
 // is exact after every allocation, eviction, discard and reset; HoldersMask
 // answers "who holds tensor X?" with one map probe regardless of device
 // count.
+//
+// Entries are DevSets. For clusters of up to InlineDevices GPUs every
+// entry is a bare word (restWords == 0) and the index behaves exactly like
+// the historical uint64-mask version; wider clusters allocate each entry's
+// spill words once, on the first install of a device ≥ 64, and then mutate
+// them in place.
 type residencyIndex struct {
-	mask map[uint64]DeviceMask
+	restWords int // spill words per entry: ceil((NumDevices-64)/64), 0 for ≤64
+	mask      map[uint64]DevSet
 }
 
-func newResidencyIndex() *residencyIndex {
-	return &residencyIndex{mask: make(map[uint64]DeviceMask)}
+func newResidencyIndex(numDevices int) *residencyIndex {
+	rw := 0
+	if numDevices > InlineDevices {
+		rw = (numDevices - InlineDevices + 63) >> 6
+	}
+	return &residencyIndex{restWords: rw, mask: make(map[uint64]DevSet)}
 }
 
-func (ri *residencyIndex) set(id uint64, dev int) { ri.mask[id] |= maskOf(dev) }
+func (ri *residencyIndex) set(id uint64, dev int) {
+	ri.mask[id] = ri.mask[id].with(dev, ri.restWords)
+}
 
 func (ri *residencyIndex) unset(id uint64, dev int) {
-	if m := ri.mask[id] &^ maskOf(dev); m == 0 {
+	if m := ri.mask[id].without(dev); m.Empty() {
 		delete(ri.mask, id)
 	} else {
 		ri.mask[id] = m
 	}
 }
 
-func (ri *residencyIndex) of(id uint64) DeviceMask { return ri.mask[id] }
+func (ri *residencyIndex) of(id uint64) DevSet { return ri.mask[id] }
 
 // clearAll empties the index in one pass, keeping map capacity. Used by
 // Cluster.Reset instead of a per-tensor unset per device.
 func (ri *residencyIndex) clearAll() { clear(ri.mask) }
 
-// HoldersMask returns the set of devices holding tensor id as a bitmask.
-// One O(1) map probe; the mask supports allocation-free intersection,
-// counting and iteration (see DeviceMask).
-func (c *Cluster) HoldersMask(id uint64) DeviceMask { return c.index.of(id) }
+// HoldersMask returns the set of devices holding tensor id. One O(1) map
+// probe; the set supports allocation-free intersection, counting and
+// iteration (see DevSet). The result is a read-only view into index
+// storage, valid until the next cluster mutation.
+func (c *Cluster) HoldersMask(id uint64) DevSet { return c.index.of(id) }
 
 // AppendHoldersOf appends the IDs of devices holding tensor id to buf in
 // ascending order and returns the extended slice. Callers that reuse buf

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestDeviceMaskOps(t *testing.T) {
 	if got := m.AppendTo(nil); got != nil {
 		t.Errorf("empty AppendTo = %v, want nil", got)
 	}
-	m = maskOf(2) | maskOf(5) | maskOf(63)
+	m = 1<<2 | 1<<5 | 1<<63
 	if m.Count() != 3 {
 		t.Errorf("Count = %d, want 3", m.Count())
 	}
@@ -25,7 +26,7 @@ func TestDeviceMaskOps(t *testing.T) {
 	if !m.Has(5) || m.Has(4) {
 		t.Error("Has answers wrong membership")
 	}
-	if got := m.DropFirst(); got != maskOf(5)|maskOf(63) {
+	if got := m.DropFirst(); got != 1<<5|1<<63 {
 		t.Errorf("DropFirst = %b", got)
 	}
 	buf := make([]int, 0, 3)
@@ -45,28 +46,39 @@ func TestDeviceMaskOps(t *testing.T) {
 	if len(iter) != 3 || iter[0] != 2 || iter[1] != 5 || iter[2] != 63 {
 		t.Errorf("iteration = %v, want %v", iter, want)
 	}
+	// The round trip through DevSet preserves membership.
+	if got, exact := m.DevSet().InlineMask(); got != m || !exact {
+		t.Errorf("DevSet round trip = %b (exact %v), want %b", got, exact, m)
+	}
 }
 
 func TestConfigRejectsOversizedCluster(t *testing.T) {
 	cfg := MI100(MaxDevices + 1)
-	if _, err := NewCluster(cfg); err == nil {
-		t.Fatalf("NewCluster accepted %d devices; the mask ABI caps at %d",
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted %d devices; the simulator caps at %d",
 			MaxDevices+1, MaxDevices)
 	}
-	cfg = MI100(MaxDevices)
-	// 64 devices is the last legal size; it must still construct.
-	if _, err := NewCluster(cfg); err != nil {
-		t.Fatalf("NewCluster rejected %d devices: %v", MaxDevices, err)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("oversize error = %v, want ErrInvalidConfig", err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "NumDevices" {
+		t.Errorf("oversize error = %#v, want *ConfigError{Field: NumDevices}", err)
+	}
+	// The cap itself is legal.
+	if err := MI100(MaxDevices).Validate(); err != nil {
+		t.Fatalf("Validate rejected %d devices: %v", MaxDevices, err)
 	}
 }
 
-// scanHolders recomputes a tensor's holder mask the pre-index way: a
+// scanHolders recomputes a tensor's holder set the pre-index way: a
 // residency probe on every device.
-func scanHolders(c *Cluster, id uint64) DeviceMask {
-	var m DeviceMask
+func scanHolders(c *Cluster, id uint64) DevSet {
+	var m DevSet
 	for i := 0; i < c.NumDevices(); i++ {
 		if c.Device(i).Holds(id) {
-			m |= maskOf(i)
+			m = m.with(i, 0)
 		}
 	}
 	return m
@@ -74,12 +86,12 @@ func scanHolders(c *Cluster, id uint64) DeviceMask {
 
 // checkIndex asserts the residency index agrees with a brute-force scan of
 // every device's residency map, in both directions: every indexed tensor's
-// mask matches its scan, and every resident tensor is indexed.
+// set matches its scan, and every resident tensor is indexed.
 func checkIndex(t *testing.T, c *Cluster, ids []uint64) {
 	t.Helper()
 	for _, id := range ids {
-		if got, want := c.HoldersMask(id), scanHolders(c, id); got != want {
-			t.Fatalf("index mask for tensor %d = %b, scan says %b", id, got, want)
+		if got, want := c.HoldersMask(id), scanHolders(c, id); !got.Equal(want) {
+			t.Fatalf("index set for tensor %d = %v, scan says %v", id, got.AppendTo(nil), want.AppendTo(nil))
 		}
 	}
 	for i := 0; i < c.NumDevices(); i++ {
@@ -90,12 +102,12 @@ func checkIndex(t *testing.T, c *Cluster, ids []uint64) {
 			}
 		}
 	}
-	// No stale entries: an indexed mask may never name a device that does
+	// No stale entries: an indexed set may never name a device that does
 	// not actually hold the tensor (covered per-id above), and the index
-	// never keeps empty masks alive.
+	// never keeps empty sets alive.
 	for id, m := range c.index.mask {
-		if m == 0 {
-			t.Fatalf("index keeps empty mask for tensor %d", id)
+		if m.Empty() {
+			t.Fatalf("index keeps empty set for tensor %d", id)
 		}
 	}
 }
@@ -104,9 +116,11 @@ func checkIndex(t *testing.T, c *Cluster, ids []uint64) {
 // sequence of contractions (allocations, peer copies, host staging, dirty
 // write-backs and evictions under scarce memory), discards and resets, and
 // after every operation asserts HoldersMask agrees with a brute-force scan
-// of Device.Holds. Run under -race via `make race`/`make check`.
+// of Device.Holds. The 96-device case exercises multi-word holder sets
+// (members on both sides of the 64-bit boundary). Run under -race via
+// `make race`/`make check`.
 func TestResidencyIndexInvariant(t *testing.T) {
-	for _, devs := range []int{1, 3, 8} {
+	for _, devs := range []int{1, 3, 8, 96} {
 		cfg := MI100(devs)
 		desc := func(id uint64) tensor.Desc {
 			return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 8, Batch: 1}
@@ -114,6 +128,13 @@ func TestResidencyIndexInvariant(t *testing.T) {
 		// Scarce memory: room for only a few tensors per device so the
 		// randomized walk constantly evicts and restages from host/peers.
 		cfg.MemoryBytes = 6 * desc(1).Bytes()
+		steps := 400
+		if devs > 8 {
+			// The wide case costs O(devs) per scan; trim the walk so the
+			// suite stays fast while still crossing the word boundary.
+			cfg.PeerFetch = true // spread copies across both words
+			steps = 200
+		}
 		c, err := NewCluster(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -126,7 +147,7 @@ func TestResidencyIndexInvariant(t *testing.T) {
 			c.RegisterHostTensor(desc(id))
 		}
 		nextOut := uint64(nTensors + 1)
-		for step := 0; step < 400; step++ {
+		for step := 0; step < steps; step++ {
 			switch op := rng.Intn(10); {
 			case op < 6: // contraction: allocs, transfers, maybe evictions
 				a := ids[rng.Intn(len(ids))]

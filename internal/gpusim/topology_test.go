@@ -1,0 +1,309 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"micco/internal/tensor"
+)
+
+func topoDesc(id uint64) tensor.Desc {
+	return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 16, Batch: 1}
+}
+
+// TestConfigNodeGeometry pins NumNodes/NodeOf across edge geometries:
+// unset, exact, ragged and oversized node sizes.
+func TestConfigNodeGeometry(t *testing.T) {
+	cases := []struct {
+		devices, nodeSize, wantNodes int
+	}{
+		{8, 0, 1},  // no node grouping: one node
+		{8, 8, 1},  // node size equal to the cluster
+		{8, 12, 1}, // node size larger than the cluster
+		{8, 4, 2},
+		{10, 4, 3}, // ragged: last node holds 2 devices
+		{256, 64, 4},
+	}
+	for _, tc := range cases {
+		cfg := MI100(tc.devices)
+		cfg.NodeSize = tc.nodeSize
+		if tc.wantNodes > 1 {
+			cfg.InterNodeBandwidth = 12e9
+		}
+		if got := cfg.NumNodes(); got != tc.wantNodes {
+			t.Errorf("devices=%d nodeSize=%d: NumNodes = %d, want %d",
+				tc.devices, tc.nodeSize, got, tc.wantNodes)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("devices=%d nodeSize=%d: Validate: %v", tc.devices, tc.nodeSize, err)
+		}
+	}
+	cfg := MI100Nodes(4, 8)
+	for dev, want := range map[int]int{0: 0, 7: 0, 8: 1, 31: 3} {
+		if got := cfg.NodeOf(dev); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", dev, got, want)
+		}
+	}
+}
+
+// TestConfigErrorsAreTyped checks Validate reports each failure as a
+// *ConfigError naming the offending field, unwrapping to ErrInvalidConfig.
+func TestConfigErrorsAreTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"no-devices", func(c *Config) { c.NumDevices = 0 }, "NumDevices"},
+		{"negative-node-size", func(c *Config) { c.NodeSize = -1 }, "NodeSize"},
+		{"multi-node-no-bandwidth", func(c *Config) { c.NodeSize = 2 }, "InterNodeBandwidth"},
+		{"negative-inter-latency", func(c *Config) { c.NodeSize = 2; c.InterNodeBandwidth = 1e9; c.InterNodeLatency = -1 }, "InterNodeLatency"},
+		{"class-without-profiles", func(c *Config) { c.DeviceClass = make([]int, c.NumDevices) }, "DeviceClass"},
+		{"class-wrong-length", func(c *Config) {
+			c.Profiles = []DeviceProfile{{}}
+			c.DeviceClass = []int{0}
+		}, "DeviceClass"},
+		{"class-out-of-range", func(c *Config) {
+			c.Profiles = []DeviceProfile{{}}
+			c.DeviceClass = make([]int, c.NumDevices)
+			c.DeviceClass[1] = 3
+		}, "DeviceClass"},
+		{"negative-profile-field", func(c *Config) {
+			c.Profiles = []DeviceProfile{{FLOPS: -1}}
+			c.DeviceClass = make([]int, c.NumDevices)
+		}, "Profiles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := MI100(4)
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Errorf("err = %v, want ErrInvalidConfig", err)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+			if ce.Reason == "" {
+				t.Error("ConfigError.Reason is empty")
+			}
+		})
+	}
+}
+
+// TestDeviceProfilesInherit checks per-class profiles resolve with
+// zero-field inheritance from the cluster-wide defaults and actually steer
+// the simulated kernel cost.
+func TestDeviceProfilesInherit(t *testing.T) {
+	cfg := MI100(2)
+	half := cfg.FLOPS / 2
+	cfg.Profiles = []DeviceProfile{
+		{}, // class 0: pure inheritance
+		{Name: "half-rate", FLOPS: half, // class 1: slower compute,
+			MemoryBytes: cfg.MemoryBytes / 2}, // smaller memory
+	}
+	cfg.DeviceClass = []int{0, 1}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := c.Device(0).Profile(), c.Device(1).Profile()
+	if p0.FLOPS != cfg.FLOPS || p0.MemoryBytes != cfg.MemoryBytes {
+		t.Errorf("class 0 did not inherit defaults: %+v", p0)
+	}
+	if p1.FLOPS != half || p1.MemoryBytes != cfg.MemoryBytes/2 || p1.Name != "half-rate" {
+		t.Errorf("class 1 profile wrong: %+v", p1)
+	}
+	if p1.H2DBandwidth != cfg.H2DBandwidth {
+		t.Errorf("class 1 zero field did not inherit: H2D %g want %g", p1.H2DBandwidth, cfg.H2DBandwidth)
+	}
+	if got, want := c.Device(1).Capacity(), cfg.MemoryBytes/2; got != want {
+		t.Errorf("device 1 capacity = %d, want %d", got, want)
+	}
+	// The same contraction must take longer on the half-rate device.
+	a, b, o1, o2 := topoDesc(1), topoDesc(2), topoDesc(3), topoDesc(4)
+	c.RegisterHostTensor(a)
+	c.RegisterHostTensor(b)
+	if _, err := c.ExecContraction(0, a, b, o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecContraction(1, a, b, o2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Device(1).Clock() <= c.Device(0).Clock() {
+		t.Errorf("half-rate device finished at %g, full-rate at %g; want slower",
+			c.Device(1).Clock(), c.Device(0).Clock())
+	}
+}
+
+// TestInterNodeStagingCost pins the topology cost model: a fetch into a
+// node that has never seen the tensor pays one inter-node shipment
+// (latency + bytes at the interconnect rate) on top of the local H2D, a
+// second fetch in the same node pays local cost only, and the same fetch
+// inside the gateway node never touches the interconnect.
+func TestInterNodeStagingCost(t *testing.T) {
+	cfg := MI100Nodes(2, 2)
+	cfg.AllocLatency = 0
+	cfg.KernelLaunch = 0
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topoDesc(1)
+	c.RegisterHostTensor(d) // lands in node 0's partition
+	localH2D := float64(d.Bytes()) / cfg.H2DBandwidth
+
+	// Gateway-node fetch: local H2D only, no interconnect traffic.
+	if err := c.EnsureResident(0, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Device(0).Clock(); math.Abs(got-localH2D) > 1e-12 {
+		t.Errorf("node-0 fetch cost %g, want local H2D %g", got, localH2D)
+	}
+	if c.InterNodeBytes() != 0 {
+		t.Errorf("node-0 fetch moved %d inter-node bytes, want 0", c.InterNodeBytes())
+	}
+
+	// First fetch into node 1: inter-node shipment plus local H2D.
+	inter := cfg.InterNodeLatency + float64(d.Bytes())/cfg.InterNodeBandwidth
+	if err := c.EnsureResident(2, d); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Device(2).Clock(), inter+localH2D; math.Abs(got-want) > 1e-12 {
+		t.Errorf("first node-1 fetch cost %g, want inter+H2D %g", got, want)
+	}
+	if c.InterNodeBytes() != d.Bytes() {
+		t.Errorf("inter-node bytes = %d, want %d", c.InterNodeBytes(), d.Bytes())
+	}
+
+	// Second fetch inside node 1: the shipped copy is cached node-side, so
+	// only a local H2D is paid (queued behind the first fetch on the node's
+	// shared host link) and no new interconnect traffic appears.
+	if err := c.EnsureResident(3, d); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Device(3).Clock(), inter+2*localH2D; math.Abs(got-want) > 1e-12 {
+		t.Errorf("repeat node-1 fetch finished at %g, want %g (no second shipment)", got, want)
+	}
+	if c.InterNodeBytes() != d.Bytes() {
+		t.Errorf("repeat fetch moved more inter-node bytes: %d", c.InterNodeBytes())
+	}
+}
+
+// TestInterNodeLinkDegrade checks DegradeLink scales the inter-node
+// interconnect alongside the host links.
+func TestInterNodeLinkDegrade(t *testing.T) {
+	cfg := MI100Nodes(2, 2)
+	cfg.AllocLatency = 0
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topoDesc(1)
+	c.RegisterHostTensor(d)
+	if err := c.DegradeLink(0.5); err != nil {
+		t.Fatal(err)
+	}
+	inter := cfg.InterNodeLatency + float64(d.Bytes())/(cfg.InterNodeBandwidth*0.5)
+	localH2D := float64(d.Bytes()) / (cfg.H2DBandwidth * 0.5)
+	if err := c.EnsureResident(2, d); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Device(2).Clock(), inter+localH2D; math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded cross-node fetch cost %g, want %g", got, want)
+	}
+}
+
+// TestCrossNodePeerFetch checks peer sourcing prefers a same-node holder
+// and that a cross-node peer copy is charged to the interconnect.
+func TestCrossNodePeerFetch(t *testing.T) {
+	cfg := MI100Nodes(2, 2)
+	cfg.PeerFetch = true
+	cfg.AllocLatency = 0
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topoDesc(1)
+	c.RegisterHostTensor(d)
+	if err := c.EnsureResident(0, d); err != nil { // node 0 holder
+		t.Fatal(err)
+	}
+	base := c.InterNodeBytes()
+	// Cross-node fetch with only a node-0 holder: the peer copy crosses the
+	// interconnect and counts as P2P traffic.
+	if err := c.EnsureResident(2, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InterNodeBytes() - base; got != d.Bytes() {
+		t.Errorf("cross-node peer copy moved %d inter-node bytes, want %d", got, d.Bytes())
+	}
+	if got := c.Device(2).Stats().P2PBytes; got != d.Bytes() {
+		t.Errorf("cross-node peer copy P2P bytes = %d, want %d", got, d.Bytes())
+	}
+	// Now device 3 (node 1) has a same-node holder in device 2: the fetch
+	// must ride the node fabric, adding no interconnect traffic.
+	before := c.InterNodeBytes()
+	if err := c.EnsureResident(3, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InterNodeBytes(); got != before {
+		t.Errorf("same-node peer fetch moved %d extra inter-node bytes", got-before)
+	}
+}
+
+// TestMultiNodeCheckpointRoundTrip checks checkpoint/restore preserves the
+// topology state: per-node link clocks, the interconnect clock, and the
+// host partition presence that gates repeat-shipment costs.
+func TestMultiNodeCheckpointRoundTrip(t *testing.T) {
+	cfg := MI100Nodes(2, 2)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, out := topoDesc(1), topoDesc(2), topoDesc(3)
+	c.RegisterHostTensor(a)
+	c.RegisterHostTensor(b)
+	if _, err := c.ExecContraction(2, a, b, out); err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Checkpoint()
+	wantBytes := c.InterNodeBytes()
+	wantClock := c.Device(2).Clock()
+
+	// Disturb, then restore.
+	c.Reset()
+	if err := c.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InterNodeBytes(); got != wantBytes {
+		t.Errorf("restored inter-node bytes = %d, want %d", got, wantBytes)
+	}
+	if got := c.Device(2).Clock(); got != wantClock {
+		t.Errorf("restored device-2 clock = %g, want %g", got, wantClock)
+	}
+	// Host presence must restore too: a's copy was shipped into node 1, so
+	// re-fetching it on device 3 must not pay the interconnect again.
+	if err := c.EnsureResident(3, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InterNodeBytes(); got != wantBytes {
+		t.Errorf("post-restore fetch re-shipped: inter-node bytes %d, want %d", got, wantBytes)
+	}
+	// A checkpoint from a differently-shaped cluster must be rejected.
+	other, err := NewCluster(MI100(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(cp); err == nil {
+		t.Error("Restore accepted a checkpoint from a different topology")
+	}
+}

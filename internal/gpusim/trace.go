@@ -23,6 +23,11 @@ const (
 	// EventEvict is an eviction (excluding any write-back transfer, which
 	// is traced separately as EventD2H).
 	EventEvict
+	// EventInter is an inter-node transfer: a cross-node peer copy, or a
+	// host copy shipped between node partitions, serialized on the
+	// inter-node interconnect. Device is the requesting (destination)
+	// device.
+	EventInter
 	// EventFault is an injected fault (device loss/restore, link
 	// degradation, capacity shrink, transient-failure arming). Zero
 	// duration; Note carries the description. Device -1 marks
@@ -43,6 +48,8 @@ func (k EventKind) String() string {
 		return "p2p"
 	case EventEvict:
 		return "evict"
+	case EventInter:
+		return "inter"
 	case EventFault:
 		return "fault"
 	default:
@@ -221,7 +228,7 @@ func TraceSummary(w io.Writer, events []Event) error {
 		devices = append(devices, d)
 	}
 	sort.Ints(devices)
-	kinds := []EventKind{EventKernel, EventH2D, EventD2H, EventP2P, EventEvict}
+	kinds := []EventKind{EventKernel, EventH2D, EventD2H, EventP2P, EventEvict, EventInter}
 	if _, err := fmt.Fprintf(w, "%-7s", "device"); err != nil {
 		return err
 	}

@@ -175,7 +175,7 @@ func (mc *Cluster) stageOperand(n, dev int, d tensor.Desc) error {
 // holdsAnywhere reports whether node n already has tensor id on any device
 // or its host (including write-backs of locally produced intermediates).
 func (mc *Cluster) holdsAnywhere(n int, id uint64) bool {
-	return mc.onNode[n][id] || mc.nodes[n].HostHolds(id) || mc.nodes[n].HoldersMask(id) != 0
+	return mc.onNode[n][id] || mc.nodes[n].HostHolds(id) || !mc.nodes[n].HoldersMask(id).Empty()
 }
 
 // pickNode is the node-level scheduling policy. The MICCO-style policy

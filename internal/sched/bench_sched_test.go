@@ -8,6 +8,7 @@ package sched_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"micco/internal/baseline"
 	"micco/internal/core"
 	"micco/internal/gpusim"
+	"micco/internal/hier"
 	"micco/internal/obs"
 	"micco/internal/redstar"
 	"micco/internal/sched"
@@ -23,10 +25,12 @@ import (
 )
 
 // benchSchedulers is the fixed roster the overhead suite measures: MICCO
-// with the paper's reference bounds plus the three comparison baselines.
+// with the paper's reference bounds, the two-level node/device scheduler,
+// plus the three comparison baselines.
 func benchSchedulers() []sched.Scheduler {
 	return []sched.Scheduler{
 		core.NewFixed(core.Bounds{0, 2, 0}),
+		hier.New(16, core.Bounds{0, 2, 0}),
 		baseline.NewGroute(),
 		baseline.NewRoundRobin(),
 		baseline.NewLocalityOnly(),
@@ -67,6 +71,10 @@ type assignFixture struct {
 }
 
 func newAssignFixture(b testing.TB, s sched.Scheduler) *assignFixture {
+	return newAssignFixtureOn(b, s, gpusim.MI100(8))
+}
+
+func newAssignFixtureOn(b testing.TB, s sched.Scheduler, cfg gpusim.Config) *assignFixture {
 	b.Helper()
 	w, err := workload.Generate(workload.Config{
 		Seed: 7, Stages: 6, VectorSize: 64, TensorDim: 128, Batch: 4,
@@ -75,7 +83,7 @@ func newAssignFixture(b testing.TB, s sched.Scheduler) *assignFixture {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := gpusim.NewCluster(gpusim.MI100(8))
+	c, err := gpusim.NewCluster(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -150,6 +158,37 @@ func TestAssignZeroAllocsAllSchedulers(t *testing.T) {
 				t.Errorf("%s: %g allocs per Assign with obs off, want 0", s.Name(), avg)
 			}
 		})
+	}
+}
+
+// BenchmarkSchedulerAssignLarge measures one placement decision at
+// simulated-cluster scales far past the old 64-device ceiling (256, 1024
+// and 4096 devices, 64 per node), for the flat MICCO scheduler and the
+// two-level hier scheduler. The interesting read is how ns/op grows with
+// device count: hier's placement is O(holders + nodes + nodeSize) per
+// pair, so its per-decision cost must degrade sub-linearly in cluster
+// size. Recorded into BENCH_sched.json by `make bench`.
+func BenchmarkSchedulerAssignLarge(b *testing.B) {
+	for _, devs := range []int{256, 1024, 4096} {
+		cfg := gpusim.MI100Nodes(devs/64, 64)
+		cases := []struct {
+			name string
+			s    sched.Scheduler
+		}{
+			{"MICCO", core.NewFixed(core.Bounds{0, 2, 0})},
+			{"Hier", hier.New(16, core.Bounds{0, 2, 0})},
+		}
+		for _, tc := range cases {
+			fx := newAssignFixtureOn(b, tc.s, cfg)
+			b.Run(fmt.Sprintf("%s/devs=%d", tc.name, devs), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fx.ctx.Decision = nil
+					tc.s.Assign(fx.pairs[i%len(fx.pairs)], fx.ctx)
+				}
+			})
+		}
 	}
 }
 

@@ -170,7 +170,7 @@ func (e *engine) apply(ev fault.Event, si, pi int) error {
 		}
 		e.sctx.Down = e.c.FailedMask()
 		e.res.Recovery.DevicesLost++
-		if e.c.AliveMask() == 0 {
+		if e.c.AliveMask().Empty() {
 			return fmt.Errorf("sched: stage %d pair %d: %w (device %d was the last survivor)",
 				si, pi, ErrClusterLost, ev.Device)
 		}
@@ -185,7 +185,7 @@ func (e *engine) apply(ev fault.Event, si, pi int) error {
 		return e.c.DegradeLink(ev.Factor)
 	case fault.MemShrink:
 		before := e.c.TotalStats()
-		capacity := int64(ev.Factor * float64(e.c.Config().MemoryBytes))
+		capacity := int64(ev.Factor * float64(e.c.Device(ev.Device).Profile().MemoryBytes))
 		if err := e.c.SetMemoryCapacity(ev.Device, capacity); err != nil {
 			return err
 		}
@@ -247,7 +247,7 @@ func (e *engine) recoverFrom(si, pi, lost int) error {
 		}
 		for p2 := end - 1; p2 >= 0; p2-- {
 			p := pairs[p2]
-			if needed[p.Out.ID] && e.c.HoldersMask(p.Out.ID) == 0 && !e.c.HostHolds(p.Out.ID) {
+			if needed[p.Out.ID] && e.c.HoldersMask(p.Out.ID).Empty() && !e.c.HostHolds(p.Out.ID) {
 				selected = append(selected, ref{s2, p2})
 				needed[p.A.ID] = true
 				needed[p.B.ID] = true

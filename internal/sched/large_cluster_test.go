@@ -1,0 +1,136 @@
+package sched_test
+
+// Large-cluster coverage for topology API v2: schedulers must work beyond
+// the former 64-device ceiling, the mask path must still match the
+// scan-path reference when holder sets spill past one word, and numeric
+// fingerprints must stay bit-identical across serial, parallel and
+// reclaiming execution modes on a multi-node cluster.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"micco/internal/baseline"
+	"micco/internal/core"
+	"micco/internal/gpusim"
+	"micco/internal/hier"
+	"micco/internal/sched"
+	"micco/internal/tensor"
+	"micco/internal/workload"
+)
+
+// largeRoster is every scheduler family in the repo, constructed fresh per
+// call (schedulers are stateful).
+func largeRoster() map[string]func() sched.Scheduler {
+	return map[string]func() sched.Scheduler{
+		"micco":       func() sched.Scheduler { return core.NewFixed(core.Bounds{0, 2, 0}) },
+		"micco-naive": func() sched.Scheduler { return core.NewNaive() },
+		"hier":        func() sched.Scheduler { return hier.New(16, core.Bounds{0, 2, 0}) },
+		"groute":      func() sched.Scheduler { return baseline.NewGroute() },
+		"roundrobin":  func() sched.Scheduler { return baseline.NewRoundRobin() },
+		"locality":    func() sched.Scheduler { return baseline.NewLocalityOnly() },
+	}
+}
+
+// TestLargeClusterAllSchedulers schedules a workload on 256 devices across
+// 4 nodes under every scheduler family, and checks each run works and its
+// numeric fingerprint is bit-identical across serial, parallel and
+// reclaiming numeric modes.
+func TestLargeClusterAllSchedulers(t *testing.T) {
+	w, err := workload.Generate(workload.Config{
+		Seed: 9, Stages: 3, VectorSize: 24, TensorDim: 6, Batch: 1,
+		Rank: tensor.RankMeson, RepeatRate: 0.6, Dist: workload.Uniform,
+		ChainRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := gpusim.NewCluster(gpusim.MI100Nodes(4, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 256 || c.NumNodes() != 4 {
+		t.Fatalf("cluster shape %d devices / %d nodes, want 256/4", c.NumDevices(), c.NumNodes())
+	}
+	modes := []struct {
+		name string
+		opts sched.Options
+	}{
+		{"serial", sched.Options{Numeric: true, NumericSeed: 5, Parallelism: 1}},
+		{"parallel", sched.Options{Numeric: true, NumericSeed: 5, Parallelism: 4}},
+		{"reclaim", sched.Options{Numeric: true, NumericSeed: 5, Parallelism: 4, NumericReclaim: true}},
+	}
+	for name, mk := range largeRoster() {
+		t.Run(name, func(t *testing.T) {
+			var fp float64
+			var assignments [][]int
+			for i, mode := range modes {
+				opts := mode.opts
+				opts.RecordAssignments = true
+				res, err := sched.Run(context.Background(), w, mk(), c, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", mode.name, err)
+				}
+				if res.GFLOPS <= 0 {
+					t.Fatalf("%s: degenerate run: %+v", mode.name, res)
+				}
+				if i == 0 {
+					fp = res.NumericFingerprint
+					assignments = res.Assignments
+					continue
+				}
+				if res.NumericFingerprint != fp {
+					t.Errorf("%s: fingerprint %g != serial %g", mode.name, res.NumericFingerprint, fp)
+				}
+				if !reflect.DeepEqual(res.Assignments, assignments) {
+					t.Errorf("%s: assignments diverge from serial mode", mode.name)
+				}
+			}
+		})
+	}
+}
+
+// TestWideMaskPathMatchesScanPathReference re-runs the cross-check
+// property on a 96-device cluster, where holder sets straddle the 64-bit
+// inline/spill seam: the DevSet-based placement path must reproduce the
+// scan-path reference bit for bit past the former DeviceMask ceiling.
+func TestWideMaskPathMatchesScanPathReference(t *testing.T) {
+	w := crossWorkload(t, 31)
+	cfg := gpusim.MI100(96)
+	// PeerFetch spreads copies wide so residency actually crosses the seam.
+	cfg.PeerFetch = true
+	run := func(s sched.Scheduler) *sched.Result {
+		t.Helper()
+		c, err := gpusim.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sched.Run(context.Background(), w, s, c, sched.Options{
+			RecordAssignments: true,
+			Numeric:           true,
+			NumericSeed:       7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, tc := range crossCases() {
+		lr := run(tc.live())
+		rr := run(tc.ref())
+		if !reflect.DeepEqual(lr.Assignments, rr.Assignments) {
+			t.Errorf("%s: assignments diverge from scan-path reference at 96 devices", tc.name)
+			continue
+		}
+		if lr.NumericFingerprint != rr.NumericFingerprint {
+			t.Errorf("%s: fingerprint %g != reference %g", tc.name, lr.NumericFingerprint, rr.NumericFingerprint)
+		}
+		if lr.Makespan != rr.Makespan {
+			t.Errorf("%s: makespan %g != reference %g", tc.name, lr.Makespan, rr.Makespan)
+		}
+		if lr.Total != rr.Total {
+			t.Errorf("%s: device stats diverge:\n %+v\n %+v", tc.name, lr.Total, rr.Total)
+		}
+	}
+}

@@ -46,11 +46,11 @@ type Context struct {
 	Features workload.Features
 	// StageIndex is the index of the current stage.
 	StageIndex int
-	// Down is the bitmask of devices currently removed by fault injection
+	// Down is the set of devices currently removed by fault injection
 	// (always empty in fault-free runs). Schedulers must not assign pairs
 	// to a down device — the engine rejects such placements with
 	// ErrInvalidDevice. One bit test per candidate keeps the check free.
-	Down gpusim.DeviceMask
+	Down gpusim.DevSet
 	// Obs is the run's metrics registry, nil when observability is off.
 	// All obs instruments are nil-safe, so schedulers may use it
 	// unconditionally.
@@ -65,29 +65,37 @@ type Context struct {
 }
 
 // Holders returns the devices on which tensor id is currently resident.
-// It allocates a fresh slice per call; hot paths should use HoldersMask.
-func (c *Context) Holders(id uint64) []int { return c.Cluster.HoldersOf(id) }
+// It allocates a fresh slice per call; hot paths should use HoldersMask,
+// or AppendHolders with a reused buffer.
+func (c *Context) Holders(id uint64) []int { return c.Cluster.AppendHoldersOf(nil, id) }
 
-// HoldersMask returns the bitmask of devices holding tensor id — one O(1)
+// AppendHolders appends the devices holding tensor id to buf in ascending
+// order and returns the extended slice; callers that reuse buf across
+// queries pay no allocation.
+func (c *Context) AppendHolders(buf []int, id uint64) []int {
+	return c.Cluster.AppendHoldersOf(buf, id)
+}
+
+// HoldersMask returns the set of devices holding tensor id — one O(1)
 // index probe, no allocation.
-func (c *Context) HoldersMask(id uint64) gpusim.DeviceMask { return c.Cluster.HoldersMask(id) }
+func (c *Context) HoldersMask(id uint64) gpusim.DevSet { return c.Cluster.HoldersMask(id) }
 
 // HolderCount returns how many devices hold tensor id.
 func (c *Context) HolderCount(id uint64) int { return c.Cluster.HoldersMask(id).Count() }
 
-// ClassifyMasks maps a pair's holder masks to its local reuse pattern
+// ClassifyMasks maps a pair's holder sets to its local reuse pattern
 // (paper Fig. 4): both operands share a device, both are resident on
 // disjoint devices, exactly one is resident, or neither is. It is the one
 // Table-II classification the engine, the MICCO scheduler and the
-// baselines all share — two mask lookups and three bit tests, no device
+// baselines all share — two mask lookups and a few word tests, no device
 // loop.
-func ClassifyMasks(a, b gpusim.DeviceMask) obs.ReusePattern {
+func ClassifyMasks(a, b gpusim.DevSet) obs.ReusePattern {
 	switch {
-	case a&b != 0:
+	case a.Intersects(b):
 		return obs.TwoRepeatedSame
-	case a != 0 && b != 0:
+	case !a.Empty() && !b.Empty():
 		return obs.TwoRepeatedDiff
-	case a|b != 0:
+	case !a.Empty() || !b.Empty():
 		return obs.OneRepeated
 	default:
 		return obs.TwoNew
@@ -103,7 +111,7 @@ func (c *Context) ProjectedMem(dev int, p workload.Pair) int64 {
 // ProjectedMemMasked is ProjectedMem with the pair's holder masks already
 // in hand, so schedulers probing many candidate devices against one pair
 // pay the residency lookups once instead of twice per device.
-func (c *Context) ProjectedMemMasked(dev int, p workload.Pair, ma, mb gpusim.DeviceMask) int64 {
+func (c *Context) ProjectedMemMasked(dev int, p workload.Pair, ma, mb gpusim.DevSet) int64 {
 	m := c.Cluster.Device(dev).MemUsed()
 	if !ma.Has(dev) {
 		m += p.A.Bytes()
@@ -452,7 +460,7 @@ func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
 		e.ob.reg.RecordDecision(*rec)
 	}
 	sctx.StageLoad[dev] += 2
-	sctx.Comp[dev] += float64(flops) / c.Config().FLOPS
+	sctx.Comp[dev] += float64(flops) / c.Device(dev).Profile().FLOPS
 	if e.opts.DiscardDeadInputs {
 		if p.LastUse[0] {
 			e.discard(p.A.ID)

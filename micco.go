@@ -42,6 +42,7 @@ import (
 	"micco/internal/experiment"
 	"micco/internal/fault"
 	"micco/internal/gpusim"
+	"micco/internal/hier"
 	"micco/internal/mlearn"
 	"micco/internal/multinode"
 	"micco/internal/obs"
@@ -79,14 +80,40 @@ type (
 	Device = gpusim.Device
 	// DeviceStats are per-device simulation counters.
 	DeviceStats = gpusim.DeviceStats
-	// DeviceMask is a bitset of device IDs, the unit of the cluster's
-	// constant-time residency index (Cluster.HoldersMask).
+	// DevSet is a variable-width set of device IDs, the unit of the
+	// cluster's constant-time residency index (Cluster.HoldersMask). Sets
+	// confined to devices 0-63 live in one inline word and never touch the
+	// heap; wider clusters spill into extra words transparently.
+	DevSet = gpusim.DevSet
+	// DeviceProfile describes one device class of a heterogeneous cluster
+	// (ClusterConfig.Profiles/DeviceClass); zero fields inherit the
+	// cluster-wide defaults.
+	DeviceProfile = gpusim.DeviceProfile
+	// ConfigError reports which ClusterConfig field failed validation and
+	// why; it unwraps to ErrInvalidClusterConfig.
+	ConfigError = gpusim.ConfigError
+	// DeviceMask is a single-word bitset of device IDs.
+	//
+	// Deprecated: DeviceMask caps the cluster at 64 devices. Use DevSet,
+	// which all residency APIs now return; DeviceMask remains for callers
+	// that persisted raw masks (convert via DeviceMask.DevSet and
+	// DevSet.InlineMask).
 	DeviceMask = gpusim.DeviceMask
 )
 
-// MaxDevices is the largest simulated cluster the residency index's mask
-// ABI supports (one bit per device).
+// ErrInvalidClusterConfig marks a ClusterConfig rejected by validation;
+// errors.As against *ConfigError names the offending field.
+var ErrInvalidClusterConfig = gpusim.ErrInvalidConfig
+
+// MaxDevices is the largest simulated cluster the framework supports. The
+// bound is a simulator memory-footprint cap, not a mask width: DevSet
+// residency sets widen with the cluster.
 const MaxDevices = gpusim.MaxDevices
+
+// InlineDevices is the device count up to which a DevSet stays in its
+// single inline word — the allocation-free fast path of the residency
+// index and the scheduler hot paths.
+const InlineDevices = gpusim.InlineDevices
 
 // Workload types.
 type (
@@ -223,6 +250,12 @@ type (
 // testbed: n MI100-class devices with a shared host link.
 func MI100(n int) ClusterConfig { return gpusim.MI100(n) }
 
+// MI100Nodes returns a multi-node topology: nodes groups of perNode
+// MI100-class devices, each node with its own host link and P2P fabric,
+// joined by an InfiniBand-class inter-node interconnect (ClusterConfig
+// NodeSize/InterNodeBandwidth/InterNodeLatency).
+func MI100Nodes(nodes, perNode int) ClusterConfig { return gpusim.MI100Nodes(nodes, perNode) }
+
 // NewCluster builds a simulated cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return gpusim.NewCluster(cfg) }
 
@@ -252,6 +285,13 @@ func NewRoundRobin() Scheduler { return baseline.NewRoundRobin() }
 
 // NewLocalityOnly returns the reuse-only ablation scheduler.
 func NewLocalityOnly() Scheduler { return baseline.NewLocalityOnly() }
+
+// NewHier returns the two-level node/device scheduler for multi-node
+// topologies (ClusterConfig.NodeSize): an inter-node placer shards the
+// correlation graph across nodes under nodeBound, and a MICCO-style pass
+// places within the chosen node under bounds b. On single-node clusters it
+// degenerates to a deterministic-tie-break MICCO.
+func NewHier(nodeBound int, b Bounds) Scheduler { return hier.New(nodeBound, b) }
 
 // ClassifyPair returns the local reuse pattern of p under ctx's residency.
 func ClassifyPair(p Pair, ctx *SchedContext) ReusePattern { return core.Classify(p, ctx) }
@@ -389,6 +429,8 @@ const (
 	TraceD2H    = gpusim.EventD2H
 	TraceP2P    = gpusim.EventP2P
 	TraceEvict  = gpusim.EventEvict
+	// TraceInter marks an inter-node shipment over the shared interconnect.
+	TraceInter = gpusim.EventInter
 	// TraceFault marks an injected fault taking effect (instant event).
 	TraceFault = gpusim.EventFault
 )

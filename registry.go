@@ -6,6 +6,7 @@ import (
 
 	"micco/internal/baseline"
 	"micco/internal/core"
+	"micco/internal/hier"
 )
 
 // ErrUnknownScheduler marks a scheduler name absent from the registry.
@@ -41,12 +42,16 @@ var schedulerRegistry = map[string]schedulerEntry{
 	"locality": {
 		build: func(_ Bounds, _ BoundsPredictor) Scheduler { return baseline.NewLocalityOnly() },
 	},
+	"hier": {
+		build: func(b Bounds, _ BoundsPredictor) Scheduler { return hier.New(16, b) },
+	},
 }
 
 // schedulerOrder fixes the presentation order of SchedulerNames: MICCO
-// variants first, then the baselines and ablations.
+// variants first, then the two-level multi-node scheduler, then the
+// baselines and ablations.
 var schedulerOrder = []string{
-	"micco", "micco-naive", "micco-optimal", "groute", "roundrobin", "locality",
+	"micco", "micco-naive", "micco-optimal", "hier", "groute", "roundrobin", "locality",
 }
 
 // SchedulerNames lists every registered scheduler name in presentation

@@ -14,7 +14,7 @@ type stubPredictor struct{}
 func (stubPredictor) PredictBounds(micco.Features) micco.Bounds { return micco.Bounds{0, 1, 0} }
 
 func TestSchedulerNamesStable(t *testing.T) {
-	want := []string{"micco", "micco-naive", "micco-optimal", "groute", "roundrobin", "locality"}
+	want := []string{"micco", "micco-naive", "micco-optimal", "hier", "groute", "roundrobin", "locality"}
 	got := micco.SchedulerNames()
 	if len(got) != len(want) {
 		t.Fatalf("SchedulerNames() = %v, want %v", got, want)
@@ -48,7 +48,7 @@ func TestSchedulerNeedsPredictor(t *testing.T) {
 	if !micco.SchedulerNeedsPredictor("micco-optimal") {
 		t.Error("micco-optimal should need a predictor")
 	}
-	for _, name := range []string{"micco", "micco-naive", "groute", "roundrobin", "locality", "heft"} {
+	for _, name := range []string{"micco", "micco-naive", "hier", "groute", "roundrobin", "locality", "heft"} {
 		if micco.SchedulerNeedsPredictor(name) {
 			t.Errorf("%q should not need a predictor", name)
 		}
