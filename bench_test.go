@@ -234,6 +234,94 @@ func BenchmarkContractionKernelInto(b *testing.B) {
 	}
 }
 
+// BenchmarkContractionKernelFast is BenchmarkContractionKernelInto in the
+// fast kernel tier: same shape and pooled destination, FMA/AVX-512 fused
+// micro-kernels (DESIGN.md §12). The ratio to BenchmarkContractionKernel
+// is the fast tier's speedup on this machine.
+func BenchmarkContractionKernelFast(b *testing.B) {
+	x, err := micco.NewRandomTensor(micco.TensorDesc{ID: 1, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := micco.NewRandomTensor(micco.TensorDesc{ID: 2, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := &micco.Tensor{}
+	if err := micco.ContractIntoMode(dst, x, y, 3, 0, micco.KernelFast); err != nil { // warm dst + pool + tuner
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := micco.ContractIntoMode(dst, x, y, 3, 0, micco.KernelFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContractionStage measures a stage-shaped fan-out — one shared
+// operand feeding several contractions — pairwise versus fused through
+// ContractBatch, in both kernel tiers. Fusion packs the shared operand
+// once per stage instead of once per pair.
+func BenchmarkContractionStage(b *testing.B) {
+	const fanOut = 4
+	shared, err := micco.NewRandomTensor(micco.TensorDesc{ID: 1, Rank: micco.RankMeson, Dim: 128, Batch: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]*micco.Tensor, fanOut)
+	for i := range rhs {
+		if rhs[i], err = micco.NewRandomTensor(micco.TensorDesc{ID: uint64(2 + i), Rank: micco.RankMeson, Dim: 128, Batch: 4}, int64(2+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dsts := make([]*micco.Tensor, fanOut)
+	for i := range dsts {
+		dsts[i] = &micco.Tensor{}
+	}
+	ops := func() []micco.BatchOp {
+		out := make([]micco.BatchOp, fanOut)
+		for i := range out {
+			out[i] = micco.BatchOp{Dst: dsts[i], A: shared, B: rhs[i], OutID: uint64(100 + i)}
+		}
+		return out
+	}
+	for _, tier := range []struct {
+		name string
+		mode micco.KernelMode
+	}{{"exact", micco.KernelExact}, {"fast", micco.KernelFast}} {
+		b.Run("pairwise/"+tier.name, func(b *testing.B) {
+			for i := range dsts { // warm destinations + pools
+				if err := micco.ContractIntoMode(dsts[i], shared, rhs[i], uint64(100+i), 0, tier.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := range dsts {
+					if err := micco.ContractIntoMode(dsts[i], shared, rhs[i], uint64(100+i), 0, tier.mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run("fused/"+tier.name, func(b *testing.B) {
+			if err := micco.ContractBatch(ops(), 0, tier.mode); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if err := micco.ContractBatch(ops(), 0, tier.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWickExpansion measures the Wick-contraction front end compiling
 // the bundled al_rhopi correlator into a staged plan.
 func BenchmarkWickExpansion(b *testing.B) {

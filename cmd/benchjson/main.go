@@ -14,16 +14,22 @@
 // numbers next to the reference they are compared against.
 //
 // With -guard, benchjson runs as a checker instead of a recorder: it reads
-// the named document (stdin is ignored) and fails when the scheduler
-// placement hot path regressed — any BenchmarkSchedulerAssign* entry
-// (observability-on "/obs" variants excepted) reporting allocs/op above
-// zero, or ns/op beyond -guard-tol times its "_baseline/" entry in the
-// same document:
+// the named document (stdin is ignored) and fails when a guarded benchmark
+// regressed — any entry matching -guard-prefix (observability-on "/obs"
+// variants excepted) reporting allocs/op above -guard-max-allocs, or ns/op
+// beyond -guard-tol times its "_baseline/" entry in the same document:
 //
 //	benchjson -guard BENCH_sched.json -guard-tol 2.0
+//	benchjson -guard BENCH_kernel.json -guard-prefix BenchmarkContraction \
+//	    -guard-max-allocs -1 -guard-tol 2.5
 //
-// Entries without a baseline are reported and skipped (first recording of
-// a new benchmark); a guard run that finds no entries to check fails.
+// The defaults guard the scheduler placement hot path
+// (BenchmarkSchedulerAssign*, zero allocations). A negative
+// -guard-max-allocs disables the allocation check, leaving only the
+// ns/op-versus-baseline comparison — the right setting for kernel
+// throughput documents whose benchmarks legitimately allocate. Entries
+// without a baseline are reported and skipped (first recording of a new
+// benchmark); a guard run that finds no entries to check fails.
 package main
 
 import (
@@ -46,12 +52,14 @@ func main() {
 		"GOMAXPROCS of the go test run; only the matching -N name suffix is stripped (at 1, go test emits no suffix and nothing is stripped)")
 	extra := flag.String("extra", "", "metrics snapshot JSON (from miccorun -metrics) to merge under the _metrics key")
 	baseline := flag.String("baseline", "", "prior benchjson document to merge under the _baseline key")
-	guard := flag.String("guard", "", "benchjson document to check for scheduler hot-path regressions (no recording; stdin ignored)")
+	guard := flag.String("guard", "", "benchjson document to check for benchmark regressions (no recording; stdin ignored)")
 	guardTol := flag.Float64("guard-tol", 2.0, "with -guard, the allowed ns/op growth factor over the document's _baseline entries")
+	guardPre := flag.String("guard-prefix", defaultGuardPrefix, "with -guard, the benchmark name prefix selecting the guarded entries")
+	guardAllocs := flag.Float64("guard-max-allocs", 0, "with -guard, the allowed allocs/op per guarded entry (negative disables the allocation check)")
 	flag.Parse()
 
 	if *guard != "" {
-		if err := runGuard(os.Stderr, *guard, *guardTol); err != nil {
+		if err := runGuard(os.Stderr, *guard, *guardTol, *guardPre, *guardAllocs); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -63,18 +71,18 @@ func main() {
 	}
 }
 
-// guardPrefix selects the entries the guard checks: the scheduler
-// placement benchmarks (per-decision and large-cluster variants).
-const guardPrefix = "BenchmarkSchedulerAssign"
+// defaultGuardPrefix selects the entries the guard checks by default: the
+// scheduler placement benchmarks (per-decision and large-cluster variants).
+const defaultGuardPrefix = "BenchmarkSchedulerAssign"
 
-// runGuard checks the recorded scheduler placement benchmarks in the
-// document at path against the hot-path contract: zero allocations per
-// placement with observability off, and ns/op within tol times the
-// document's own "_baseline/" entry. Observability-on variants (names
-// containing "/obs") are exempt — a live DecisionRecord legitimately
+// runGuard checks the recorded benchmarks matching prefix in the document
+// at path: at most maxAllocs allocations per op (negative disables the
+// check), and ns/op within tol times the document's own "_baseline/"
+// entry. Observability-on variants (names containing "/obs") are exempt
+// from the allocation check — a live DecisionRecord legitimately
 // allocates. Entries without a baseline are noted on w and skipped; zero
 // checkable entries is itself an error (the guard would be vacuous).
-func runGuard(w io.Writer, path string, tol float64) error {
+func runGuard(w io.Writer, path string, tol float64, prefix string, maxAllocs float64) error {
 	doc, err := loadBaseline(path) // same shape; baseline-prefix pruning is harmless here
 	if err != nil {
 		return err
@@ -90,15 +98,18 @@ func runGuard(w io.Writer, path string, tol float64) error {
 	if tol <= 0 {
 		return fmt.Errorf("guard tolerance must be positive, got %g", tol)
 	}
+	if prefix == "" {
+		return fmt.Errorf("guard prefix must be non-empty")
+	}
 	checked := 0
 	var failures []string
 	for name, m := range doc {
-		if !strings.HasPrefix(name, guardPrefix) || strings.Contains(name, "/obs") {
+		if !strings.HasPrefix(name, prefix) || strings.Contains(name, "/obs") {
 			continue
 		}
 		checked++
-		if a := m["allocs/op"]; a > 0 {
-			failures = append(failures, fmt.Sprintf("%s: %g allocs/op, want 0 (placement hot path must not allocate)", name, a))
+		if a := m["allocs/op"]; maxAllocs >= 0 && a > maxAllocs {
+			failures = append(failures, fmt.Sprintf("%s: %g allocs/op, want <= %g (guarded hot path)", name, a, maxAllocs))
 		}
 		base, ok := full["_baseline/"+name]
 		if !ok {
@@ -110,15 +121,15 @@ func runGuard(w io.Writer, path string, tol float64) error {
 		}
 	}
 	if checked == 0 {
-		return fmt.Errorf("%s holds no %s* entries; the guard checked nothing", path, guardPrefix)
+		return fmt.Errorf("%s holds no %s* entries; the guard checked nothing", path, prefix)
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(w, "benchjson: FAIL:", f)
 		}
-		return fmt.Errorf("%d hot-path regression(s) in %s", len(failures), path)
+		return fmt.Errorf("%d regression(s) in %s", len(failures), path)
 	}
-	fmt.Fprintf(w, "benchjson: guard ok: %d scheduler placement entries within bounds\n", checked)
+	fmt.Fprintf(w, "benchjson: guard ok: %d %s* entries within bounds\n", checked, prefix)
 	return nil
 }
 

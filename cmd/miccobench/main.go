@@ -90,6 +90,7 @@ func run(ctx context.Context, runList string, quick bool, seed int64, parallel i
 			return err
 		}
 	}
+	fmt.Printf("kernels: %s\n\n", micco.KernelFeatures())
 	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed, Parallelism: parallel})
 	for _, id := range ids {
 		id = strings.TrimSpace(id)

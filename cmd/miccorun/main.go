@@ -9,6 +9,7 @@
 //	miccorun -workload w.json -scheduler groute -compare
 //	miccorun -workload w.json -metrics m.json -decisions d.ndjson
 //	miccorun -workload w.json -faults plan.json
+//	miccorun -workload w.json -numeric -fast-kernels
 package main
 
 import (
@@ -36,6 +37,9 @@ type runConfig struct {
 	metricsOut   string
 	decisionsOut string
 	faultsIn     string
+	numeric      bool
+	numericSeed  int64
+	fastKernels  bool
 }
 
 func main() {
@@ -50,6 +54,9 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics", "", "write a JSON metrics snapshot of the primary run")
 	flag.StringVar(&cfg.decisionsOut, "decisions", "", "write per-placement decision records as NDJSON")
 	flag.StringVar(&cfg.faultsIn, "faults", "", "fault-injection plan JSON: replay device loss, link degradation and transient failures into the run")
+	flag.BoolVar(&cfg.numeric, "numeric", false, "execute every contraction with real complex128 arithmetic alongside the simulation and report the numeric fingerprint (expensive; small workloads)")
+	flag.Int64Var(&cfg.numericSeed, "numeric-seed", 1, "seed for the numeric input data")
+	flag.BoolVar(&cfg.fastKernels, "fast-kernels", false, "with -numeric, run the FMA/AVX-512 fast kernel tier (ULP-bounded, not bit-identical to exact-mode fingerprints)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -153,6 +160,16 @@ func run(ctx context.Context, rc runConfig) error {
 
 	var reg *micco.MetricsRegistry
 	opts := micco.RunOptions{FaultPlan: plan}
+	if rc.fastKernels && !rc.numeric {
+		return fmt.Errorf("-fast-kernels requires -numeric")
+	}
+	if rc.numeric {
+		opts.Numeric = true
+		opts.NumericSeed = rc.numericSeed
+		opts.NumericReclaim = true
+		opts.FastKernels = rc.fastKernels
+		fmt.Printf("numeric kernels: %s\n\n", micco.KernelFeatures())
+	}
 	if rc.metricsOut != "" || rc.decisionsOut != "" || rc.traceOut != "" {
 		// The registry also feeds decision instant events into the trace.
 		reg = micco.NewMetricsRegistry()
@@ -164,6 +181,13 @@ func run(ctx context.Context, rc runConfig) error {
 	res, err := micco.Run(ctx, &w, primary, cluster, opts)
 	if err != nil {
 		return err
+	}
+	if rc.numeric {
+		mode := "exact"
+		if rc.fastKernels {
+			mode = "fast"
+		}
+		fmt.Printf("numeric fingerprint (%s, seed %d): %x\n\n", mode, rc.numericSeed, res.NumericFingerprint)
 	}
 	if plan != nil {
 		rec := res.Recovery

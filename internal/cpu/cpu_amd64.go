@@ -1,0 +1,43 @@
+//go:build amd64
+
+package cpu
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf.
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (the XSAVE feature mask).
+func xgetbv0() (eax, edx uint32)
+
+// detect probes CPUID and XCR0 once. The baseline amd64 target
+// (GOAMD64=v1) only guarantees SSE2, so every wider extension is gated
+// on both the capability bit and the OS's saved-state support.
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	f.FMA = c1&fma != 0
+	if c1&osxsave != 0 && c1&avx != 0 {
+		lo, _ := xgetbv0()
+		const ymmState = 0x6  // XCR0[2:1]: SSE + AVX
+		const zmmState = 0xe0 // XCR0[7:5]: opmask + ZMM_Hi256 + Hi16_ZMM
+		f.OSYMM = lo&ymmState == ymmState
+		f.OSZMM = f.OSYMM && lo&zmmState == zmmState
+	}
+	if maxLeaf < 7 {
+		return f
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	f.AVX2 = b7&(1<<5) != 0
+	f.AVX512F = b7&(1<<16) != 0
+	f.AVX512DQ = b7&(1<<17) != 0
+	f.AVX512VL = b7&(1<<31) != 0
+	return f
+}

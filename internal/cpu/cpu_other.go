@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package cpu
+
+// detect reports no x86 vector extensions off amd64; the tensor package
+// then routes every contraction through its portable scalar kernels.
+func detect() Features { return Features{} }

@@ -178,16 +178,55 @@ func (c *Correlator) BuildPlan() (*Build, error) {
 // EvaluateNumeric executes the full plan with real complex128 arithmetic
 // (random hadron blocks from seed) and returns the correlator value per
 // sink time: the sum over that time's graphs of the traced final tensors.
-// Intended for examples and validation on small correlators.
-//
-// Evaluation streams through tensor.ContractInto with a free-list arena:
-// every tensor's storage is recycled as soon as its last reader has run
-// (liveness is exact, counted over the op stream, with each final pinned
-// until its trace is taken), so peak memory is bounded by the live working
-// set rather than the full plan. Recycling does not perturb numerics: the
-// kernel overwrites every destination element, so the returned correlator
-// values are bit-identical to an evaluation that keeps everything.
+// Intended for examples and validation on small correlators. It is
+// EvaluateNumericMode in the exact kernel tier, whose results are pinned
+// bit for bit by the golden tests.
 func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, error) {
+	return b.EvaluateNumericMode(seed, workers, tensor.ModeExact)
+}
+
+// stageOpsIndependent reports whether a plan stage's ops are mutually
+// independent: unique outputs, and no op reading a tensor another op of
+// the same stage produces. BuildPlan stages by dependency depth, so this
+// holds for every plan it emits; the check keeps hand-altered plans
+// correct by falling back to sequential execution.
+func stageOpsIndependent(plan *graph.Plan, stage []int) bool {
+	outs := make(map[uint64]struct{}, len(stage))
+	for _, oi := range stage {
+		op := plan.Ops[oi]
+		if _, dup := outs[op.Out.ID]; dup {
+			return false
+		}
+		outs[op.Out.ID] = struct{}{}
+	}
+	for _, oi := range stage {
+		op := plan.Ops[oi]
+		if _, ok := outs[op.A.ID]; ok {
+			return false
+		}
+		if _, ok := outs[op.B.ID]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateNumericMode is EvaluateNumeric with an explicit kernel tier:
+// tensor.ModeExact reproduces the golden values bit for bit, while
+// tensor.ModeFast permits the FMA/AVX-512 fused kernels, accurate to the
+// ULP bound documented in DESIGN.md §12.
+//
+// Evaluation walks the plan stage by stage, executing each stage's ops as
+// one tensor.ContractBatch: every unique hadron block or intermediate is
+// packed into split-complex form once per stage, however many same-stage
+// contractions read it. A free-list arena recycles every tensor's storage
+// as soon as its last reader has run (liveness is exact, counted over the
+// op stream, with each final pinned until its trace is taken), so peak
+// memory is bounded by the live working set rather than the full plan.
+// Neither batching nor recycling perturbs numerics: in exact mode the
+// fused batch is bit-identical to op-at-a-time evaluation, and the kernel
+// overwrites every destination element.
+func (b *Build) EvaluateNumericMode(seed int64, workers int, mode tensor.KernelMode) (map[int]complex128, error) {
 	rng := rand.New(rand.NewSource(seed))
 	store := make(map[uint64]*tensor.Tensor, len(b.Plan.Inputs))
 	for _, d := range b.Plan.Inputs {
@@ -229,26 +268,65 @@ func (b *Build) EvaluateNumeric(seed int64, workers int) (map[int]complex128, er
 		}
 		delete(store, id)
 	}
-	for _, op := range b.Plan.Ops {
-		a, ok := store[op.A.ID]
-		if !ok {
-			return nil, fmt.Errorf("redstar: operand t%d missing", op.A.ID)
+	draw := func(elems int) []complex128 {
+		if l := free[elems]; len(l) > 0 {
+			buf := l[len(l)-1]
+			free[elems] = l[:len(l)-1]
+			return buf
 		}
-		bb, ok := store[op.B.ID]
-		if !ok {
-			return nil, fmt.Errorf("redstar: operand t%d missing", op.B.ID)
+		return nil
+	}
+	var batch []tensor.BatchOp
+	for si, stage := range b.Plan.StageOps {
+		if !stageOpsIndependent(b.Plan, stage) {
+			// Dependent stage (hand-altered plan): op-at-a-time, in order.
+			for _, oi := range stage {
+				op := b.Plan.Ops[oi]
+				a, ok := store[op.A.ID]
+				if !ok {
+					return nil, fmt.Errorf("redstar: operand t%d missing", op.A.ID)
+				}
+				bb, ok := store[op.B.ID]
+				if !ok {
+					return nil, fmt.Errorf("redstar: operand t%d missing", op.B.ID)
+				}
+				out := &tensor.Tensor{Data: draw(int(op.Out.Elems()))}
+				if err := tensor.ContractIntoMode(out, a, bb, op.Out.ID, workers, mode); err != nil {
+					return nil, err
+				}
+				store[op.Out.ID] = out
+				release(op.A.ID)
+				release(op.B.ID)
+			}
+			continue
 		}
-		out := &tensor.Tensor{}
-		if l := free[int(op.Out.Elems())]; len(l) > 0 {
-			out.Data = l[len(l)-1]
-			free[int(op.Out.Elems())] = l[:len(l)-1]
+		batch = batch[:0]
+		for _, oi := range stage {
+			op := b.Plan.Ops[oi]
+			a, ok := store[op.A.ID]
+			if !ok {
+				return nil, fmt.Errorf("redstar: operand t%d missing", op.A.ID)
+			}
+			bb, ok := store[op.B.ID]
+			if !ok {
+				return nil, fmt.Errorf("redstar: operand t%d missing", op.B.ID)
+			}
+			batch = append(batch, tensor.BatchOp{
+				Dst:   &tensor.Tensor{Data: draw(int(op.Out.Elems()))},
+				A:     a,
+				B:     bb,
+				OutID: op.Out.ID,
+			})
 		}
-		if err := tensor.ContractInto(out, a, bb, op.Out.ID, workers); err != nil {
-			return nil, err
+		if err := tensor.ContractBatch(batch, workers, mode); err != nil {
+			return nil, fmt.Errorf("redstar: stage %d: %w", si, err)
 		}
-		store[op.Out.ID] = out
-		release(op.A.ID)
-		release(op.B.ID)
+		for k, oi := range stage {
+			op := b.Plan.Ops[oi]
+			store[op.Out.ID] = batch[k].Dst
+			release(op.A.ID)
+			release(op.B.ID)
+		}
 	}
 	corr := make(map[int]complex128, len(b.FinalsByTime))
 	times := make([]int, 0, len(b.FinalsByTime))

@@ -100,6 +100,9 @@ func TestNumericReclaimFreesDeadTensors(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		if err := s.flushStage(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	resident := 0
 	for i := range s.shards {

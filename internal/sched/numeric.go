@@ -39,8 +39,9 @@ type numericJob struct {
 // arithmetic so tests and examples can validate that scheduling decisions
 // never change numerical results.
 //
-// With a pool size of one it executes each contraction inline on the
-// engine goroutine, in workload order (the serial engine). With a larger
+// With a pool size of one it runs on the engine goroutine (the serial
+// engine), queuing each stage's contractions and executing them as one
+// fused batch at the stage boundary (see flushStage). With a larger
 // pool it precomputes the stream's dependency graph (read-after-write
 // through operand tensors, plus write-after-write and write-after-read
 // chains should a workload ever reuse an output ID) and runs the
@@ -51,6 +52,22 @@ type numericJob struct {
 type numericStore struct {
 	shards  [numShards]tensorShard
 	workers int // kernel workers per contraction in serial mode
+	// mode selects the kernel tier every contraction runs under:
+	// tensor.ModeExact (the default, bit-identical to the seed kernels) or
+	// tensor.ModeFast with Options.FastKernels.
+	mode tensor.KernelMode
+
+	// Stage-fusion state of the serial engine (fuse is false on the
+	// concurrent pool: the pool already overlaps contractions, and fusing
+	// would serialize them again behind a stage barrier). exec queues each
+	// pair into pending; flushStage, called by the engine at the stage
+	// boundary, executes the whole stage as one tensor.ContractBatch when
+	// the stage is independent — every unique operand packed once —
+	// and falls back to the pairwise path otherwise. Bit-identical either
+	// way in exact mode.
+	fuse     bool
+	pending  []workload.Pair
+	batchOps []tensor.BatchOp
 
 	// Dead-tensor reclamation state (Options.NumericReclaim). readsLeft
 	// counts, per tensor ID, the operand reads the stream has yet to
@@ -117,6 +134,9 @@ func (a *bufArena) put(buf []complex128) {
 func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*numericStore, error) {
 	rng := rand.New(rand.NewSource(opts.NumericSeed))
 	s := &numericStore{workers: opts.NumericWorkers}
+	if opts.FastKernels {
+		s.mode = tensor.ModeFast
+	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[uint64]*tensor.Tensor)
 	}
@@ -142,6 +162,7 @@ func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*
 		}
 	}
 	if opts.PoolSize() <= 1 {
+		s.fuse = true
 		return s, nil
 	}
 	s.obs = opts.Obs
@@ -282,14 +303,103 @@ func (s *numericStore) runJob(i int) (busy, wait time.Duration) {
 	return
 }
 
-// exec validates pair p. On the serial engine it contracts inline, in
-// workload order; on the concurrent engine the pool already owns the pair
-// and exec is a no-op.
+// exec accepts pair p. On the fused serial engine it queues the pair for
+// the stage-boundary flush; on the concurrent engine the pool already owns
+// the pair and exec is a no-op.
 func (s *numericStore) exec(p workload.Pair) error {
 	if s.jobs != nil {
 		return nil
 	}
+	if s.fuse {
+		s.pending = append(s.pending, p)
+		return nil
+	}
 	return s.execPair(p, s.workers)
+}
+
+// stageIndependent reports whether the queued pairs form an independent
+// stage: no duplicate outputs, and no pair reads a tensor another pair of
+// the same stage produces (or overwrites). Both front ends emit stages
+// with this property; hand-built FromStages streams may not, and then the
+// stage must run pairwise in order.
+func stageIndependent(pairs []workload.Pair) bool {
+	outs := make(map[uint64]struct{}, len(pairs))
+	for _, p := range pairs {
+		if _, dup := outs[p.Out.ID]; dup {
+			return false
+		}
+		outs[p.Out.ID] = struct{}{}
+	}
+	for _, p := range pairs {
+		if _, ok := outs[p.A.ID]; ok {
+			return false
+		}
+		if _, ok := outs[p.B.ID]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// flushStage executes the pairs queued since the last stage boundary. An
+// independent stage runs as one tensor.ContractBatch — each unique operand
+// packed into split-complex form exactly once, shared across every pair
+// that reads it — which is bit-identical to the pairwise path in exact
+// mode. A dependent stage (FromStages streams only) falls back to pairwise
+// execution in queue order. Reclamation accounting settles after the
+// batch: counts are exact either way, and reclaimed norms are computed
+// over identical data, so the fingerprint cannot move.
+func (s *numericStore) flushStage() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	pending := s.pending
+	s.pending = s.pending[:0]
+	if !stageIndependent(pending) {
+		for _, p := range pending {
+			if err := s.execPair(p, s.workers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ops := s.batchOps[:0]
+	for _, p := range pending {
+		a, ok := s.get(p.A.ID)
+		if !ok {
+			return fmt.Errorf("sched: numeric operand t%d missing", p.A.ID)
+		}
+		b, ok := s.get(p.B.ID)
+		if !ok {
+			return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
+		}
+		dst := &tensor.Tensor{}
+		if s.reclaim {
+			dst.Data = s.arena.get(int(p.Out.Elems()))
+		}
+		ops = append(ops, tensor.BatchOp{Dst: dst, A: a, B: b, OutID: p.Out.ID})
+	}
+	err := tensor.ContractBatch(ops, s.workers, s.mode)
+	if err != nil {
+		err = fmt.Errorf("sched: numeric contraction: %w", err)
+	} else {
+		for i, p := range pending {
+			s.put(p.Out.ID, ops[i].Dst)
+			if !s.reclaim {
+				continue
+			}
+			s.release(p.A.ID)
+			s.release(p.B.ID)
+			if rl, ok := s.readsLeft[p.Out.ID]; ok && rl.Load() == 0 {
+				s.reclaimTensor(p.Out.ID)
+			}
+		}
+	}
+	for i := range ops {
+		ops[i] = tensor.BatchOp{} // drop tensor references
+	}
+	s.batchOps = ops[:0]
+	return err
 }
 
 // execPair reads the operands, contracts, and installs the output. With
@@ -306,7 +416,7 @@ func (s *numericStore) execPair(p workload.Pair, workers int) error {
 		return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
 	}
 	if !s.reclaim {
-		out, err := tensor.Contract(a, b, p.Out.ID, workers)
+		out, err := tensor.ContractMode(a, b, p.Out.ID, workers, s.mode)
 		if err != nil {
 			return fmt.Errorf("sched: numeric contraction: %w", err)
 		}
@@ -314,7 +424,7 @@ func (s *numericStore) execPair(p workload.Pair, workers int) error {
 		return nil
 	}
 	out := &tensor.Tensor{Data: s.arena.get(int(p.Out.Elems()))}
-	if err := tensor.ContractInto(out, a, b, p.Out.ID, workers); err != nil {
+	if err := tensor.ContractIntoMode(out, a, b, p.Out.ID, workers, s.mode); err != nil {
 		return fmt.Errorf("sched: numeric contraction: %w", err)
 	}
 	s.put(p.Out.ID, out)

@@ -160,6 +160,16 @@ type Options struct {
 	// resolves to more than one, the pool supplies the parallelism and
 	// each contraction runs single-threaded.
 	NumericWorkers int
+	// FastKernels runs numeric contractions in the fast kernel tier
+	// (tensor.ModeFast): FMA/AVX-512 fused micro-kernels selected by
+	// runtime CPU detection, accurate to the documented ULP bound of the
+	// exact tier rather than bit-identical to it (DESIGN.md §12). The
+	// fingerprint remains deterministic for a fixed machine and
+	// MICCO_KERNEL setting — scheduler choices, worker counts and
+	// reclamation still cannot change it — but it is not comparable to
+	// exact-mode goldens. Off by default: numeric mode stays bit-identical
+	// to the seed kernels.
+	FastKernels bool
 	// NumericReclaim frees each numeric tensor's storage after its last
 	// reader completes (liveness is exact, derived from the workload's
 	// read counts, mirroring the simulator's DiscardDeadInputs policy) and
@@ -591,13 +601,18 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		// function of the seed and the stream order, so re-executing it is
 		// exactly equivalent to having checkpointed it, without snapshotting
 		// tensor storage. (With a concurrent pool, exec is a queue no-op and
-		// the pool re-runs the full stream on its own.)
+		// the pool re-runs the full stream on its own.) Stage boundaries are
+		// flushed exactly as the original run flushed them, so the fused
+		// serial engine replays the identical batched stream.
 		if store != nil {
 			for si := 0; si < startStage; si++ {
 				for _, p := range w.Stages[si].Pairs {
 					if err := store.exec(p); err != nil {
 						return nil, err
 					}
+				}
+				if err := store.flushStage(); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -637,6 +652,16 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			if err := e.placePair(si, pi, st.Pairs[pi], false); err != nil {
 				return e.fail(err)
 			}
+		}
+		if store != nil {
+			// Fused serial engine: the stage's queued contractions execute
+			// here as one batched call (shared operands packed once). A
+			// no-op on the concurrent pool and when the stage queued nothing.
+			t0 = time.Now()
+			if err := store.flushStage(); err != nil {
+				return e.fail(err)
+			}
+			e.numericW += time.Since(t0)
 		}
 		c.Barrier()
 		if ob != nil {

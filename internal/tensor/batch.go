@@ -1,0 +1,241 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage-level batched contraction.
+//
+// A scheduler stage fans out many independent pair contractions, and the
+// same operand tensor commonly feeds several of them (one propagator
+// against many sink interpolators, say). Executed pairwise, every
+// contraction re-packs its operands into split-complex panels — the
+// shared operand is converted once per pair. ContractBatch fuses the
+// stage: each unique operand tensor is packed exactly once into a pooled
+// split arena, a pack barrier makes in-place outputs safe, and then all
+// (op, group) work items stream through the micro-kernels and unpack
+// once into their destinations.
+//
+// In ModeExact the fused path is bit-identical to running ContractInto
+// per op by construction: packing is pure data movement, and the per-row
+// compute consumes exactly the values contractGroupSoA would have packed
+// itself.
+
+// BatchOp is one contraction of a stage batch: Dst = A x B with output
+// identity OutID. Dst follows ContractInto's destination contract and
+// may alias A or B of the SAME op; it must not alias another op's
+// operand or destination (the scheduler's stage-independence check
+// enforces this before fusing a stage).
+type BatchOp struct {
+	Dst, A, B *Tensor
+	OutID     uint64
+}
+
+// splitPanel is a whole tensor unpacked into split-complex form.
+type splitPanel struct {
+	re, im []float64
+}
+
+// splitPool recycles whole-tensor split panels across stage batches.
+var splitPool = sync.Pool{New: func() any { return new(splitPanel) }}
+
+// ContractBatch executes all ops of a stage, packing each unique operand
+// tensor once. Work is parallelized across workers goroutines (<=0
+// selects GOMAXPROCS) at group granularity, like ContractInto. Every op
+// is validated before any destination is sized, so on error no op has
+// been executed. Ops too small for the packed kernel (or forced to the
+// fallback) run through the pairwise path instead; they produce the same
+// bits either way.
+func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type opPlan struct {
+		n, groups int
+		fused     bool
+	}
+	plans := make([]opPlan, len(ops))
+	for i, op := range ops {
+		if op.Dst == nil {
+			return fmt.Errorf("tensor: ContractBatch op %d with nil destination", i)
+		}
+		od, err := ContractOut(op.A.Desc, op.B.Desc, op.OutID)
+		if err != nil {
+			return fmt.Errorf("tensor: ContractBatch op %d: %w", i, err)
+		}
+		if len(op.A.Data) == 0 || len(op.B.Data) == 0 {
+			return fmt.Errorf("tensor: ContractBatch op %d on metadata-only tensor %v", i, op.A.Desc)
+		}
+		groups := od.Batch
+		if od.Rank == RankBaryon {
+			groups = od.Batch * od.Dim
+		}
+		plans[i] = opPlan{
+			n:      od.Dim,
+			groups: groups,
+			fused:  od.Dim >= soaMinDim && !forceFallbackKernel,
+		}
+	}
+
+	// Size destinations and run the unfused ops through the pairwise
+	// path. Their inputs are plain tensor data, untouched by the fused
+	// phase below (stage independence: no Dst aliases another op's
+	// operand), so ordering relative to the fused phase is free.
+	for i, op := range ops {
+		od, _ := ContractOut(op.A.Desc, op.B.Desc, op.OutID)
+		elems := int(od.Elems())
+		if cap(op.Dst.Data) >= elems {
+			op.Dst.Data = op.Dst.Data[:elems]
+		} else {
+			op.Dst.Data = make([]complex128, elems)
+		}
+		op.Dst.Desc = od
+		if !plans[i].fused {
+			batchedMatMul(op.Dst.Data, op.A.Data, op.B.Data, plans[i].groups, plans[i].n, workers, mode)
+		}
+	}
+
+	// Pack each unique operand of the fused ops exactly once.
+	panels := make(map[*Tensor]*splitPanel)
+	var packList []*Tensor
+	for i, op := range ops {
+		if !plans[i].fused {
+			continue
+		}
+		for _, t := range [2]*Tensor{op.A, op.B} {
+			if _, ok := panels[t]; !ok {
+				panels[t] = nil
+				packList = append(packList, t)
+			}
+		}
+	}
+	if len(packList) == 0 {
+		return nil
+	}
+	for _, t := range packList {
+		p := splitPool.Get().(*splitPanel)
+		p.re = growf(p.re, len(t.Data))
+		p.im = growf(p.im, len(t.Data))
+		panels[t] = p
+	}
+	parallelItems(workers, len(packList), func(w, i int) {
+		t := packList[i]
+		p := panels[t]
+		packSplit(p.re, p.im, t.Data)
+	})
+
+	// Pack barrier passed: every fused input is in split form, so writing
+	// destinations (possibly aliasing those inputs) is now safe. Work items
+	// are ordered group-major — group g of every op before group g+1 of any
+	// — so consecutive items hit the same panel offsets of shared operands
+	// while they are still cache-hot; op-major order would evict a shared
+	// operand's group between its readers.
+	type fusedItem struct{ op, g int32 }
+	var fusedOps []int
+	maxGroups := 0
+	total := 0
+	for i := range ops {
+		if !plans[i].fused {
+			continue
+		}
+		fusedOps = append(fusedOps, i)
+		total += plans[i].groups
+		if plans[i].groups > maxGroups {
+			maxGroups = plans[i].groups
+		}
+	}
+	items := make([]fusedItem, 0, total)
+	for g := 0; g < maxGroups; g++ {
+		for _, oi := range fusedOps {
+			if g < plans[oi].groups {
+				items = append(items, fusedItem{int32(oi), int32(g)})
+			}
+		}
+	}
+	bufs := make([]*packBuf, workers)
+	parallelItems(workers, len(items), func(w, item int) {
+		it := items[item]
+		op := ops[it.op]
+		plan := plans[it.op]
+		n := plan.n
+		off := int(it.g) * n * n
+		buf := bufs[w]
+		if buf == nil {
+			buf = getPackBuf(n)
+			bufs[w] = buf
+		}
+		aP, bP := panels[op.A], panels[op.B]
+		aRe := aP.re[off : off+n*n]
+		aIm := aP.im[off : off+n*n]
+		bRe := bP.re[off : off+n*n]
+		bIm := bP.im[off : off+n*n]
+		dst := op.Dst.Data[off : off+n*n]
+		if tier := fastTierFor(n); mode == ModeFast && tier != tierScalar {
+			buf.cRe = growf(buf.cRe, n*n)
+			buf.cIm = growf(buf.cIm, n*n)
+			mulPackedFast(buf.cRe, buf.cIm, aRe, aIm, bRe, bIm, n, panelKC(n, tier), tier)
+			unpackMerge(dst, buf.cRe, buf.cIm)
+			return
+		}
+		// Exact compute: the same per-row kernels contractGroupSoA runs,
+		// fed the same packed values — bit-identical to the pairwise path.
+		buf.cRe = growf(buf.cRe, n)
+		buf.cIm = growf(buf.cIm, n)
+		for i := 0; i < n; i++ {
+			lo := 0
+			if useAVX2 && !forceScalarKernel && n >= 8 {
+				lo = n &^ 7
+				rowKernelAVX2(&buf.cRe[0], &buf.cIm[0], &aRe[i*n], &aIm[i*n], &bRe[0], &bIm[0], n)
+			}
+			rowKernelScalar(buf.cRe, buf.cIm, aRe[i*n:i*n+n], aIm[i*n:i*n+n], bRe, bIm, n, lo)
+			unpackMerge(dst[i*n:i*n+n], buf.cRe, buf.cIm)
+		}
+	})
+	for _, buf := range bufs {
+		if buf != nil {
+			putPackBuf(buf)
+		}
+	}
+	for _, t := range packList {
+		splitPool.Put(panels[t])
+	}
+	return nil
+}
+
+// parallelItems runs fn(worker, item) for every item in [0, items),
+// fanning out across at most workers goroutines through a shared atomic
+// counter. A single worker runs inline with no synchronization.
+func parallelItems(workers, items int, fn func(w, item int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pairwiseRef runs the ops one by one through ContractIntoMode into fresh
+// destinations, returning the outputs in op order.
+func pairwiseRef(t *testing.T, ops []BatchOp, mode KernelMode) []*Tensor {
+	t.Helper()
+	outs := make([]*Tensor, len(ops))
+	for i, op := range ops {
+		out := &Tensor{}
+		if err := ContractIntoMode(out, op.A, op.B, op.OutID, 1, mode); err != nil {
+			t.Fatalf("pairwise op %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	return outs
+}
+
+// stageOps builds a stage-shaped batch: one shared operand feeding
+// several pairs (the fan-out ContractBatch exists to fuse), plus an
+// independent pair and a small-dimension pair that exercises the
+// unfused route.
+func stageOps(rng *rand.Rand) []BatchOp {
+	shared, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 24, Batch: 2}, rng)
+	b1, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 24, Batch: 2}, rng)
+	b2, _ := NewRandom(Desc{ID: 3, Rank: RankMeson, Dim: 24, Batch: 2}, rng)
+	b3, _ := NewRandom(Desc{ID: 4, Rank: RankMeson, Dim: 24, Batch: 2}, rng)
+	a2, _ := NewRandom(Desc{ID: 5, Rank: RankBaryon, Dim: 17, Batch: 2}, rng)
+	b4, _ := NewRandom(Desc{ID: 6, Rank: RankBaryon, Dim: 17, Batch: 2}, rng)
+	a3, _ := NewRandom(Desc{ID: 7, Rank: RankMeson, Dim: 4, Batch: 3}, rng)
+	b5, _ := NewRandom(Desc{ID: 8, Rank: RankMeson, Dim: 4, Batch: 3}, rng)
+	return []BatchOp{
+		{Dst: &Tensor{}, A: shared, B: b1, OutID: 100},
+		{Dst: &Tensor{}, A: shared, B: b2, OutID: 101},
+		{Dst: &Tensor{}, A: b3, B: shared, OutID: 102}, // shared on the right
+		{Dst: &Tensor{}, A: a2, B: b4, OutID: 103},     // independent baryon pair
+		{Dst: &Tensor{}, A: a3, B: b5, OutID: 104},     // below soaMinDim: unfused
+	}
+}
+
+// TestContractBatchExactBitIdentical: the fused stage path in ModeExact
+// must be bit-identical to running the same ops pairwise — shared
+// operands, both ranks, the unfused small-dim route, and any worker
+// count.
+func TestContractBatchExactBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for _, workers := range []int{1, 2, 8} {
+		ops := stageOps(rng)
+		want := pairwiseRef(t, ops, ModeExact)
+		if err := ContractBatch(ops, workers, ModeExact); err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range ops {
+			equalBits(t, op.Dst, want[i], "fused exact op "+itoa(i)+" workers "+itoa(workers))
+		}
+	}
+}
+
+// TestContractBatchFastMatchesPairwiseFast: in ModeFast the fused path
+// runs the identical fused kernels on identically packed values, so it
+// is bit-identical to pairwise ModeFast as well.
+func TestContractBatchFastMatchesPairwiseFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	ops := stageOps(rng)
+	want := pairwiseRef(t, ops, ModeFast)
+	if err := ContractBatch(ops, 2, ModeFast); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		equalBits(t, op.Dst, want[i], "fused fast op "+itoa(i))
+	}
+}
+
+// TestContractBatchInPlace: an op whose destination is one of its own
+// operands is safe — the pack barrier completes before any output is
+// written.
+func TestContractBatchInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	for _, mode := range []KernelMode{ModeExact, ModeFast} {
+		shared, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 16, Batch: 2}, rng)
+		other, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 16, Batch: 2}, rng)
+		ref := []BatchOp{
+			{Dst: &Tensor{}, A: shared, B: other, OutID: 100},
+			{Dst: &Tensor{}, A: other, B: shared, OutID: 101},
+		}
+		want := pairwiseRef(t, ref, mode)
+		// Now run with the first op writing over one of ITS OWN operands.
+		// The overwritten tensor (a distinct clone) is private to op 0, so
+		// stage independence still holds.
+		sharedC := shared.Clone(1)
+		ops := []BatchOp{
+			{Dst: sharedC, A: sharedC, B: other, OutID: 100},
+			{Dst: &Tensor{}, A: other, B: shared, OutID: 101},
+		}
+		if err := ContractBatch(ops, 2, mode); err != nil {
+			t.Fatal(err)
+		}
+		equalBits(t, ops[0].Dst, want[0], mode.String()+" in-place dst==a")
+		equalBits(t, ops[1].Dst, want[1], mode.String()+" neighbor of in-place op")
+	}
+}
+
+// TestContractBatchValidation: a bad op fails the whole batch before any
+// destination is sized or written.
+func TestContractBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(804))
+	a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 8, Batch: 2}, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 8, Batch: 2}, rng)
+	mismatch, _ := NewRandom(Desc{ID: 3, Rank: RankMeson, Dim: 9, Batch: 2}, rng)
+	good := BatchOp{Dst: &Tensor{}, A: a, B: b, OutID: 100}
+	bad := BatchOp{Dst: &Tensor{}, A: a, B: mismatch, OutID: 101}
+	if err := ContractBatch([]BatchOp{good, bad}, 1, ModeExact); err == nil {
+		t.Fatal("mismatched op accepted")
+	}
+	if len(good.Dst.Data) != 0 {
+		t.Fatal("destination written despite batch validation failure")
+	}
+	if err := ContractBatch([]BatchOp{{Dst: nil, A: a, B: b, OutID: 1}}, 1, ModeExact); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	if err := ContractBatch(nil, 4, ModeFast); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestContractBatchAllTiers runs the fused stage under every forced
+// dispatch route, checking exact bit-identity and the fast ULP bound
+// hold on each.
+func TestContractBatchAllTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(805))
+	for _, tier := range kernelTiers {
+		withKernelEnv(t, tier, func() {
+			ops := stageOps(rng)
+			want := pairwiseRef(t, ops, ModeExact)
+			if err := ContractBatch(ops, 2, ModeExact); err != nil {
+				t.Fatal(err)
+			}
+			for i, op := range ops {
+				equalBits(t, op.Dst, want[i], tier+" fused exact op "+itoa(i))
+			}
+			wantFast := pairwiseRef(t, ops, ModeFast)
+			if err := ContractBatch(ops, 2, ModeFast); err != nil {
+				t.Fatal(err)
+			}
+			for i, op := range ops {
+				equalBits(t, op.Dst, wantFast[i], tier+" fused fast op "+itoa(i))
+			}
+		})
+	}
+}

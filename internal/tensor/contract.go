@@ -1,8 +1,6 @@
 package tensor
 
 import (
-	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -41,37 +39,7 @@ func Contract(a, b *Tensor, outID uint64, workers int) (*Tensor, error) {
 // pack panels come from an internal sync.Pool, and single-worker calls run
 // inline on the caller's goroutine.
 func ContractInto(dst *Tensor, a, b *Tensor, outID uint64, workers int) error {
-	if dst == nil {
-		return fmt.Errorf("tensor: ContractInto with nil destination")
-	}
-	od, err := ContractOut(a.Desc, b.Desc, outID)
-	if err != nil {
-		return err
-	}
-	if len(a.Data) == 0 || len(b.Data) == 0 {
-		return fmt.Errorf("tensor: contract on metadata-only tensor %v", a.Desc)
-	}
-	elems := int(od.Elems())
-	if cap(dst.Data) >= elems {
-		dst.Data = dst.Data[:elems]
-	} else {
-		dst.Data = make([]complex128, elems)
-	}
-	dst.Desc = od
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	switch a.Rank {
-	case RankMeson:
-		batchedMatMul(dst.Data, a.Data, b.Data, a.Batch, a.Dim, workers)
-	case RankBaryon:
-		// A rank-3 contraction is Batch*Dim independent DxD products, so
-		// reuse the batched kernel with an expanded batch count.
-		batchedMatMul(dst.Data, a.Data, b.Data, a.Batch*a.Dim, a.Dim, workers)
-	default:
-		return fmt.Errorf("tensor: unsupported rank %d", a.Rank)
-	}
-	return nil
+	return ContractIntoMode(dst, a, b, outID, workers, ModeExact)
 }
 
 // batchedMatMul computes dst[g] = a[g] * b[g] for g in [0, batch), where
@@ -79,7 +47,7 @@ func ContractInto(dst *Tensor, a, b *Tensor, outID uint64, workers int) error {
 // Group indices are handed out through a shared atomic counter so the
 // fan-out costs nothing per group; a single worker runs inline on the
 // caller's goroutine with no synchronization at all.
-func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
+func batchedMatMul(dst, a, b []complex128, batch, n, workers int, mode KernelMode) {
 	if workers > batch {
 		workers = batch
 	}
@@ -87,7 +55,7 @@ func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
 		buf := getPackBuf(n)
 		for g := 0; g < batch; g++ {
 			off := g * n * n
-			matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf)
+			matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf, mode)
 		}
 		putPackBuf(buf)
 		return
@@ -106,7 +74,7 @@ func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
 					return
 				}
 				off := g * n * n
-				matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf)
+				matMulGroup(dst[off:off+n*n], a[off:off+n*n], b[off:off+n*n], n, buf, mode)
 			}
 		}()
 	}
@@ -115,10 +83,13 @@ func batchedMatMul(dst, a, b []complex128, batch, n, workers int) {
 
 // matMulGroup multiplies one n x n group, routing to the split-complex
 // packed kernel for all but tiny dimensions (where packing overhead would
-// dominate the O(n^3) work). Both routes honor ContractInto's aliasing
-// contract: the fallback accumulates into a pooled scratch block and only
-// then copies into dst, so dst may overlap a or b on either path.
-func matMulGroup(dst, a, b []complex128, n int, buf *packBuf) {
+// dominate the O(n^3) work). ModeFast additionally routes to the fused
+// FMA/AVX-512 kernel when the machine provides one for this dimension;
+// when it does not, Fast degrades to the exact path, which trivially
+// satisfies the ULP contract. All routes honor ContractInto's aliasing
+// contract: every kernel packs (or copies) its inputs before writing any
+// output element, so dst may overlap a or b on any path.
+func matMulGroup(dst, a, b []complex128, n int, buf *packBuf, mode KernelMode) {
 	if n < soaMinDim || forceFallbackKernel {
 		buf.tmp = growc(buf.tmp, n*n)
 		tmp := buf.tmp
@@ -127,6 +98,10 @@ func matMulGroup(dst, a, b []complex128, n int, buf *packBuf) {
 		}
 		matMulBlocked(tmp, a, b, n)
 		copy(dst, tmp)
+		return
+	}
+	if mode == ModeFast && fastTierFor(n) != tierScalar {
+		contractGroupFast(dst, a, b, n, buf)
 		return
 	}
 	contractGroupSoA(dst, a, b, n, buf)

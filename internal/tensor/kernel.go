@@ -50,12 +50,7 @@ func contractGroupSoA(dst, a, b []complex128, n int, buf *packBuf) {
 			rowKernelAVX2(&buf.cRe[0], &buf.cIm[0], &buf.aRe[0], &buf.aIm[0], &buf.bRe[0], &buf.bIm[0], n)
 		}
 		rowKernelScalar(buf.cRe, buf.cIm, buf.aRe, buf.aIm, buf.bRe, buf.bIm, n, lo)
-		drow := dst[i*n : i*n+n]
-		cRe := buf.cRe[:len(drow)]
-		cIm := buf.cIm[:len(drow)]
-		for j := range drow {
-			drow[j] = complex(cRe[j], cIm[j])
-		}
+		unpackMerge(dst[i*n:i*n+n], buf.cRe, buf.cIm)
 	}
 }
 

@@ -1,0 +1,176 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func rowKernelAVX512(cRe, cIm, aRe, aIm, bRe, bIm *float64, n, kn, acc int)
+//
+// rowKernelFMA widened to ZMM. The main loop covers 32 output columns per
+// tile in eight 8-lane accumulators: each accumulator chain executes two
+// dependent FMAs per k-step (+ar*b then the conjugate term), so with
+// eight independent chains the ~8-cycle chain latency window holds 16
+// fused ops and both FMA ports stay saturated — a 16-column tile would be
+// latency-bound at half throughput. A 16-column cleanup tile handles the
+// remainder, leaving columns >= n&^15 for the caller's scalar tail.
+//
+// Same contract as rowKernelFMA: C tiles are loaded, accumulated with
+// VFMADD231PD/VFNMADD231PD (cRe += ar*br - ai*bi, cIm += ar*bi + ai*br),
+// and stored back, so the caller zeroes C once and may stream k in
+// panels without reordering any element's accumulation chain. Per-element
+// arithmetic is identical in the 32- and 16-column tiles, so tile
+// placement never affects bits. Dispatch requires AVX512F+DQ+VL and OS
+// ZMM state, and n >= 16.
+TEXT ·rowKernelAVX512(SB), NOSPLIT, $0-72
+	MOVQ cRe+0(FP), DI
+	MOVQ cIm+8(FP), SI
+	MOVQ aRe+16(FP), R8
+	MOVQ aIm+24(FP), R9
+	MOVQ bRe+32(FP), R10
+	MOVQ bIm+40(FP), R11
+	MOVQ n+48(FP), CX
+	MOVQ kn+56(FP), BX
+
+	XORQ R12, R12            // R12 = jt, current column-tile start
+
+tile32:
+	LEAQ 32(R12), AX
+	CMPQ AX, CX
+	JGT  tile16              // <32 columns left: try the 16-wide tile
+
+	// First k panel (acc=0): start the accumulators at zero instead of
+	// loading C, saving the caller a zero pass over the C panel.
+	MOVQ  acc+64(FP), AX
+	TESTQ AX, AX
+	JZ   zero32
+
+	VMOVUPD (DI)(R12*8), Z0     // cRe[jt:jt+8]
+	VMOVUPD 64(DI)(R12*8), Z1   // cRe[jt+8:jt+16]
+	VMOVUPD 128(DI)(R12*8), Z2  // cRe[jt+16:jt+24]
+	VMOVUPD 192(DI)(R12*8), Z3  // cRe[jt+24:jt+32]
+	VMOVUPD (SI)(R12*8), Z4     // cIm[jt:jt+8]
+	VMOVUPD 64(SI)(R12*8), Z5   // cIm[jt+8:jt+16]
+	VMOVUPD 128(SI)(R12*8), Z6  // cIm[jt+16:jt+24]
+	VMOVUPD 192(SI)(R12*8), Z7  // cIm[jt+24:jt+32]
+	JMP  setup32
+
+zero32:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+
+setup32:
+	LEAQ (R10)(R12*8), R13   // &bRe[0*n + jt]
+	LEAQ (R11)(R12*8), R14   // &bIm[0*n + jt]
+	XORQ DX, DX              // k = 0
+
+k32:
+	VBROADCASTSD (R8)(DX*8), Z8 // ar = aRe[k] in all lanes
+	VBROADCASTSD (R9)(DX*8), Z9 // ai = aIm[k] in all lanes
+	VMOVUPD (R13), Z10       // br0
+	VMOVUPD 64(R13), Z11     // br1
+	VMOVUPD 128(R13), Z12    // br2
+	VMOVUPD 192(R13), Z13    // br3
+	VMOVUPD (R14), Z14       // bi0
+	VMOVUPD 64(R14), Z15     // bi1
+	VMOVUPD 128(R14), Z16    // bi2
+	VMOVUPD 192(R14), Z17    // bi3
+
+	VFMADD231PD  Z10, Z8, Z0 // cRe0 += ar*br0
+	VFNMADD231PD Z14, Z9, Z0 // cRe0 -= ai*bi0
+	VFMADD231PD  Z14, Z8, Z4 // cIm0 += ar*bi0
+	VFMADD231PD  Z10, Z9, Z4 // cIm0 += ai*br0
+	VFMADD231PD  Z11, Z8, Z1
+	VFNMADD231PD Z15, Z9, Z1
+	VFMADD231PD  Z15, Z8, Z5
+	VFMADD231PD  Z11, Z9, Z5
+	VFMADD231PD  Z12, Z8, Z2
+	VFNMADD231PD Z16, Z9, Z2
+	VFMADD231PD  Z16, Z8, Z6
+	VFMADD231PD  Z12, Z9, Z6
+	VFMADD231PD  Z13, Z8, Z3
+	VFNMADD231PD Z17, Z9, Z3
+	VFMADD231PD  Z17, Z8, Z7
+	VFMADD231PD  Z13, Z9, Z7
+
+	LEAQ (R13)(CX*8), R13    // next bRe row (stride n)
+	LEAQ (R14)(CX*8), R14    // next bIm row
+	INCQ DX
+	CMPQ DX, BX
+	JLT  k32
+
+	VMOVUPD Z0, (DI)(R12*8)
+	VMOVUPD Z1, 64(DI)(R12*8)
+	VMOVUPD Z2, 128(DI)(R12*8)
+	VMOVUPD Z3, 192(DI)(R12*8)
+	VMOVUPD Z4, (SI)(R12*8)
+	VMOVUPD Z5, 64(SI)(R12*8)
+	VMOVUPD Z6, 128(SI)(R12*8)
+	VMOVUPD Z7, 192(SI)(R12*8)
+
+	ADDQ $32, R12
+	JMP  tile32
+
+tile16:
+	LEAQ 16(R12), AX
+	CMPQ AX, CX
+	JGT  done                // stop when jt+16 > n; scalar tail finishes
+
+	MOVQ  acc+64(FP), AX
+	TESTQ AX, AX
+	JZ   zero16
+
+	VMOVUPD (DI)(R12*8), Z0     // cRe[jt:jt+8]
+	VMOVUPD 64(DI)(R12*8), Z1   // cRe[jt+8:jt+16]
+	VMOVUPD (SI)(R12*8), Z4     // cIm[jt:jt+8]
+	VMOVUPD 64(SI)(R12*8), Z5   // cIm[jt+8:jt+16]
+	JMP  setup16
+
+zero16:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+
+setup16:
+	LEAQ (R10)(R12*8), R13
+	LEAQ (R11)(R12*8), R14
+	XORQ DX, DX
+
+k16:
+	VBROADCASTSD (R8)(DX*8), Z8
+	VBROADCASTSD (R9)(DX*8), Z9
+	VMOVUPD (R13), Z10       // br0
+	VMOVUPD 64(R13), Z11     // br1
+	VMOVUPD (R14), Z14       // bi0
+	VMOVUPD 64(R14), Z15     // bi1
+
+	VFMADD231PD  Z10, Z8, Z0
+	VFNMADD231PD Z14, Z9, Z0
+	VFMADD231PD  Z14, Z8, Z4
+	VFMADD231PD  Z10, Z9, Z4
+	VFMADD231PD  Z11, Z8, Z1
+	VFNMADD231PD Z15, Z9, Z1
+	VFMADD231PD  Z15, Z8, Z5
+	VFMADD231PD  Z11, Z9, Z5
+
+	LEAQ (R13)(CX*8), R13
+	LEAQ (R14)(CX*8), R14
+	INCQ DX
+	CMPQ DX, BX
+	JLT  k16
+
+	VMOVUPD Z0, (DI)(R12*8)
+	VMOVUPD Z1, 64(DI)(R12*8)
+	VMOVUPD Z4, (SI)(R12*8)
+	VMOVUPD Z5, 64(SI)(R12*8)
+
+	ADDQ $16, R12
+	JMP  tile16
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,187 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func rowKernelFMA(cRe, cIm, aRe, aIm, bRe, bIm *float64, n, kn, acc int)
+//
+// Fast-tier split-complex micro-kernel on YMM registers. The main loop
+// covers 16 output columns per tile in eight 4-lane accumulators:
+//
+//	cRe[j] = fnma(ai, bi[j], fma(ar, br[j], cRe[j]))   // += ar*br - ai*bi
+//	cIm[j] = fma(ai, br[j], fma(ar, bi[j], cIm[j]))    // += ar*bi + ai*br
+//
+// Each accumulator chain runs two dependent FMAs per k-step, so eight
+// independent chains keep both FMA ports busy through the ~8-cycle chain
+// latency; B operands are loaded through two rotating registers since
+// YMM only offers sixteen. An 8-column cleanup tile handles the
+// remainder, leaving columns >= n&^7 for the caller's scalar tail.
+// Per-element arithmetic is identical in both tile widths, so tile
+// placement never affects bits.
+//
+// Unlike the exact AVX2 kernel this one LOADS the C tiles and stores
+// them back: the caller zeroes C once per group and may stream the k
+// range in cache-sized panels without changing any element's
+// accumulation chain. Each fused op rounds once instead of twice, which
+// is why this kernel is ModeFast-only (ULP contract in DESIGN.md §12).
+// bRe/bIm point at the panel's first k row; n is the B row stride.
+TEXT ·rowKernelFMA(SB), NOSPLIT, $0-72
+	MOVQ cRe+0(FP), DI
+	MOVQ cIm+8(FP), SI
+	MOVQ aRe+16(FP), R8
+	MOVQ aIm+24(FP), R9
+	MOVQ bRe+32(FP), R10
+	MOVQ bIm+40(FP), R11
+	MOVQ n+48(FP), CX
+	MOVQ kn+56(FP), BX
+
+	XORQ R12, R12            // R12 = jt, current column-tile start
+
+tile16:
+	LEAQ 16(R12), AX
+	CMPQ AX, CX
+	JGT  tile8               // <16 columns left: try the 8-wide tile
+
+	// First k panel (acc=0): start the accumulators at zero instead of
+	// loading C, saving the caller a zero pass over the C panel.
+	MOVQ  acc+64(FP), AX
+	TESTQ AX, AX
+	JZ   zero16
+
+	VMOVUPD (DI)(R12*8), Y0  // cRe[jt:jt+4]
+	VMOVUPD 32(DI)(R12*8), Y1
+	VMOVUPD 64(DI)(R12*8), Y2
+	VMOVUPD 96(DI)(R12*8), Y3
+	VMOVUPD (SI)(R12*8), Y4  // cIm[jt:jt+4]
+	VMOVUPD 32(SI)(R12*8), Y5
+	VMOVUPD 64(SI)(R12*8), Y6
+	VMOVUPD 96(SI)(R12*8), Y7
+	JMP  setup16
+
+zero16:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+setup16:
+	// R15 is reserved by the Go assembler under -dynlink/-shared; walk
+	// aRe/aIm with one scaled index (DX) instead of pointer cursors.
+	LEAQ (R10)(R12*8), R13   // &bRe[0*n + jt]
+	LEAQ (R11)(R12*8), R14   // &bIm[0*n + jt]
+	XORQ DX, DX              // k = 0
+
+k16:
+	VBROADCASTSD (R8)(DX*8), Y8 // ar = aRe[k] in all lanes
+	VBROADCASTSD (R9)(DX*8), Y9 // ai = aIm[k] in all lanes
+
+	VMOVUPD (R13), Y10       // br0
+	VMOVUPD (R14), Y11       // bi0
+	VFMADD231PD  Y10, Y8, Y0 // cRe0 += ar*br0
+	VFNMADD231PD Y11, Y9, Y0 // cRe0 -= ai*bi0
+	VFMADD231PD  Y11, Y8, Y4 // cIm0 += ar*bi0
+	VFMADD231PD  Y10, Y9, Y4 // cIm0 += ai*br0
+
+	VMOVUPD 32(R13), Y12     // br1
+	VMOVUPD 32(R14), Y13     // bi1
+	VFMADD231PD  Y12, Y8, Y1
+	VFNMADD231PD Y13, Y9, Y1
+	VFMADD231PD  Y13, Y8, Y5
+	VFMADD231PD  Y12, Y9, Y5
+
+	VMOVUPD 64(R13), Y10     // br2 (reuse load registers)
+	VMOVUPD 64(R14), Y11     // bi2
+	VFMADD231PD  Y10, Y8, Y2
+	VFNMADD231PD Y11, Y9, Y2
+	VFMADD231PD  Y11, Y8, Y6
+	VFMADD231PD  Y10, Y9, Y6
+
+	VMOVUPD 96(R13), Y12     // br3
+	VMOVUPD 96(R14), Y13     // bi3
+	VFMADD231PD  Y12, Y8, Y3
+	VFNMADD231PD Y13, Y9, Y3
+	VFMADD231PD  Y13, Y8, Y7
+	VFMADD231PD  Y12, Y9, Y7
+
+	LEAQ (R13)(CX*8), R13    // next bRe row (stride n)
+	LEAQ (R14)(CX*8), R14    // next bIm row
+	INCQ DX
+	CMPQ DX, BX
+	JLT  k16
+
+	VMOVUPD Y0, (DI)(R12*8)
+	VMOVUPD Y1, 32(DI)(R12*8)
+	VMOVUPD Y2, 64(DI)(R12*8)
+	VMOVUPD Y3, 96(DI)(R12*8)
+	VMOVUPD Y4, (SI)(R12*8)
+	VMOVUPD Y5, 32(SI)(R12*8)
+	VMOVUPD Y6, 64(SI)(R12*8)
+	VMOVUPD Y7, 96(SI)(R12*8)
+
+	ADDQ $16, R12
+	JMP  tile16
+
+tile8:
+	LEAQ 8(R12), AX
+	CMPQ AX, CX
+	JGT  done                // stop when jt+8 > n; scalar tail finishes
+
+	MOVQ  acc+64(FP), AX
+	TESTQ AX, AX
+	JZ   zero8
+
+	VMOVUPD (DI)(R12*8), Y0
+	VMOVUPD 32(DI)(R12*8), Y1
+	VMOVUPD (SI)(R12*8), Y4
+	VMOVUPD 32(SI)(R12*8), Y5
+	JMP  setup8
+
+zero8:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+
+setup8:
+	LEAQ (R10)(R12*8), R13
+	LEAQ (R11)(R12*8), R14
+	XORQ DX, DX
+
+k8:
+	VBROADCASTSD (R8)(DX*8), Y8
+	VBROADCASTSD (R9)(DX*8), Y9
+
+	VMOVUPD (R13), Y10       // br0
+	VMOVUPD (R14), Y11       // bi0
+	VFMADD231PD  Y10, Y8, Y0
+	VFNMADD231PD Y11, Y9, Y0
+	VFMADD231PD  Y11, Y8, Y4
+	VFMADD231PD  Y10, Y9, Y4
+
+	VMOVUPD 32(R13), Y12     // br1
+	VMOVUPD 32(R14), Y13     // bi1
+	VFMADD231PD  Y12, Y8, Y1
+	VFNMADD231PD Y13, Y9, Y1
+	VFMADD231PD  Y13, Y8, Y5
+	VFMADD231PD  Y12, Y9, Y5
+
+	LEAQ (R13)(CX*8), R13
+	LEAQ (R14)(CX*8), R14
+	INCQ DX
+	CMPQ DX, BX
+	JLT  k8
+
+	VMOVUPD Y0, (DI)(R12*8)
+	VMOVUPD Y1, 32(DI)(R12*8)
+	VMOVUPD Y4, (SI)(R12*8)
+	VMOVUPD Y5, 32(SI)(R12*8)
+
+	ADDQ $8, R12
+	JMP  tile8
+
+done:
+	VZEROUPPER
+	RET

@@ -2,10 +2,38 @@
 
 package tensor
 
-// useAVX2 is false off amd64; the packed kernel runs its scalar path.
-var useAVX2 = false
+// Off amd64 no vector tier exists; dispatch.go then routes every
+// contraction through the scalar kernels. The stubs below exist only to
+// satisfy the linker — dispatch must never select them, and each panics
+// with a clear message if a future refactor miswires the routing (a
+// silent no-op would corrupt results instead of failing loudly).
+var (
+	hwAVX2   = false
+	hwFMA    = false
+	hwAVX512 = false
+)
 
-// rowKernelAVX2 is never called when useAVX2 is false.
+// rowKernelAVX2 is never called when hwAVX2 is false.
 func rowKernelAVX2(cRe, cIm, aRe, aIm, bRe, bIm *float64, n int) {
-	panic("tensor: vector micro-kernel unavailable on this architecture")
+	panic("tensor: AVX2 micro-kernel dispatched on a non-amd64 build (kernel routing bug)")
+}
+
+// rowKernelFMA is never called when hwFMA is false.
+func rowKernelFMA(cRe, cIm, aRe, aIm, bRe, bIm *float64, n, kn, acc int) {
+	panic("tensor: FMA micro-kernel dispatched on a non-amd64 build (kernel routing bug)")
+}
+
+// rowKernelAVX512 is never called when hwAVX512 is false.
+func rowKernelAVX512(cRe, cIm, aRe, aIm, bRe, bIm *float64, n, kn, acc int) {
+	panic("tensor: AVX-512 micro-kernel dispatched on a non-amd64 build (kernel routing bug)")
+}
+
+// packSplitAVX512 is never called when hwAVX512 is false.
+func packSplitAVX512(re, im *float64, src *complex128, n int) {
+	panic("tensor: AVX-512 pack kernel dispatched on a non-amd64 build (kernel routing bug)")
+}
+
+// unpackMergeAVX512 is never called when hwAVX512 is false.
+func unpackMergeAVX512(dst *complex128, re, im *float64, n int) {
+	panic("tensor: AVX-512 merge kernel dispatched on a non-amd64 build (kernel routing bug)")
 }

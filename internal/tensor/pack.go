@@ -50,12 +50,37 @@ func growc(s []complex128, n int) []complex128 {
 }
 
 // packSplit unpacks interleaved complex values into separate real and
-// imaginary panels. re and im must be at least len(src) long.
+// imaginary panels. re and im must be at least len(src) long. The AVX-512
+// permute kernel moves the bulk when available; it is pure data movement
+// (bytes identical to the scalar loop), so the choice never affects
+// results in either kernel mode.
 func packSplit(re, im []float64, src []complex128) {
 	re = re[:len(src)]
 	im = im[:len(src)]
-	for i, v := range src {
+	i := 0
+	if useAVX512 && len(src) >= 8 {
+		i = len(src) &^ 7
+		packSplitAVX512(&re[0], &im[0], &src[0], i)
+	}
+	for ; i < len(src); i++ {
+		v := src[i]
 		re[i] = real(v)
 		im[i] = imag(v)
+	}
+}
+
+// unpackMerge is packSplit's inverse: it zips split re/im panels back
+// into interleaved complex values. re and im must be at least len(dst)
+// long. Same pure-data-movement contract as packSplit.
+func unpackMerge(dst []complex128, re, im []float64) {
+	re = re[:len(dst)]
+	im = im[:len(dst)]
+	i := 0
+	if useAVX512 && len(dst) >= 8 {
+		i = len(dst) &^ 7
+		unpackMergeAVX512(&dst[0], &re[0], &im[0], i)
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = complex(re[i], im[i])
 	}
 }

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The blocked-panel autotuner.
+//
+// mulPackedFast streams the contraction's k range in panels of kc steps so
+// the active B sub-panel (kc*n split-complex elements) stays cache-resident
+// across all n output rows. The best kc depends on the dimension, the
+// kernel tier, and the machine's cache sizes, so it is picked here by a
+// one-time measurement per (dimension, tier), memoized process-wide. The
+// choice is purely a performance knob: fast-kernel results are bit-identical
+// for every kc (the fused kernels accumulate into memory-resident C, so
+// panel cuts never reorder an element's accumulation chain), which
+// tune_test.go verifies.
+//
+// Overrides: MICCO_KERNEL_KC=<int> forces a panel size and skips
+// measurement; MICCO_TUNE=off uses the cache-footprint heuristic without
+// measuring (for reproducible startup timing).
+
+const (
+	// EnvTune disables measurement ("off": heuristic only).
+	EnvTune = "MICCO_TUNE"
+	// EnvKC forces the k-panel size, bypassing tuning entirely.
+	EnvKC = "MICCO_KERNEL_KC"
+
+	// tuneMinKC floors the panel size: below this the per-panel loop
+	// overhead dominates any cache benefit.
+	tuneMinKC = 16
+	// tuneMaxMeasureDim caps measured dimensions; above it a single probe
+	// multiply costs tens of milliseconds and the heuristic is reliable
+	// (the B panel dwarfs L2 at every candidate anyway).
+	tuneMaxMeasureDim = 256
+)
+
+type tuneKey struct {
+	n    int
+	tier kernelTier
+}
+
+var (
+	tuneMu sync.Mutex
+	tuneKC = map[tuneKey]int{}
+	// tuneMeasured counts measurement runs, for the memoization test.
+	tuneMeasured int
+)
+
+// panelKC returns the k-panel size mulPackedFast should use for an n x n
+// group on the given tier. First call per (n, tier) measures (unless
+// overridden); later calls hit the memo.
+func panelKC(n int, tier kernelTier) int {
+	if v, ok := forcedKC(); ok {
+		return clampKC(v, n)
+	}
+	key := tuneKey{n, tier}
+	tuneMu.Lock()
+	defer tuneMu.Unlock()
+	if kc, ok := tuneKC[key]; ok {
+		return kc
+	}
+	kc := heuristicKC(n)
+	if os.Getenv(EnvTune) != "off" && n <= tuneMaxMeasureDim && tier != tierScalar {
+		kc = measureKC(n, tier)
+		tuneMeasured++
+	}
+	tuneKC[key] = kc
+	return kc
+}
+
+// forcedKC parses the MICCO_KERNEL_KC override.
+func forcedKC() (int, bool) {
+	s := os.Getenv(EnvKC)
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// heuristicKC sizes the panel so the active B sub-panel (kc rows of n
+// re + n im float64) fits in roughly half of a 256 KiB L2 slice.
+func heuristicKC(n int) int {
+	return clampKC((128<<10)/(16*n), n)
+}
+
+func clampKC(kc, n int) int {
+	if kc < tuneMinKC {
+		kc = tuneMinKC
+	}
+	if kc > n {
+		kc = n
+	}
+	return kc
+}
+
+// measureKC times one synthetic n x n fast multiply per candidate panel
+// size and returns the fastest. Inputs are deterministic; the caller holds
+// tuneMu, and mulPackedFast is called with the candidate kc directly so no
+// re-entry into panelKC occurs.
+func measureKC(n int, tier kernelTier) int {
+	cRe := make([]float64, n*n)
+	cIm := make([]float64, n*n)
+	aRe := make([]float64, n*n)
+	aIm := make([]float64, n*n)
+	bRe := make([]float64, n*n)
+	bIm := make([]float64, n*n)
+	for i := range aRe {
+		v := float64(i%97) * 0.125
+		aRe[i], aIm[i] = v, 1-v
+		bRe[i], bIm[i] = 0.5-v, v*0.25
+	}
+	candidates := []int{tuneMinKC, 32, 64, 128, heuristicKC(n), n}
+	best, bestT := heuristicKC(n), time.Duration(1<<62)
+	seen := map[int]bool{}
+	for _, c := range candidates {
+		kc := clampKC(c, n)
+		if seen[kc] {
+			continue
+		}
+		seen[kc] = true
+		// One warm-up pass populates caches and amortizes one-time costs,
+		// then the timed pass decides.
+		mulPackedFast(cRe, cIm, aRe, aIm, bRe, bIm, n, kc, tier)
+		t0 := time.Now()
+		mulPackedFast(cRe, cIm, aRe, aIm, bRe, bIm, n, kc, tier)
+		if d := time.Since(t0); d < bestT {
+			best, bestT = kc, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPanelKCInvariance is the autotuner's safety property: the fused
+// kernels accumulate into memory-resident C, so the k-panel size is a
+// pure performance knob — results must be BIT-identical for every kc.
+// If this ever fails, the tuner is changing numerics, not just speed.
+func TestPanelKCInvariance(t *testing.T) {
+	if fastTierFor(64) == tierScalar {
+		t.Skip("no fused kernel tier on this machine")
+	}
+	rng := rand.New(rand.NewSource(901))
+	for _, n := range []int{33, 64} {
+		a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: n, Batch: 1}, rng)
+		b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: n, Batch: 1}, rng)
+		tier := fastTierFor(n)
+		buf := getPackBuf(n)
+		buf.aRe = growf(buf.aRe, n*n)
+		buf.aIm = growf(buf.aIm, n*n)
+		buf.cRe = growf(buf.cRe, n*n)
+		buf.cIm = growf(buf.cIm, n*n)
+		packSplit(buf.bRe, buf.bIm, b.Data)
+		packSplit(buf.aRe, buf.aIm, a.Data)
+		var ref []complex128
+		for _, kc := range []int{tuneMinKC, 17, 32, n - 1, n} {
+			if kc > n || kc < 1 {
+				continue
+			}
+			mulPackedFast(buf.cRe, buf.cIm, buf.aRe, buf.aIm, buf.bRe, buf.bIm, n, kc, tier)
+			got := make([]complex128, n*n)
+			unpackMerge(got, buf.cRe, buf.cIm)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("n=%d kc=%d: element %d = %v, want %v (kc must not affect bits)",
+						n, kc, i, got[i], ref[i])
+				}
+			}
+		}
+		putPackBuf(buf)
+	}
+}
+
+// TestPanelKCMemoized: the measurement runs once per (dim, tier) and is
+// memoized process-wide.
+func TestPanelKCMemoized(t *testing.T) {
+	if fastTierFor(96) == tierScalar {
+		t.Skip("no fused kernel tier on this machine")
+	}
+	tier := fastTierFor(96)
+	tuneMu.Lock()
+	delete(tuneKC, tuneKey{96, tier})
+	tuneMu.Unlock()
+	kc1 := panelKC(96, tier)
+	tuneMu.Lock()
+	before := tuneMeasured
+	tuneMu.Unlock()
+	kc2 := panelKC(96, tier)
+	tuneMu.Lock()
+	after := tuneMeasured
+	tuneMu.Unlock()
+	if kc1 != kc2 {
+		t.Errorf("panelKC(96) = %d then %d, want memoized value", kc1, kc2)
+	}
+	if after != before {
+		t.Errorf("second panelKC call re-measured (count %d -> %d)", before, after)
+	}
+	if kc1 < tuneMinKC || kc1 > 96 {
+		t.Errorf("panelKC(96) = %d outside [%d, 96]", kc1, tuneMinKC)
+	}
+}
+
+// TestPanelKCOverrides: MICCO_KERNEL_KC forces the panel size (clamped),
+// and MICCO_TUNE=off selects the heuristic without measuring.
+func TestPanelKCOverrides(t *testing.T) {
+	t.Setenv(EnvKC, "48")
+	if kc := panelKC(200, tierFMA); kc != 48 {
+		t.Errorf("forced kc: panelKC(200) = %d, want 48", kc)
+	}
+	if kc := panelKC(24, tierFMA); kc != 24 {
+		t.Errorf("forced kc above dim: panelKC(24) = %d, want clamp to 24", kc)
+	}
+	t.Setenv(EnvKC, "1")
+	if kc := panelKC(200, tierFMA); kc != tuneMinKC {
+		t.Errorf("forced kc below floor: panelKC(200) = %d, want %d", kc, tuneMinKC)
+	}
+	t.Setenv(EnvKC, "nonsense")
+	t.Setenv(EnvTune, "off")
+	tuneMu.Lock()
+	delete(tuneKC, tuneKey{200, tierFMA})
+	before := tuneMeasured
+	tuneMu.Unlock()
+	kc := panelKC(200, tierFMA)
+	tuneMu.Lock()
+	after := tuneMeasured
+	tuneMu.Unlock()
+	if want := heuristicKC(200); kc != want {
+		t.Errorf("MICCO_TUNE=off: panelKC(200) = %d, want heuristic %d", kc, want)
+	}
+	if after != before {
+		t.Error("MICCO_TUNE=off still measured")
+	}
+	tuneMu.Lock()
+	delete(tuneKC, tuneKey{200, tierFMA}) // leave no heuristic-only memo behind
+	tuneMu.Unlock()
+}
+
+// TestHeuristicKCShape: the cache-footprint heuristic shrinks with the
+// dimension and respects the clamps.
+func TestHeuristicKCShape(t *testing.T) {
+	if kc := heuristicKC(8); kc != 8 {
+		t.Errorf("heuristicKC(8) = %d, want full depth 8", kc)
+	}
+	if kc := heuristicKC(64); kc != 64 {
+		t.Errorf("heuristicKC(64) = %d, want full depth 64 (panel fits L2)", kc)
+	}
+	big, bigger := heuristicKC(512), heuristicKC(2048)
+	if big < tuneMinKC || bigger < tuneMinKC {
+		t.Errorf("heuristic below floor: %d, %d", big, bigger)
+	}
+	if bigger > big {
+		t.Errorf("heuristicKC not monotone: kc(2048)=%d > kc(512)=%d", bigger, big)
+	}
+}
