@@ -8,7 +8,9 @@
 // Without -run, every experiment runs in paper order. With -csv, each
 // table is additionally written as CSV into the given directory.
 // -cpuprofile and -memprofile write pprof profiles of the whole invocation
-// (go tool pprof <binary> <profile>).
+// (go tool pprof <binary> <profile>). -metrics writes a JSON metrics
+// snapshot aggregated across every experiment run; -trace writes a Chrome
+// trace of the most recent simulator activity (flight-recorder bounded).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"micco"
+	"micco/internal/obsfile"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot aggregated across all experiment runs")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the most recent simulator activity (bounded by the flight-recorder ring)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,7 +60,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(ctx, *runList, *quick, *seed, *parallel, *csvDir); err != nil {
+	if err := run(ctx, *runList, *quick, *seed, *parallel, *csvDir, *metricsOut, *traceOut); err != nil {
 		fail(err)
 	}
 	if *memProfile != "" {
@@ -80,7 +85,7 @@ func writeMemProfile(path string) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, runList string, quick bool, seed int64, parallel int, csvDir string) error {
+func run(ctx context.Context, runList string, quick bool, seed int64, parallel int, csvDir, metricsOut, traceOut string) error {
 	ids := micco.ExperimentIDs()
 	if runList != "" {
 		ids = strings.Split(runList, ",")
@@ -91,7 +96,17 @@ func run(ctx context.Context, runList string, quick bool, seed int64, parallel i
 		}
 	}
 	fmt.Printf("kernels: %s\n\n", micco.KernelFeatures())
-	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed, Parallelism: parallel})
+	// With -metrics or -trace, every sweep point reports into one shared
+	// registry; the trace is bounded by the flight-recorder ring, so it
+	// holds the most recent activity rather than the whole sweep.
+	var reg *micco.MetricsRegistry
+	if metricsOut != "" || traceOut != "" {
+		reg = micco.NewMetricsRegistry()
+		if traceOut != "" {
+			reg.SetFlightRecorder(micco.NewFlightRecorder(micco.FlightConfig{}))
+		}
+	}
+	h := micco.NewHarness(micco.HarnessOptions{Quick: quick, Seed: seed, Parallelism: parallel, Obs: reg})
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if id == "" {
@@ -118,6 +133,18 @@ func run(ctx context.Context, runList string, quick bool, seed int64, parallel i
 			if err := f.Close(); err != nil {
 				return err
 			}
+		}
+	}
+	if metricsOut != "" {
+		if err := obsfile.WriteMetrics(metricsOut, os.Stderr, reg.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		snap := reg.FlightRecorder().Snapshot()
+		events := micco.TraceEventsFromFlight(snap.Events)
+		if err := obsfile.WriteTrace(traceOut, os.Stderr, events, snap.Decisions); err != nil {
+			return err
 		}
 	}
 	return nil

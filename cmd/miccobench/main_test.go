@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"micco"
 )
 
 func TestRunSingleExperimentWithCSV(t *testing.T) {
@@ -17,7 +20,9 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = run(context.Background(), "tab5", true, 7, 0, dir)
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	err = run(context.Background(), "tab5", true, 7, 0, dir, metrics, trace)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -34,10 +39,34 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	if len(lines) != 3 { // header + two distributions
 		t.Errorf("CSV lines = %d, want 3", len(lines))
 	}
+
+	mraw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap micco.MetricsSnapshot
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if snap.Counters["micco_sim_events_total{kind=\"kernel\"}"] == 0 {
+		t.Errorf("metrics snapshot has no kernel events: %v", snap.Counters)
+	}
+
+	traw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr []map[string]any
+	if err := json.Unmarshal(traw, &tr); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(tr) == 0 {
+		t.Error("trace has no events")
+	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "fig99", true, 1, 0, ""); err == nil {
+	if err := run(context.Background(), "fig99", true, 1, 0, "", "", ""); err == nil {
 		t.Error("unknown experiment: want error")
 	}
 }

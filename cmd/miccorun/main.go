@@ -10,6 +10,7 @@
 //	miccorun -workload w.json -metrics m.json -decisions d.ndjson
 //	miccorun -workload w.json -faults plan.json
 //	miccorun -workload w.json -numeric -fast-kernels
+//	miccorun -workload w.json -serve :9090
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	"micco"
+	"micco/internal/obsfile"
 )
 
 // runConfig gathers the command's flags.
@@ -40,6 +42,7 @@ type runConfig struct {
 	numeric      bool
 	numericSeed  int64
 	fastKernels  bool
+	serveAddr    string
 }
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	flag.BoolVar(&cfg.numeric, "numeric", false, "execute every contraction with real complex128 arithmetic alongside the simulation and report the numeric fingerprint (expensive; small workloads)")
 	flag.Int64Var(&cfg.numericSeed, "numeric-seed", 1, "seed for the numeric input data")
 	flag.BoolVar(&cfg.fastKernels, "fast-kernels", false, "with -numeric, run the FMA/AVX-512 fast kernel tier (ULP-bounded, not bit-identical to exact-mode fingerprints)")
+	flag.StringVar(&cfg.serveAddr, "serve", "", "serve live observability HTTP on this address (e.g. :9090): /metrics, /metrics.json, /decisions, /trace, /flight, /healthz, /debug/pprof; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,23 +86,6 @@ func parseBounds(s string) (micco.Bounds, error) {
 		}
 	}
 	return b, nil
-}
-
-// writeTo creates path, hands it to write, and reports what landed there.
-func writeTo(path, what string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
-	return nil
 }
 
 func run(ctx context.Context, rc runConfig) error {
@@ -170,10 +157,21 @@ func run(ctx context.Context, rc runConfig) error {
 		opts.FastKernels = rc.fastKernels
 		fmt.Printf("numeric kernels: %s\n\n", micco.KernelFeatures())
 	}
-	if rc.metricsOut != "" || rc.decisionsOut != "" || rc.traceOut != "" {
+	if rc.metricsOut != "" || rc.decisionsOut != "" || rc.traceOut != "" || rc.serveAddr != "" {
 		// The registry also feeds decision instant events into the trace.
 		reg = micco.NewMetricsRegistry()
 		opts.Obs = reg
+	}
+	if rc.serveAddr != "" {
+		// The flight recorder backs the server's /trace and /flight views
+		// with the most recent activity.
+		reg.SetFlightRecorder(micco.NewFlightRecorder(micco.FlightConfig{}))
+		srv, err := micco.ServeObs(rc.serveAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server listening on %s\n", srv.URL())
 	}
 	if rc.traceOut != "" {
 		cluster.StartTrace()
@@ -196,30 +194,17 @@ func run(ctx context.Context, rc runConfig) error {
 			rec.PairsRescheduled, rec.TransientRetries, rec.BackoffSimSeconds)
 	}
 	if rc.traceOut != "" {
-		events := cluster.StopTrace()
-		err := writeTo(rc.traceOut, fmt.Sprintf("trace (%d events)", len(events)), func(f *os.File) error {
-			return micco.WriteChromeTraceMerged(f, events, reg.Decisions())
-		})
-		if err != nil {
+		if err := obsfile.WriteTrace(rc.traceOut, os.Stderr, cluster.StopTrace(), reg.Decisions()); err != nil {
 			return err
 		}
 	}
 	if rc.metricsOut != "" {
-		err := writeTo(rc.metricsOut, "metrics snapshot", func(f *os.File) error {
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			return enc.Encode(res.Metrics)
-		})
-		if err != nil {
+		if err := obsfile.WriteMetrics(rc.metricsOut, os.Stderr, res.Metrics); err != nil {
 			return err
 		}
 	}
 	if rc.decisionsOut != "" {
-		recs := reg.Decisions()
-		err := writeTo(rc.decisionsOut, fmt.Sprintf("%d decision records", len(recs)), func(f *os.File) error {
-			return micco.WriteDecisions(f, recs)
-		})
-		if err != nil {
+		if err := obsfile.WriteDecisions(rc.decisionsOut, os.Stderr, reg.Decisions()); err != nil {
 			return err
 		}
 	}
@@ -245,6 +230,11 @@ func run(ctx context.Context, rc runConfig) error {
 			}
 			report(other)
 		}
+	}
+	if rc.serveAddr != "" {
+		// Results stay browsable after the run; Ctrl-C (or SIGTERM) exits.
+		fmt.Fprintln(os.Stderr, "run complete; observability server still up (interrupt to exit)")
+		<-ctx.Done()
 	}
 	return nil
 }

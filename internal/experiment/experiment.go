@@ -26,6 +26,7 @@ import (
 	"micco/internal/core"
 	"micco/internal/gpusim"
 	"micco/internal/mlearn"
+	"micco/internal/obs"
 	"micco/internal/sched"
 	"micco/internal/stats"
 	"micco/internal/tensor"
@@ -69,6 +70,13 @@ type Options struct {
 	// 1 runs points one at a time. Tab5 ignores it: measuring real
 	// scheduling overhead requires an unloaded host.
 	Parallelism int
+	// Obs, when non-nil, attaches this registry to every experiment run:
+	// all sweep points feed its counters, histograms, decision records and
+	// (if one is attached) its flight recorder. The registry aggregates
+	// across points — and across concurrent points under Parallelism — so
+	// it profiles the whole invocation, not one run. Rendered tables are
+	// unaffected (observability never changes scheduling).
+	Obs *obs.Registry
 }
 
 // poolSize resolves Parallelism to the effective worker count.
@@ -215,9 +223,10 @@ func smallCluster(n int) (*gpusim.Cluster, error) {
 	return gpusim.NewCluster(cfg)
 }
 
-// runOn executes workload w under scheduler s on cluster c.
-func runOn(ctx context.Context, w *workload.Workload, s sched.Scheduler, c *gpusim.Cluster) (*sched.Result, error) {
-	return sched.Run(ctx, w, s, c, sched.Options{})
+// runOn executes workload w under scheduler s on cluster c with the
+// harness's observability registry (if any) attached.
+func (h *Harness) runOn(ctx context.Context, w *workload.Workload, s sched.Scheduler, c *gpusim.Cluster) (*sched.Result, error) {
+	return sched.Run(ctx, w, s, c, sched.Options{Obs: h.opts.Obs})
 }
 
 // micco returns a fresh MICCO-optimal scheduler bound to the harness's

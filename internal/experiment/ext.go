@@ -41,6 +41,7 @@ func (h *Harness) Ext(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
+		opts.Obs = h.opts.Obs
 		res, err := sched.Run(ctx, w, core.NewFixed(bounds), cluster, opts)
 		if err != nil {
 			return 0, err

@@ -57,7 +57,7 @@ func (h *Harness) Fig11(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		gr, err := h.runOn(ctx, w, baseline.NewGroute(), cluster)
 		if err != nil {
 			return err
 		}
@@ -66,7 +66,7 @@ func (h *Harness) Fig11(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		optRes, err := runOn(ctx, w, opt, cluster)
+		optRes, err := h.runOn(ctx, w, opt, cluster)
 		if err != nil {
 			return err
 		}

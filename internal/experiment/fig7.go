@@ -68,11 +68,11 @@ func (h *Harness) Fig7(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		gr, err := h.runOn(ctx, w, baseline.NewGroute(), cluster)
 		if err != nil {
 			return err
 		}
-		naive, err := runOn(ctx, w, core.NewNaive(), cluster)
+		naive, err := h.runOn(ctx, w, core.NewNaive(), cluster)
 		if err != nil {
 			return err
 		}
@@ -80,7 +80,7 @@ func (h *Harness) Fig7(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		optRes, err := runOn(ctx, w, opt, cluster)
+		optRes, err := h.runOn(ctx, w, opt, cluster)
 		if err != nil {
 			return err
 		}

@@ -75,7 +75,7 @@ func (h *Harness) Fig8(ctx context.Context) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			res, err := sched.Run(ctx, w, core.NewFixed(b), cluster, sched.Options{})
+			res, err := sched.Run(ctx, w, core.NewFixed(b), cluster, sched.Options{Obs: h.opts.Obs})
 			if err != nil {
 				return err
 			}

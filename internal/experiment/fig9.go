@@ -59,12 +59,12 @@ func (h *Harness) Fig9(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		gr, err := runOn(ctx, w, baseline.NewGroute(), cluster)
+		gr, err := h.runOn(ctx, w, baseline.NewGroute(), cluster)
 		if err != nil {
 			return err
 		}
 		// MICCO-optimal with the predictor rescaled to this node size.
-		optRes, err := runOn(ctx, w, core.NewOptimal(p.WithNumGPU(pt.n)), cluster)
+		optRes, err := h.runOn(ctx, w, core.NewOptimal(p.WithNumGPU(pt.n)), cluster)
 		if err != nil {
 			return err
 		}

@@ -40,7 +40,7 @@ func (h *Harness) Tab5(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runOn(ctx, w, opt, cluster)
+		res, err := h.runOn(ctx, w, opt, cluster)
 		if err != nil {
 			return nil, err
 		}

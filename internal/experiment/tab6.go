@@ -55,7 +55,7 @@ func (h *Harness) Tab6(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		gr, err := runOn(ctx, b.Workload, baseline.NewGroute(), cluster)
+		gr, err := h.runOn(ctx, b.Workload, baseline.NewGroute(), cluster)
 		if err != nil {
 			return err
 		}
@@ -63,7 +63,7 @@ func (h *Harness) Tab6(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		optRes, err := runOn(ctx, b.Workload, opt, cluster)
+		optRes, err := h.runOn(ctx, b.Workload, opt, cluster)
 		if err != nil {
 			return err
 		}

@@ -66,7 +66,9 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 }
 
 // observe feeds one simulated event into the registry (simulated seconds,
-// not wall time).
+// not wall time) and, when a flight recorder is attached, into its event
+// ring. The recorder probe is one atomic load; with no recorder attached
+// the event path allocates nothing extra.
 func (s *obsSink) observe(e Event) {
 	k := int(e.Kind)
 	s.count[k].Inc()
@@ -75,6 +77,9 @@ func (s *obsSink) observe(e Event) {
 	s.dur[k].Observe(e.Duration())
 	if e.Kind == EventKernel {
 		s.flops.Add(float64(e.FLOPs))
+	}
+	if fr := s.reg.FlightRecorder(); fr != nil {
+		fr.RecordEvent(e.Flight())
 	}
 }
 

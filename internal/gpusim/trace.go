@@ -77,6 +77,61 @@ type Event struct {
 // Duration returns the event length in seconds.
 func (e Event) Duration() float64 { return e.End - e.Start }
 
+// Flight converts the event to the obs layer's flight-recorder mirror
+// type (obs sits below gpusim, so the conversion lives here). The struct
+// is built on the caller's stack — recording it allocates nothing.
+func (e Event) Flight() obs.FlightEvent {
+	return obs.FlightEvent{
+		Kind:   e.Kind.String(),
+		Device: e.Device,
+		Tensor: e.Tensor,
+		Start:  e.Start,
+		End:    e.End,
+		Bytes:  e.Bytes,
+		FLOPs:  e.FLOPs,
+		Note:   e.Note,
+	}
+}
+
+// ParseEventKind resolves an event-kind name produced by EventKind.String.
+func ParseEventKind(s string) (EventKind, bool) {
+	for k := EventKind(0); int(k) < numEventKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// EventFromFlight converts a flight-recorder event back to a simulator
+// event. Events with an unknown kind name report ok=false.
+func EventFromFlight(fe obs.FlightEvent) (Event, bool) {
+	k, ok := ParseEventKind(fe.Kind)
+	return Event{
+		Kind:   k,
+		Device: fe.Device,
+		Tensor: fe.Tensor,
+		Start:  fe.Start,
+		End:    fe.End,
+		Bytes:  fe.Bytes,
+		FLOPs:  fe.FLOPs,
+		Note:   fe.Note,
+	}, ok
+}
+
+// EventsFromFlight converts a flight-recorder snapshot's events back to
+// simulator events, dropping any with unknown kinds, so recorder contents
+// feed the Chrome-trace writers and the report analyses directly.
+func EventsFromFlight(fes []obs.FlightEvent) []Event {
+	out := make([]Event, 0, len(fes))
+	for _, fe := range fes {
+		if e, ok := EventFromFlight(fe); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // StartTrace begins recording events; any previously recorded events are
 // dropped. Tracing survives Reset (events clear, recording continues).
 func (c *Cluster) StartTrace() {

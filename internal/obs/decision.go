@@ -135,6 +135,7 @@ func (r *Registry) RecordDecision(d DecisionRecord) {
 	r.mu.Lock()
 	r.decisions = append(r.decisions, d)
 	r.mu.Unlock()
+	r.flight.Load().RecordDecision(d)
 }
 
 // Decisions returns a copy of the decision records in placement order.
@@ -160,4 +161,22 @@ func WriteDecisionsNDJSON(w io.Writer, recs []DecisionRecord) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadDecisionsNDJSON parses a WriteDecisionsNDJSON stream back into
+// decision records. Blank lines are skipped; a malformed line fails with
+// its 1-based line number.
+func ReadDecisionsNDJSON(r io.Reader) ([]DecisionRecord, error) {
+	var recs []DecisionRecord
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		var d DecisionRecord
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("obs: decisions record %d: %w", line, err)
+		}
+		recs = append(recs, d)
+	}
 }

@@ -147,7 +147,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if err := writeTyped(name, "counter"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%s %s\n", name, formatValue(snap.Counters[name])); err != nil {
+		base, labels := splitSeries(name)
+		if _, err := fmt.Fprintf(bw, "%s%s %s\n", base, braced(labels), formatValue(snap.Counters[name])); err != nil {
 			return err
 		}
 	}
@@ -155,7 +156,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if err := writeTyped(name, "gauge"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%s %s\n", name, formatValue(snap.Gauges[name])); err != nil {
+		base, labels := splitSeries(name)
+		if _, err := fmt.Fprintf(bw, "%s%s %s\n", base, braced(labels), formatValue(snap.Gauges[name])); err != nil {
 			return err
 		}
 	}
@@ -192,22 +194,121 @@ func seriesBase(series string) string {
 	return series
 }
 
-// splitSeries separates a series name into its base and its label content
-// (without braces, with a trailing comma when non-empty, ready to be
-// prefixed onto additional labels).
+// labelPair is one parsed label with its value in RAW (unescaped) form.
+type labelPair struct{ name, value string }
+
+// parseLabels parses the inner content of a series' label set into pairs.
+// Values may be quoted with Go/Prometheus-style escapes or raw; commas and
+// braces inside quoted values are preserved; raw special characters
+// (backslash, newline, double-quote) survive into the pair value so the
+// renderer can escape them correctly. The parser never fails: malformed
+// tails are kept as a value so no caller-supplied byte is silently lost.
+func parseLabels(inner string) []labelPair {
+	var pairs []labelPair
+	i := 0
+	for i < len(inner) {
+		eq := strings.IndexByte(inner[i:], '=')
+		if eq < 0 {
+			if rest := strings.TrimSpace(inner[i:]); rest != "" && rest != "," {
+				pairs = append(pairs, labelPair{name: rest})
+			}
+			break
+		}
+		name := strings.TrimSpace(inner[i : i+eq])
+		i += eq + 1
+		var val strings.Builder
+		if i < len(inner) && inner[i] == '"' {
+			i++
+			for i < len(inner) {
+				ch := inner[i]
+				if ch == '\\' && i+1 < len(inner) {
+					// Decode the exposition escapes to raw; pass any other
+					// escaped byte through literally.
+					switch inner[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte('\\')
+						val.WriteByte(inner[i+1])
+					}
+					i += 2
+					continue
+				}
+				if ch == '"' {
+					i++
+					break
+				}
+				val.WriteByte(ch)
+				i++
+			}
+		} else {
+			for i < len(inner) && inner[i] != ',' {
+				val.WriteByte(inner[i])
+				i++
+			}
+		}
+		if i < len(inner) && inner[i] == ',' {
+			i++
+		}
+		pairs = append(pairs, labelPair{name: name, value: val.String()})
+	}
+	return pairs
+}
+
+// escapeLabelValue applies the Prometheus text exposition escapes to a raw
+// label value: backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// splitSeries separates a series name into its base and its re-escaped
+// label content (without braces, with a trailing comma when non-empty,
+// ready to be prefixed onto additional labels). Label values are parsed to
+// raw form and re-escaped per the exposition format, so series built with
+// raw backslashes, newlines or quotes in their values still export as
+// valid text.
 func splitSeries(series string) (base, labels string) {
 	i := strings.IndexByte(series, '{')
 	if i < 0 {
 		return series, ""
 	}
-	inner := strings.TrimSuffix(series[i+1:], "}")
-	if inner != "" {
-		inner += ","
+	inner := series[i+1:]
+	if j := strings.LastIndexByte(inner, '}'); j >= 0 {
+		inner = inner[:j] + inner[j+1:]
 	}
-	return series[:i], inner
+	pairs := parseLabels(inner)
+	if len(pairs) == 0 {
+		return series[:i], ""
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%s=\"%s\",", p.name, escapeLabelValue(p.value))
+	}
+	return series[:i], b.String()
 }
 
-// braced re-wraps split label content for _sum/_count lines.
+// braced re-wraps split label content for complete sample lines.
 func braced(labels string) string {
 	if labels == "" {
 		return ""

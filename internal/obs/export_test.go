@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEscapesSpecialLabelValues pins the exposition output for
+// series whose label values carry the three characters the text format
+// escapes: backslash, double-quote and newline. Raw specials in the series
+// name must come out escaped; already-escaped input must not be
+// double-escaped.
+func TestPrometheusEscapesSpecialLabelValues(t *testing.T) {
+	r := New()
+	r.Counter(`evil_total{path="C:\temp\new"}`).Add(1)
+	r.Counter("evil_total{msg=\"line1\nline2\"}").Add(2)
+	r.Counter(`evil_total{quote="say \"hi\""}`).Add(3)
+	r.Gauge(`evil_gauge{mix="a\\b",q="\""}`).Set(4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	// Counters render before gauges. In the path value, `\t` is not a
+	// defined exposition escape so the backslash is raw (re-escaped to
+	// `\\t`), while `\n` is the newline escape and renders back as `\n`.
+	golden := `# TYPE evil_total counter
+evil_total{msg="line1\nline2"} 2
+evil_total{path="C:\\temp\new"} 1
+evil_total{quote="say \"hi\""} 3
+# TYPE evil_gauge gauge
+evil_gauge{mix="a\\b",q="\""} 4
+`
+	if got != golden {
+		t.Errorf("escaped exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Errorf("escaped exposition does not validate: %v", err)
+	}
+}
+
+// TestPrometheusEscapingRoundTrips feeds raw special characters through a
+// series name, exports, and re-parses the label value back to the original
+// raw bytes: escape(parse(name)) must lose nothing.
+func TestPrometheusEscapingRoundTrips(t *testing.T) {
+	raws := []string{
+		`back\slash`,
+		"new\nline",
+		`quo"te`,
+		`all\three " here` + "\n",
+		`trailing\`,
+	}
+	for _, raw := range raws {
+		base, labels := splitSeries("m_total{v=\"" + escapeLabelValue(raw) + "\"}")
+		if base != "m_total" {
+			t.Errorf("raw %q: base = %q", raw, base)
+		}
+		pairs := parseLabels(strings.TrimSuffix(labels, ","))
+		if len(pairs) != 1 || pairs[0].name != "v" {
+			t.Fatalf("raw %q: parsed pairs = %+v", raw, pairs)
+		}
+		if pairs[0].value != raw {
+			t.Errorf("raw %q round-tripped to %q", raw, pairs[0].value)
+		}
+	}
+}
+
+// TestSplitSeriesNeverDropsBytes feeds malformed label sets through the
+// split/re-escape path; whatever comes out must still validate as an
+// exposition when rendered, and no input may panic.
+func TestSplitSeriesNeverDropsBytes(t *testing.T) {
+	malformed := []string{
+		`m_total{unterminated="x`,
+		`m_total{noequals}`,
+		`m_total{a=1,b="2"}`,
+		`m_total{="empty"}`,
+		`m_total{a="x",}`,
+		"m_total{raw=\"a\nb\"}",
+	}
+	for _, series := range malformed {
+		r := New()
+		r.Counter(series).Add(1)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("series %q: write: %v", series, err)
+		}
+		if !strings.Contains(buf.String(), "m_total") {
+			t.Errorf("series %q vanished from output:\n%s", series, buf.String())
+		}
+	}
+}
+
+// TestCheckExposition pins the validator itself: good output passes,
+// specific malformations are named.
+func TestCheckExposition(t *testing.T) {
+	good := []string{
+		"# TYPE a_total counter\na_total 1\n",
+		"# TYPE a_total counter\na_total{x=\"y\"} 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\n",
+		"# TYPE g gauge\ng{v=\"a\\\\b\\n\\\"\"} 2.5\n",
+		"# TYPE t counter\nt 1 1700000000\n",
+		"# HELP a_total free text\n# TYPE a_total counter\na_total 0\n",
+		"",
+	}
+	for _, in := range good {
+		if err := CheckExposition([]byte(in)); err != nil {
+			t.Errorf("valid exposition rejected: %v\n%s", err, in)
+		}
+	}
+	bad := []string{
+		"a_total 1\n", // no TYPE declaration
+		"# TYPE a_total counter\na_total{x=y} 1\n",       // unquoted label value
+		"# TYPE a_total counter\na_total{x=\"y} 1\n",     // unterminated value
+		"# TYPE a_total counter\na_total{x=\"\\t\"} 1\n", // invalid escape
+		"# TYPE a_total counter\na_total oops\n",         // non-numeric value
+		"# TYPE a_total counter\na_total 1 soon\n",       // bad timestamp
+		"# TYPE a_total widget\na_total 1\n",             // unknown type
+		"# TYPE 9bad counter\n9bad 1\n",                  // invalid metric name
+	}
+	for _, in := range bad {
+		if err := CheckExposition([]byte(in)); err == nil {
+			t.Errorf("invalid exposition accepted:\n%s", in)
+		}
+	}
+}

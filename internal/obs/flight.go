@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FlightEvent is one simulator operation as retained by the flight
+// recorder. It mirrors gpusim.Event field for field — obs sits below the
+// simulator in the dependency order, so the simulator converts on the way
+// in (Event.Flight) and back on the way out (gpusim.EventsFromFlight).
+// Kind is the event kind's name ("kernel", "h2d", ...), keeping recorder
+// dumps self-describing.
+type FlightEvent struct {
+	Kind   string  `json:"kind"`
+	Device int     `json:"device"`
+	Tensor uint64  `json:"tensor"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Bytes  int64   `json:"bytes,omitempty"`
+	FLOPs  int64   `json:"flops,omitempty"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// FlightConfig sizes the flight recorder's rings: how many of the most
+// recent simulator events, decision records and completed spans are
+// retained. Zero or negative fields take the defaults.
+type FlightConfig struct {
+	Events    int
+	Decisions int
+	Spans     int
+}
+
+// Default ring capacities. Events dominate (one per kernel, transfer and
+// eviction); decisions are one per placement; spans one per stage.
+const (
+	DefFlightEvents    = 8192
+	DefFlightDecisions = 2048
+	DefFlightSpans     = 512
+)
+
+func (c FlightConfig) fill() FlightConfig {
+	if c.Events <= 0 {
+		c.Events = DefFlightEvents
+	}
+	if c.Decisions <= 0 {
+		c.Decisions = DefFlightDecisions
+	}
+	if c.Spans <= 0 {
+		c.Spans = DefFlightSpans
+	}
+	return c
+}
+
+// ring is a bounded overwrite-oldest buffer of records. Each ring carries
+// its own mutex so event, decision and span traffic never contend with
+// each other; recording is a lock, an index increment and a value copy —
+// no allocation once the ring is built.
+type ring[T any] struct {
+	mu  sync.Mutex
+	buf []T
+	// n is the total number of records ever offered; the ring holds the
+	// last min(n, len(buf)) of them.
+	n uint64
+}
+
+func newRing[T any](capacity int) ring[T] { return ring[T]{buf: make([]T, capacity)} }
+
+func (r *ring[T]) record(v T) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = v
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot copies the retained records oldest-first and reports the total
+// ever offered.
+func (r *ring[T]) snapshot() ([]T, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.buf))
+	kept := r.n
+	if kept > size {
+		kept = size
+	}
+	out := make([]T, 0, kept)
+	for i := r.n - kept; i < r.n; i++ {
+		out = append(out, r.buf[i%size])
+	}
+	return out, r.n
+}
+
+// FlightRecorder is the always-on post-mortem buffer of a run: a bounded
+// ring of the most recent simulator events, scheduler decision records and
+// completed spans. Attach one to a Registry with SetFlightRecorder; the
+// registry and the simulator then feed it as a side effect of ordinary
+// observation. Recording is lock-cheap and allocation-free; when no
+// recorder is attached the cost is a single atomic load per record.
+//
+// Snapshot captures the current tail on demand (the /trace and /flight
+// endpoints of the observability server are built on it), and the
+// execution engine calls Dump automatically on device-loss recovery and on
+// ErrClusterLost, so the moments leading up to a failure survive it.
+type FlightRecorder struct {
+	events    ring[FlightEvent]
+	decisions ring[DecisionRecord]
+	spans     ring[Span]
+
+	dumpMu   sync.Mutex
+	lastDump *FlightSnapshot
+}
+
+// NewFlightRecorder builds a recorder with the given ring capacities
+// (zero-valued config takes the defaults).
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	cfg = cfg.fill()
+	return &FlightRecorder{
+		events:    newRing[FlightEvent](cfg.Events),
+		decisions: newRing[DecisionRecord](cfg.Decisions),
+		spans:     newRing[Span](cfg.Spans),
+	}
+}
+
+// RecordEvent retains one simulator event. Nil-safe.
+func (fr *FlightRecorder) RecordEvent(e FlightEvent) {
+	if fr == nil {
+		return
+	}
+	fr.events.record(e)
+}
+
+// RecordDecision retains one decision record. Nil-safe.
+func (fr *FlightRecorder) RecordDecision(d DecisionRecord) {
+	if fr == nil {
+		return
+	}
+	fr.decisions.record(d)
+}
+
+// RecordSpan retains one completed span. Nil-safe.
+func (fr *FlightRecorder) RecordSpan(s Span) {
+	if fr == nil {
+		return
+	}
+	fr.spans.record(s)
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder's retained tail.
+// The Total* fields count everything ever offered, so consumers can tell
+// how much history fell off the rings.
+type FlightSnapshot struct {
+	// Reason is why the snapshot was taken: "" for on-demand snapshots, a
+	// description of the failure for automatic dumps.
+	Reason         string           `json:"reason,omitempty"`
+	Events         []FlightEvent    `json:"events"`
+	Decisions      []DecisionRecord `json:"decisions"`
+	Spans          []Span           `json:"spans"`
+	TotalEvents    uint64           `json:"total_events"`
+	TotalDecisions uint64           `json:"total_decisions"`
+	TotalSpans     uint64           `json:"total_spans"`
+}
+
+// Snapshot copies the retained tail, oldest records first. Nil-safe: a nil
+// recorder snapshots as nil.
+func (fr *FlightRecorder) Snapshot() *FlightSnapshot {
+	if fr == nil {
+		return nil
+	}
+	s := &FlightSnapshot{}
+	s.Events, s.TotalEvents = fr.events.snapshot()
+	s.Decisions, s.TotalDecisions = fr.decisions.snapshot()
+	s.Spans, s.TotalSpans = fr.spans.snapshot()
+	return s
+}
+
+// Dump snapshots the recorder and retains the snapshot as the last dump
+// (LastDump), tagged with reason. The execution engine calls it on
+// device-loss recovery and cluster loss; callers may also dump manually.
+// Nil-safe.
+func (fr *FlightRecorder) Dump(reason string) *FlightSnapshot {
+	if fr == nil {
+		return nil
+	}
+	s := fr.Snapshot()
+	s.Reason = reason
+	fr.dumpMu.Lock()
+	fr.lastDump = s
+	fr.dumpMu.Unlock()
+	return s
+}
+
+// LastDump returns the most recent Dump snapshot (nil if none was taken).
+func (fr *FlightRecorder) LastDump() *FlightSnapshot {
+	if fr == nil {
+		return nil
+	}
+	fr.dumpMu.Lock()
+	defer fr.dumpMu.Unlock()
+	return fr.lastDump
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *FlightSnapshot) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight recorder.
+// While attached, every decision record and completed span fed to the
+// registry — and every simulator event, via the cluster's observer — is
+// also retained in the recorder's rings. Nil-safe on a nil registry.
+func (r *Registry) SetFlightRecorder(fr *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight.Store(fr)
+}
+
+// FlightRecorder returns the attached recorder (nil when none, or on a nil
+// registry): one atomic load, so per-record feeding sites can guard on it
+// without cost.
+func (r *Registry) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}

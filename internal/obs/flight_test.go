@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestFlightRingOverwritesOldest(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Events: 4, Decisions: 2, Spans: 2})
+	for i := 0; i < 10; i++ {
+		fr.RecordEvent(FlightEvent{Kind: "kernel", Tensor: uint64(i)})
+	}
+	s := fr.Snapshot()
+	if s.TotalEvents != 10 {
+		t.Errorf("TotalEvents = %d, want 10", s.TotalEvents)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(s.Events))
+	}
+	// Oldest-first tail: tensors 6,7,8,9.
+	for i, e := range s.Events {
+		if want := uint64(6 + i); e.Tensor != want {
+			t.Errorf("events[%d].Tensor = %d, want %d", i, e.Tensor, want)
+		}
+	}
+}
+
+func TestFlightSnapshotBeforeWrap(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Events: 8, Decisions: 8, Spans: 8})
+	fr.RecordEvent(FlightEvent{Kind: "h2d", Tensor: 1})
+	fr.RecordDecision(DecisionRecord{Out: 2})
+	fr.RecordSpan(Span{Name: "stage"})
+	s := fr.Snapshot()
+	if len(s.Events) != 1 || s.TotalEvents != 1 {
+		t.Errorf("events = %d/%d, want 1/1", len(s.Events), s.TotalEvents)
+	}
+	if len(s.Decisions) != 1 || s.Decisions[0].Out != 2 {
+		t.Errorf("decisions = %+v", s.Decisions)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "stage" {
+		t.Errorf("spans = %+v", s.Spans)
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{})
+	if fr.LastDump() != nil {
+		t.Fatal("LastDump before any dump should be nil")
+	}
+	fr.RecordEvent(FlightEvent{Kind: "evict", Tensor: 7})
+	d := fr.Dump("device-loss device=3")
+	if d.Reason != "device-loss device=3" || len(d.Events) != 1 {
+		t.Errorf("dump = %+v", d)
+	}
+	if got := fr.LastDump(); got != d {
+		t.Errorf("LastDump = %p, want the dump just taken %p", got, d)
+	}
+	// A later event does not mutate the frozen dump.
+	fr.RecordEvent(FlightEvent{Kind: "kernel", Tensor: 8})
+	if len(fr.LastDump().Events) != 1 {
+		t.Error("dump grew after later events")
+	}
+
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump JSON does not round-trip: %v", err)
+	}
+	if back.Reason != d.Reason || len(back.Events) != 1 || back.Events[0].Tensor != 7 {
+		t.Errorf("round-tripped dump = %+v", back)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	fr.RecordEvent(FlightEvent{})
+	fr.RecordDecision(DecisionRecord{})
+	fr.RecordSpan(Span{})
+	if fr.Snapshot() != nil || fr.Dump("x") != nil || fr.LastDump() != nil {
+		t.Error("nil recorder should snapshot/dump as nil")
+	}
+	var r *Registry
+	r.SetFlightRecorder(nil)
+	if r.FlightRecorder() != nil {
+		t.Error("nil registry should report nil recorder")
+	}
+}
+
+func TestRegistryFeedsFlightRecorder(t *testing.T) {
+	r := New()
+	if r.FlightRecorder() != nil {
+		t.Fatal("fresh registry should have no recorder")
+	}
+	fr := NewFlightRecorder(FlightConfig{})
+	r.SetFlightRecorder(fr)
+	if r.FlightRecorder() != fr {
+		t.Fatal("recorder not attached")
+	}
+	r.RecordDecision(DecisionRecord{Out: 11, Policy: "p"})
+	sp := r.StartSpan("run", nil)
+	r.StartSpan("stage", sp).End()
+	sp.End()
+	s := fr.Snapshot()
+	if len(s.Decisions) != 1 || s.Decisions[0].Out != 11 {
+		t.Errorf("recorder decisions = %+v, want the registry's record", s.Decisions)
+	}
+	// Spans land in completion order: stage before run.
+	if len(s.Spans) != 2 || s.Spans[0].Name != "stage" || s.Spans[1].Name != "run" {
+		t.Errorf("recorder spans = %+v, want [stage run]", s.Spans)
+	}
+	// Detach: later records no longer feed the rings.
+	r.SetFlightRecorder(nil)
+	r.RecordDecision(DecisionRecord{Out: 12})
+	if s := fr.Snapshot(); s.TotalDecisions != 1 {
+		t.Errorf("detached recorder still fed: %d decisions", s.TotalDecisions)
+	}
+}
+
+// TestFlightRecorderAllocs pins the recorder's per-record cost: recording
+// into a built ring allocates nothing, and the disabled paths (no recorder
+// attached, nil recorder) allocate nothing either — the acceptance bar for
+// "always-on" observability.
+func TestFlightRecorderAllocs(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Events: 64, Decisions: 64, Spans: 64})
+	ev := FlightEvent{Kind: "kernel", Device: 1, Tensor: 42, Start: 1, End: 2, FLOPs: 100}
+	if n := testing.AllocsPerRun(200, func() { fr.RecordEvent(ev) }); n != 0 {
+		t.Errorf("RecordEvent allocs/op = %v, want 0", n)
+	}
+	d := DecisionRecord{Stage: 1, Pair: 2, Out: 3, Device: 0}
+	if n := testing.AllocsPerRun(200, func() { fr.RecordDecision(d) }); n != 0 {
+		t.Errorf("RecordDecision allocs/op = %v, want 0", n)
+	}
+	var nilFR *FlightRecorder
+	if n := testing.AllocsPerRun(200, func() { nilFR.RecordEvent(ev) }); n != 0 {
+		t.Errorf("nil RecordEvent allocs/op = %v, want 0", n)
+	}
+	r := New() // no recorder attached: probe is one atomic load
+	if n := testing.AllocsPerRun(200, func() {
+		if fr := r.FlightRecorder(); fr != nil {
+			fr.RecordEvent(ev)
+		}
+	}); n != 0 {
+		t.Errorf("unattached probe allocs/op = %v, want 0", n)
+	}
+}

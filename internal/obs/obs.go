@@ -39,6 +39,12 @@ type Registry struct {
 	decisions []DecisionRecord
 
 	nextSpanID atomic.Uint64
+
+	// flight is the optional always-on flight recorder (flight.go). The
+	// registry feeds it decision records and completed spans; the simulator
+	// feeds it events through the same pointer. Atomic so recording sites
+	// pay one load, no lock, when no recorder is attached.
+	flight atomic.Pointer[FlightRecorder]
 }
 
 // New returns an empty registry. Wall-clock span times are measured from

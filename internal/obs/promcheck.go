@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text exposition output (format
+// 0.0.4) the way a scraper would: every non-comment line must be a
+// well-formed sample — a valid metric name, a syntactically closed label
+// set whose values use only the defined escapes (backslash, double-quote,
+// newline), and a parseable value — and every sample's base name must have
+// been declared by a preceding # TYPE line (histogram samples may carry
+// the _bucket/_sum/_count suffixes of their declared base). It is the
+// format gate shared by the exporter's golden tests and the observability
+// server's /metrics smoke test.
+func CheckExposition(data []byte) error {
+	typed := make(map[string]string) // base name -> declared type
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 && (fields[0] == "TYPE" || fields[0] == "HELP") {
+				if fields[0] == "TYPE" {
+					if len(fields) != 3 {
+						return fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+					}
+					if !validMetricName(fields[1]) {
+						return fmt.Errorf("line %d: invalid metric name %q in TYPE", ln+1, fields[1])
+					}
+					switch fields[2] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[2])
+					}
+					typed[fields[1]] = fields[2]
+				}
+				continue
+			}
+			continue // free-form comment
+		}
+		if err := checkSampleLine(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+// checkSampleLine validates one `name{labels} value [timestamp]` line.
+func checkSampleLine(line string, typed map[string]string) error {
+	i := 0
+	for i < len(line) && isMetricNameByte(line[i], i == 0) {
+		i++
+	}
+	name := line[:i]
+	if name == "" {
+		return fmt.Errorf("sample %q does not start with a metric name", line)
+	}
+	if !declared(name, typed) {
+		return fmt.Errorf("series %q has no preceding # TYPE declaration", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		j, err := checkLabelSet(line[i:])
+		if err != nil {
+			return fmt.Errorf("series %q: %w", name, err)
+		}
+		i += j
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return fmt.Errorf("sample %q: expected space before value", line)
+	}
+	fields := strings.Fields(line[i:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp], got %q", line, line[i:])
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return nil
+}
+
+// checkLabelSet validates a `{name="value",...}` block starting at s[0]=='{'
+// and returns its length in bytes.
+func checkLabelSet(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isLabelNameByte(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("empty label name at byte %d of %q", i, s)
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %q not followed by '='", s[start:i])
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value at byte %d of %q is not quoted", i, s)
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value in %q", s)
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling backslash in %q", s)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+					continue
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in %q", s[i+1], s)
+				}
+			}
+			if s[i] == '\n' {
+				return 0, fmt.Errorf("raw newline inside label value of %q", s)
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// declared reports whether a sample name is covered by a TYPE declaration,
+// accounting for histogram/summary child series.
+func declared(name string, typed map[string]string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		switch typed[base] {
+		case "histogram", "summary":
+			return true
+		}
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isMetricNameByte(s[i], i == 0) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func isMetricNameByte(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func isLabelNameByte(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}

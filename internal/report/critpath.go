@@ -1,0 +1,250 @@
+package report
+
+import (
+	"sort"
+
+	"micco/internal/gpusim"
+)
+
+// Segment is one link of the critical path: a half-open interval of
+// simulated time attributed to one activity. Kind is a simulator event
+// kind name, or "idle" for a gap in which nothing that gates the makespan
+// was running. Idle segments take the device of their chronological
+// successor (the work that eventually resumed is what the gap delayed);
+// a trailing gap with no successor keeps the predecessor's device, and a
+// path with no events at all uses device -1.
+type Segment struct {
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Kind   string  `json:"kind"`
+	Device int     `json:"device"`
+	Tensor uint64  `json:"tensor,omitempty"`
+}
+
+// Duration returns the segment length in seconds.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Share is one blame bucket of the critical path: how many of the
+// makespan's seconds this key gates.
+type Share struct {
+	Key      string  `json:"key"`
+	Seconds  float64 `json:"seconds"`
+	Fraction float64 `json:"fraction"`
+}
+
+// CriticalPath is a backward chain through the simulated timeline that
+// exactly partitions [0, makespan]: each segment begins where the previous
+// ends, the first begins at 0 and the last ends at the makespan. Shrinking
+// any segment's activity would (locally) shrink the makespan, so the
+// shares answer "what is the run waiting on".
+type CriticalPath struct {
+	Makespan float64   `json:"makespan"`
+	Segments []Segment `json:"segments"`
+	// ByDevice, ByKind and ByResource aggregate segment durations; each
+	// slice's Seconds sum to the makespan. ByResource folds kinds onto the
+	// hardware they occupy: kernels -> "compute", h2d/d2h -> "hostlink",
+	// p2p -> "p2plink", inter -> "interlink", evictions -> "evict", gaps ->
+	// "idle".
+	ByDevice []Share `json:"by_device"`
+	ByKind   []Share `json:"by_kind"`
+	// ByResource is the per-link blame view.
+	ByResource []Share `json:"by_resource"`
+}
+
+// resourceOf folds an event kind name onto the hardware resource it
+// occupies.
+func resourceOf(kind string) string {
+	switch kind {
+	case "kernel":
+		return "compute"
+	case "h2d", "d2h":
+		return "hostlink"
+	case "p2p":
+		return "p2plink"
+	case "inter":
+		return "interlink"
+	case "evict":
+		return "evict"
+	case "idle":
+		return "idle"
+	default:
+		return kind
+	}
+}
+
+// CriticalPathOf chains backward from makespan through events. At each
+// step it selects, among events beginning strictly before the cursor, the
+// one reaching closest to the cursor (clipped at it); a shortfall becomes
+// an idle segment. Ties break deterministically: later start, then lower
+// device, then kind name, then tensor ID — so identical inputs always
+// produce the identical path. Fault events and zero-duration events are
+// ignored. The returned segments exactly partition [0, makespan]:
+// consecutive boundaries are equal as floats, not merely close.
+func CriticalPathOf(events []gpusim.Event, makespan float64) *CriticalPath {
+	cp := &CriticalPath{Makespan: makespan}
+	// Candidates sorted by start so each step only scans events that can
+	// still be selected as the cursor walks toward 0.
+	cand := make([]gpusim.Event, 0, len(events))
+	for _, e := range events {
+		if e.Kind == gpusim.EventFault || e.Duration() <= 0 || e.Start >= makespan {
+			continue
+		}
+		cand = append(cand, e)
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := cand[i], cand[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Kind != b.Kind {
+			return a.Kind.String() < b.Kind.String()
+		}
+		return a.Tensor < b.Tensor
+	})
+
+	cursor := makespan
+	// limit is the number of candidates with Start < cursor; it only
+	// shrinks as the cursor walks backward.
+	limit := len(cand)
+	var segs []Segment // built newest-first
+	for cursor > 0 {
+		for limit > 0 && cand[limit-1].Start >= cursor {
+			limit--
+		}
+		if limit == 0 {
+			// Nothing runs before the cursor: the remaining prefix is idle,
+			// delaying whatever segment follows it.
+			dev := -1
+			if len(segs) > 0 {
+				dev = segs[len(segs)-1].Device
+			}
+			segs = append(segs, Segment{Start: 0, End: cursor, Kind: "idle", Device: dev})
+			break
+		}
+		best, bestTop := -1, 0.0
+		for i := 0; i < limit; i++ {
+			top := cand[i].End
+			if top > cursor {
+				top = cursor
+			}
+			if best < 0 || top > bestTop || (top == bestTop && laterChain(cand[i], cand[best])) {
+				best, bestTop = i, top
+			}
+		}
+		e := cand[best]
+		if bestTop < cursor {
+			// Gap between this event's reach and the segment above it: the
+			// successor (the segment just emitted) was waiting.
+			dev := e.Device
+			if len(segs) > 0 {
+				dev = segs[len(segs)-1].Device
+			}
+			segs = append(segs, Segment{Start: bestTop, End: cursor, Kind: "idle", Device: dev})
+		}
+		segs = append(segs, Segment{
+			Start:  e.Start,
+			End:    bestTop,
+			Kind:   e.Kind.String(),
+			Device: e.Device,
+			Tensor: e.Tensor,
+		})
+		cursor = e.Start
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	cp.Segments = segs
+	cp.ByDevice = shares(segs, makespan, func(s Segment) string { return deviceKey(s.Device) })
+	cp.ByKind = shares(segs, makespan, func(s Segment) string { return s.Kind })
+	cp.ByResource = shares(segs, makespan, func(s Segment) string { return resourceOf(s.Kind) })
+	return cp
+}
+
+// laterChain orders tie-broken candidates: prefer the later-starting event
+// (shortest backward hop), then lower device, kind name, tensor.
+func laterChain(a, b gpusim.Event) bool {
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	if a.Kind != b.Kind {
+		return a.Kind.String() < b.Kind.String()
+	}
+	return a.Tensor < b.Tensor
+}
+
+func deviceKey(d int) string {
+	if d < 0 {
+		return "none"
+	}
+	return "device " + itoa(d)
+}
+
+// itoa avoids importing strconv into every file for one-digit device IDs.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// shares aggregates segment durations by key, sorted by descending
+// seconds then key for a stable order.
+func shares(segs []Segment, makespan float64, key func(Segment) string) []Share {
+	acc := map[string]float64{}
+	for _, s := range segs {
+		acc[key(s)] += s.Duration()
+	}
+	out := make([]Share, 0, len(acc))
+	for k, sec := range acc {
+		frac := 0.0
+		if makespan > 0 {
+			frac = sec / makespan
+		}
+		out = append(out, Share{Key: k, Seconds: sec, Fraction: frac})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func (cp *CriticalPath) writeText(t *tw) {
+	t.printf("critical path: %d segments over %.6fs\n", len(cp.Segments), cp.Makespan)
+	writeShares := func(label string, ss []Share) {
+		t.printf("  %s\n", label)
+		for _, s := range ss {
+			t.printf("    %-16s %12.6fs %6.1f%%\n", s.Key, s.Seconds, 100*s.Fraction)
+		}
+	}
+	writeShares("blame by resource", cp.ByResource)
+	writeShares("blame by device", cp.ByDevice)
+	writeShares("blame by event kind", cp.ByKind)
+}

@@ -213,6 +213,9 @@ func (e *engine) apply(ev fault.Event, si, pi int) error {
 // already exists), which is why fingerprints stay bit-identical to a
 // fault-free run.
 func (e *engine) recoverFrom(si, pi, lost int) error {
+	// Freeze the flight recorder before repairs begin: the dump shows what
+	// the cluster was doing when the device died, not the recovery traffic.
+	e.dumpFlight(fmt.Sprintf("device-loss device=%d stage=%d pair=%d", lost, si, pi))
 	var span *obs.ActiveSpan
 	if e.ob != nil {
 		span = e.ob.reg.StartSpan("recovery", e.ob.runSpan)

@@ -356,11 +356,25 @@ type engine struct {
 	lastCP       *Checkpoint
 }
 
+// dumpFlight freezes the flight recorder's current tail as the last dump
+// (no-op without observability or a recorder), so the activity leading up
+// to a failure survives for post-mortem analysis.
+func (e *engine) dumpFlight(reason string) {
+	if e.ob != nil {
+		e.ob.reg.FlightRecorder().Dump(reason)
+	}
+}
+
 // fail finishes an erroring run: with checkpointing on, the last
 // stage-boundary snapshot (updated to the live fired-event mask, so the
 // fatal event does not re-fire on resume) is attached to the partial
-// result; otherwise the result is dropped as before.
+// result; otherwise the result is dropped as before. Losing the whole
+// cluster additionally dumps the flight recorder: the post-mortem of an
+// unrecoverable run is exactly what the recorder exists for.
 func (e *engine) fail(err error) (*Result, error) {
+	if errors.Is(err, ErrClusterLost) {
+		e.dumpFlight(err.Error())
+	}
 	if e.opts.Checkpoint && e.lastCP != nil {
 		if e.fr != nil {
 			e.lastCP.faultsFired = append([]bool(nil), e.fr.fired...)
@@ -629,11 +643,13 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		}
 		sctx.Features = w.StageFeatures(si)
 		var stageSpan *obs.ActiveSpan
+		var simStart float64
 		e.scheduleW, e.simulateW, e.numericW = 0, 0, 0
 		if ob != nil {
 			stageSpan = ob.reg.StartSpan("stage", ob.runSpan)
 			stageSpan.SetAttr("index", strconv.Itoa(si))
 			stageSpan.SetAttr("pairs", strconv.Itoa(len(st.Pairs)))
+			simStart = c.Makespan()
 		}
 		t0 := time.Now()
 		s.BeginStage(sctx)
@@ -671,6 +687,11 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			stageSpan.SetAttr("schedule_s", formatSeconds(e.scheduleW))
 			stageSpan.SetAttr("simulate_s", formatSeconds(e.simulateW))
 			stageSpan.SetAttr("numeric_s", formatSeconds(e.numericW))
+			// Simulated-time stage window (full precision, round-trippable):
+			// the report layer's per-stage utilization waterfall buckets
+			// trace events by these boundaries.
+			stageSpan.SetAttr("sim_start_s", strconv.FormatFloat(simStart, 'g', -1, 64))
+			stageSpan.SetAttr("sim_end_s", strconv.FormatFloat(c.Makespan(), 'g', -1, 64))
 			stageSpan.End()
 		}
 		if opts.Checkpoint {

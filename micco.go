@@ -35,6 +35,7 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"net/http"
 
 	"micco/internal/autotune"
 	"micco/internal/baseline"
@@ -46,7 +47,9 @@ import (
 	"micco/internal/mlearn"
 	"micco/internal/multinode"
 	"micco/internal/obs"
+	"micco/internal/obs/obshttp"
 	"micco/internal/redstar"
+	"micco/internal/report"
 	"micco/internal/sched"
 	"micco/internal/spectro"
 	"micco/internal/tensor"
@@ -525,6 +528,98 @@ func WritePrometheus(w io.Writer, r *MetricsRegistry) error { return r.WriteProm
 // WriteDecisions writes decision records as newline-delimited JSON.
 func WriteDecisions(w io.Writer, recs []DecisionRecord) error {
 	return obs.WriteDecisionsNDJSON(w, recs)
+}
+
+// ReadDecisions parses a WriteDecisions stream back into decision records.
+func ReadDecisions(r io.Reader) ([]DecisionRecord, error) {
+	return obs.ReadDecisionsNDJSON(r)
+}
+
+// LoadMetricsSnapshot parses a metrics snapshot JSON file (as written by
+// miccorun -metrics or miccobench -metrics).
+func LoadMetricsSnapshot(r io.Reader) (*MetricsSnapshot, error) {
+	return report.LoadSnapshot(r)
+}
+
+// Flight-recorder types (DESIGN.md §13). A FlightRecorder attached to a
+// MetricsRegistry retains the last-N simulator events, decision records
+// and completed spans in bounded lock-cheap rings; recording allocates
+// nothing, and with no recorder attached the cost is one atomic load per
+// record. The execution engine dumps the recorder automatically on
+// device-loss recovery and cluster loss.
+type (
+	// FlightRecorder is the always-on bounded post-mortem buffer.
+	FlightRecorder = obs.FlightRecorder
+	// FlightConfig sizes the recorder's rings (zero = defaults).
+	FlightConfig = obs.FlightConfig
+	// FlightSnapshot is a point-in-time copy of the recorder's tail.
+	FlightSnapshot = obs.FlightSnapshot
+	// FlightEvent is one retained simulator event (kind by name).
+	FlightEvent = obs.FlightEvent
+)
+
+// NewFlightRecorder builds a flight recorder; attach it with
+// MetricsRegistry.SetFlightRecorder.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return obs.NewFlightRecorder(cfg) }
+
+// TraceEventsFromFlight converts retained flight-recorder events back to
+// trace events (for WriteChromeTrace or report analyses), dropping any
+// whose kind name is unknown.
+func TraceEventsFromFlight(fes []FlightEvent) []TraceEvent {
+	return gpusim.EventsFromFlight(fes)
+}
+
+// ObsServer is a running observability HTTP server (ServeObs).
+type ObsServer = obshttp.Server
+
+// ServeObs starts the live observability server on addr, exposing reg:
+// /metrics (Prometheus text), /metrics.json, /decisions (NDJSON), /trace
+// (Chrome trace of the flight recorder's recent activity), /flight,
+// /healthz and /debug/pprof/*. It returns once the listener is bound;
+// close with ObsServer.Close or ObsServer.Shutdown. miccorun exposes it
+// behind -serve.
+func ServeObs(addr string, reg *MetricsRegistry) (*ObsServer, error) {
+	return obshttp.Serve(addr, reg)
+}
+
+// ObsHandler returns the observability server's handler for embedding
+// into an existing mux.
+func ObsHandler(reg *MetricsRegistry) http.Handler { return obshttp.Handler(reg) }
+
+// Post-run analysis types (internal/report; DESIGN.md §13). BuildReport
+// turns a run's trace, decisions and metrics snapshot into the critical
+// path, stage waterfall and prediction-drift analyses rendered by
+// cmd/miccoreport.
+type (
+	// ReportInput is the raw material of a report.
+	ReportInput = report.Input
+	// RunReport is a complete post-run analysis document.
+	RunReport = report.Report
+	// CriticalPath is the blame-annotated chain gating the makespan.
+	CriticalPath = report.CriticalPath
+	// CriticalPathSegment is one link of the critical path.
+	CriticalPathSegment = report.Segment
+	// StageUtilizationRow is one stage of the utilization waterfall.
+	StageUtilizationRow = report.StageRow
+	// DriftSummary aggregates predicted-vs-actual transfer drift.
+	DriftSummary = report.Drift
+	// MetricsDiff is a regression comparison of two metrics snapshots.
+	MetricsDiff = report.Diff
+)
+
+// BuildReport assembles a post-run analysis from in.
+func BuildReport(in ReportInput) *RunReport { return report.Build(in) }
+
+// CriticalPathOf computes the critical path through events: a backward
+// chain whose segments exactly partition [0, makespan], with per-device,
+// per-kind and per-resource blame shares.
+func CriticalPathOf(events []TraceEvent, makespan float64) *CriticalPath {
+	return report.CriticalPathOf(events, makespan)
+}
+
+// DiffMetricsSnapshots compares two metrics snapshots series by series.
+func DiffMetricsSnapshots(old, new *MetricsSnapshot) *MetricsDiff {
+	return report.DiffSnapshots(old, new)
 }
 
 // LoadPredictor deserializes a predictor saved with Predictor.Save.
