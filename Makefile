@@ -38,13 +38,15 @@ benchguard:
 		-guard-prefix BenchmarkContraction -guard-max-allocs -1
 
 # bench measures the contraction-kernel component benchmarks — exact and
-# fast tiers, pairwise and stage-fused — with allocation stats and records
-# them as BENCH_kernel.json with the pre-fast-tier baseline merged in (via
-# cmd/benchjson, which tees the raw output through), then the
-# scheduler-overhead suite as BENCH_sched.json with the pre-index
-# baseline numbers merged in for comparison.
+# fast tiers, pairwise, stage-fused and pipeline-parallel — with
+# allocation stats and records them as BENCH_kernel.json with the
+# pre-fast-tier baseline merged in (via cmd/benchjson, which tees the raw
+# output through), then the scheduler-overhead suite — per-placement
+# cost, obs on/off, the parallel numeric pipeline and the reclaim-arena
+# contention probe — as BENCH_sched.json with the pre-change baseline
+# numbers merged in for comparison.
 bench:
 	$(GO) test -run '^$$' -bench 'Contraction' -benchmem . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_kernel_baseline.json -o BENCH_kernel.json
-	$(GO) test -run '^$$' -bench 'SchedulerAssign|RunScheduleOnly' -benchmem ./internal/sched \
+	$(GO) test -run '^$$' -bench 'SchedulerAssign|RunScheduleOnly|NumericPipeline|ArenaContention' -benchmem ./internal/sched \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_sched_baseline.json -o BENCH_sched.json

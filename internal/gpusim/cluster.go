@@ -474,6 +474,19 @@ func (c *Cluster) TotalStats() DeviceStats {
 	return s
 }
 
+// MoveStats returns just the movement counters the placement decision
+// path charges per pair — H2D+P2P bytes, D2H bytes, evictions — so the
+// engine's before/after delta costs three additions per device instead
+// of summing the full thirteen-field stats struct twice.
+func (c *Cluster) MoveStats() (moveBytes, d2hBytes, evictions int64) {
+	for _, d := range c.devices {
+		moveBytes += d.stats.H2DBytes + d.stats.P2PBytes
+		d2hBytes += d.stats.D2HBytes
+		evictions += d.stats.Evictions
+	}
+	return
+}
+
 // GFLOPS returns achieved throughput: total kernel FLOPs divided by the
 // makespan, in GFLOP/s. Zero if nothing ran.
 func (c *Cluster) GFLOPS() float64 {

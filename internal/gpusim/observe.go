@@ -1,7 +1,6 @@
 package gpusim
 
 import (
-	"fmt"
 	"strconv"
 
 	"micco/internal/obs"
@@ -33,12 +32,39 @@ type obsSink struct {
 // numEventKinds is the number of EventKind values (EventFault is last).
 const numEventKinds = int(EventFault) + 1
 
+// kindSeries holds the per-kind metric names, built once at package init
+// so SetObserver — which runs per engine Run — performs no formatting.
+var kindSeries = func() (t [numEventKinds]struct{ count, bytes, busy, dur string }) {
+	for k := range t {
+		kind := strconv.Quote(EventKind(k).String())
+		t[k].count = "micco_sim_events_total{kind=" + kind + "}"
+		t[k].bytes = "micco_sim_bytes_total{kind=" + kind + "}"
+		t[k].busy = "micco_sim_busy_seconds_total{kind=" + kind + "}"
+		t[k].dur = "micco_sim_seconds{kind=" + kind + "}"
+	}
+	return
+}()
+
+// memPeakSeries pre-builds the per-device high-water gauge names for
+// common cluster widths; wider clusters fall back to concatenation.
+var memPeakSeries = func() (t [64]string) {
+	for i := range t {
+		t[i] = memPeakName(i)
+	}
+	return
+}()
+
+func memPeakName(i int) string {
+	return `micco_device_mem_peak_bytes{device="` + strconv.Itoa(i) + `"}`
+}
+
 // SetObserver attaches (or, with nil, detaches) a metrics registry. While
 // attached, every simulated operation — kernels, transfers on each
 // H2D/D2H/P2P channel, evictions — feeds counters and duration histograms,
 // shared-link occupancy and stall time accumulate, and per-device memory
 // high-water marks update live. The observer survives Reset, so one
-// registry can watch a whole run.
+// registry can watch a whole run. Series names come from pre-built label
+// tables: attaching allocates only the registry's own instruments.
 func (c *Cluster) SetObserver(r *obs.Registry) {
 	if r == nil {
 		c.sink = nil
@@ -46,11 +72,10 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 	}
 	s := &obsSink{reg: r}
 	for k := 0; k < numEventKinds; k++ {
-		kind := EventKind(k).String()
-		s.count[k] = r.Counter(fmt.Sprintf("micco_sim_events_total{kind=%q}", kind))
-		s.bytes[k] = r.Counter(fmt.Sprintf("micco_sim_bytes_total{kind=%q}", kind))
-		s.busy[k] = r.Counter(fmt.Sprintf("micco_sim_busy_seconds_total{kind=%q}", kind))
-		s.dur[k] = r.Histogram(fmt.Sprintf("micco_sim_seconds{kind=%q}", kind), obs.DefSecondsBuckets)
+		s.count[k] = r.Counter(kindSeries[k].count)
+		s.bytes[k] = r.Counter(kindSeries[k].bytes)
+		s.busy[k] = r.Counter(kindSeries[k].busy)
+		s.dur[k] = r.Histogram(kindSeries[k].dur, obs.DefSecondsBuckets)
 	}
 	s.hostBusy = r.Counter("micco_sim_hostlink_busy_seconds_total")
 	s.hostStall = r.Counter("micco_sim_hostlink_stall_seconds_total")
@@ -60,7 +85,13 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 	s.interStall = r.Counter("micco_sim_interlink_stall_seconds_total")
 	s.flops = r.Counter("micco_sim_flops_total")
 	for i := range c.devices {
-		s.memPeak = append(s.memPeak, r.Gauge(fmt.Sprintf("micco_device_mem_peak_bytes{device=%q}", strconv.Itoa(i))))
+		var name string
+		if i < len(memPeakSeries) {
+			name = memPeakSeries[i]
+		} else {
+			name = memPeakName(i)
+		}
+		s.memPeak = append(s.memPeak, r.Gauge(name))
 	}
 	c.sink = s
 }
@@ -72,9 +103,14 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 func (s *obsSink) observe(e Event) {
 	k := int(e.Kind)
 	s.count[k].Inc()
-	s.bytes[k].Add(float64(e.Bytes))
-	s.busy[k].Add(e.Duration())
-	s.dur[k].Observe(e.Duration())
+	if e.Bytes != 0 {
+		// Kernel and fault events carry no payload; skipping the add
+		// saves an atomic RMW on the most frequent event kind.
+		s.bytes[k].Add(float64(e.Bytes))
+	}
+	d := e.Duration()
+	s.busy[k].Add(d)
+	s.dur[k].Observe(d)
 	if e.Kind == EventKernel {
 		s.flops.Add(float64(e.FLOPs))
 	}

@@ -127,15 +127,60 @@ type DecisionRecord struct {
 	Recovery bool `json:"recovery,omitempty"`
 }
 
-// RecordDecision appends one decision record. Nil-safe.
-func (r *Registry) RecordDecision(d DecisionRecord) {
-	if r == nil {
+// candChunk is the candidate-arena chunk size (in CandidateScores): big
+// enough that a steady decision stream allocates a fresh chunk only every
+// few hundred records, small enough to waste little on short runs.
+const candChunk = 2048
+
+// RecordDecision appends one decision record. Nil-safe. The pointer is
+// only read: *d is copied into the store and d is never retained or
+// modified.
+//
+// The record's Candidates slice is deep-copied into a registry-owned
+// chunked arena before the record is retained (and before it is fed to
+// the flight recorder), so callers are free to reuse the backing array —
+// the engine recycles one scratch record per run, which (with the
+// by-pointer signature: one struct copy instead of three) keeps the
+// obs-on placement path allocation-free.
+func (r *Registry) RecordDecision(d *DecisionRecord) {
+	if r == nil || d == nil {
 		return
 	}
 	r.mu.Lock()
-	r.decisions = append(r.decisions, d)
+	r.decisions = append(r.decisions, *d)
+	kept := &r.decisions[len(r.decisions)-1]
+	if n := len(kept.Candidates); n > 0 {
+		if cap(r.candArena)-len(r.candArena) < n {
+			r.candArena = make([]CandidateScore, 0, max(candChunk, n))
+		}
+		off := len(r.candArena)
+		r.candArena = append(r.candArena, kept.Candidates...)
+		kept.Candidates = r.candArena[off : off+n : off+n]
+	}
+	fr := r.flight.Load()
+	if fr != nil {
+		fr.RecordDecision(*kept)
+	}
 	r.mu.Unlock()
-	r.flight.Load().RecordDecision(d)
+}
+
+// ReserveDecisions grows the decision store so at least n more records
+// append without reallocation. The engine calls it once per observed run
+// with the workload's pair count, so a steady decision stream never pays
+// append-growth copies (each record is ~200 bytes with pointer fields —
+// regrowth is the dominant obs-on allocation otherwise). Nil-safe.
+func (r *Registry) ReserveDecisions(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cap(r.decisions)-len(r.decisions) >= n {
+		return
+	}
+	grown := make([]DecisionRecord, len(r.decisions), len(r.decisions)+n)
+	copy(grown, r.decisions)
+	r.decisions = grown
 }
 
 // Decisions returns a copy of the decision records in placement order.

@@ -100,7 +100,7 @@ func TestRegistryFeedsFlightRecorder(t *testing.T) {
 	if r.FlightRecorder() != fr {
 		t.Fatal("recorder not attached")
 	}
-	r.RecordDecision(DecisionRecord{Out: 11, Policy: "p"})
+	r.RecordDecision(&DecisionRecord{Out: 11, Policy: "p"})
 	sp := r.StartSpan("run", nil)
 	r.StartSpan("stage", sp).End()
 	sp.End()
@@ -114,7 +114,7 @@ func TestRegistryFeedsFlightRecorder(t *testing.T) {
 	}
 	// Detach: later records no longer feed the rings.
 	r.SetFlightRecorder(nil)
-	r.RecordDecision(DecisionRecord{Out: 12})
+	r.RecordDecision(&DecisionRecord{Out: 12})
 	if s := fr.Snapshot(); s.TotalDecisions != 1 {
 		t.Errorf("detached recorder still fed: %d decisions", s.TotalDecisions)
 	}

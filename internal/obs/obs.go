@@ -37,6 +37,10 @@ type Registry struct {
 	hists     map[string]*Histogram
 	spans     []Span
 	decisions []DecisionRecord
+	// candArena is the current chunk of the registry-owned candidate
+	// copy arena (see RecordDecision); full chunks stay alive through
+	// the decision records pointing into them.
+	candArena []CandidateScore
 
 	nextSpanID atomic.Uint64
 
@@ -179,7 +183,6 @@ type Histogram struct {
 	uppers []float64
 	counts []atomic.Int64 // len(uppers)+1; last is the +Inf bucket
 	sum    Counter
-	n      atomic.Int64
 }
 
 // DefSecondsBuckets are the default duration buckets (seconds) used for
@@ -198,18 +201,29 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.uppers, v) // first upper bound >= v
+	// Linear scan for the first upper bound >= v: bucket lists are short
+	// (DefSecondsBuckets has 7) and a sequential pass beats the call and
+	// branch structure of sort.SearchFloat64s at that size.
+	i, u := 0, h.uppers
+	for i < len(u) && u[i] < v {
+		i++
+	}
 	h.counts[i].Add(1)
 	h.sum.Add(v)
-	h.n.Add(1)
 }
 
-// Count returns the number of observations (0 on nil).
+// Count returns the number of observations (0 on nil). Derived by summing
+// the buckets — an export-time loop over a handful of atomics — so the
+// Observe hot path pays one fewer atomic add.
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.n.Load()
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
 }
 
 // Sum returns the sum of observed values (0 on nil).

@@ -83,7 +83,7 @@ func TestDisabledObservabilityAllocatesNothing(t *testing.T) {
 		sp := r.StartSpan("s", nil)
 		sp.SetAttr("k", "v")
 		sp.End()
-		r.RecordDecision(DecisionRecord{})
+		r.RecordDecision(&DecisionRecord{})
 		_ = r.Snapshot()
 		_ = r.Decisions()
 		_ = r.Spans()
@@ -157,7 +157,7 @@ func TestSnapshotJSONGolden(t *testing.T) {
 	r.Counter("a_total").Add(2)
 	r.Gauge("b").Set(3)
 	r.Histogram("c", []float64{1}).Observe(0.5)
-	r.RecordDecision(DecisionRecord{Stage: 0, Device: 1})
+	r.RecordDecision(&DecisionRecord{Stage: 0, Device: 1})
 	raw, err := json.Marshal(r.Snapshot())
 	if err != nil {
 		t.Fatal(err)

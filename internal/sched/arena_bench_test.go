@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// legacyArena reimplements the pre-sharding buffer recycler — one global
+// mutex over one capacity-keyed map — as the contention baseline for
+// BenchmarkArenaContention. It is deliberately identical to what
+// bufArena replaced.
+type legacyArena struct {
+	mu   sync.Mutex
+	free map[int][][]complex128
+}
+
+func newLegacyArena() *legacyArena {
+	return &legacyArena{free: make(map[int][][]complex128)}
+}
+
+func (a *legacyArena) get(elems int) []complex128 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l := a.free[elems]
+	if len(l) == 0 {
+		return nil
+	}
+	buf := l[len(l)-1]
+	l[len(l)-1] = nil
+	a.free[elems] = l[:len(l)-1]
+	return buf
+}
+
+func (a *legacyArena) put(buf []complex128) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free[cap(buf)] = append(a.free[cap(buf)], buf)
+	a.mu.Unlock()
+}
+
+// arenaSizes are the size classes the contention benchmark cycles
+// through — the distinct output capacities of a small correlator stage.
+var arenaSizes = [...]int{256, 512, 1024, 2048}
+
+// BenchmarkArenaContention measures the reclaim fan-out's storage churn —
+// every worker releasing and re-drawing buffers each level — on the
+// two-tier sharded arena versus the single-mutex design it replaced. The
+// sharded arena's private free lists make the steady-state cycle
+// lock-free per worker; the legacy arena serializes every operation on
+// one mutex, which is exactly the shared lock the reclaim path used to
+// stall on.
+func BenchmarkArenaContention(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded/w=%d", workers), func(b *testing.B) {
+			a := newBufArena(workers)
+			for w := 0; w < workers; w++ { // warm every private list
+				for _, s := range arenaSizes {
+					a.put(w, make([]complex128, s))
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						s := arenaSizes[i%len(arenaSizes)]
+						buf := a.get(w, s)
+						if buf == nil {
+							buf = make([]complex128, s)
+						}
+						a.put(w, buf)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		b.Run(fmt.Sprintf("legacy/w=%d", workers), func(b *testing.B) {
+			a := newLegacyArena()
+			for w := 0; w < workers; w++ { // same warm stock as sharded
+				for _, s := range arenaSizes {
+					a.put(make([]complex128, s))
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						s := arenaSizes[i%len(arenaSizes)]
+						buf := a.get(s)
+						if buf == nil {
+							buf = make([]complex128, s)
+						}
+						a.put(buf)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

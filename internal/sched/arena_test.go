@@ -121,7 +121,8 @@ func TestNumericReclaimFreesDeadTensors(t *testing.T) {
 // TestBuildLivenessExclusions: IDs written twice, or used as both input
 // and output, must not be tracked for reclamation. FromStages rejects
 // such streams outright, so the workload is assembled by hand — the same
-// defensive stance buildJobs takes for its write-after-write chains.
+// defensive stance the level partitioner takes for its
+// write-after-write chains.
 func TestBuildLivenessExclusions(t *testing.T) {
 	d := func(id uint64) tensor.Desc { return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 4, Batch: 1} }
 	w := &workload.Workload{

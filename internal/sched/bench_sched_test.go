@@ -46,7 +46,7 @@ var (
 	f0d4Err  error
 )
 
-func f0d4Workload(b *testing.B) *workload.Workload {
+func f0d4Workload(b testing.TB) *workload.Workload {
 	b.Helper()
 	f0d4Once.Do(func() {
 		build, err := redstar.F0D4().BuildPlan()
@@ -157,6 +157,77 @@ func TestAssignZeroAllocsAllSchedulers(t *testing.T) {
 			if avg != 0 {
 				t.Errorf("%s: %g allocs per Assign with obs off, want 0", s.Name(), avg)
 			}
+		})
+	}
+}
+
+// TestObsOnRunAllocsPerPair pins the observed engine's allocation budget:
+// a full obs-on run over the f0d4 deck (fresh registry per run, decision
+// records, pattern counters, sim-event instruments, spans, snapshot) must
+// average at most one allocation per pair. The scratch decision record,
+// the registry's candidate arena and ReserveDecisions pre-sizing hold the
+// steady state near zero; the budget of 1 leaves room for the per-run
+// fixed costs (instrument registration, snapshot) amortized over the
+// deck's 1026 pairs.
+func TestObsOnRunAllocsPerPair(t *testing.T) {
+	w := f0d4Workload(t)
+	c, err := gpusim.NewCluster(gpusim.MI100(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewFixed(core.Bounds{0, 2, 0})
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := sched.Run(context.Background(), w, s, c, sched.Options{Obs: obs.New()}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPair := avg / float64(w.NumPairs()); perPair > 1 {
+		t.Errorf("obs-on run: %.3f allocs/pair (%.0f per run), want <= 1", perPair, avg)
+	}
+}
+
+// BenchmarkNumericPipeline measures the parallel fused numeric pipeline
+// end to end — dependency-level batching, cooperative ContractBatch
+// across the worker pool, scheduling pipelined against numerics — on a
+// chained operand-sharing deck at pool sizes 1 (serial fused baseline), 2
+// (the benchsmoke contract: one parked worker plus the coordinator) and
+// 8. Exact mode; every iteration's fingerprint is checked against the
+// serial engine, so the smoke run in `make check` doubles as a
+// correctness probe. Recorded into BENCH_sched.json by `make bench`.
+func BenchmarkNumericPipeline(b *testing.B) {
+	w, err := workload.Generate(workload.Config{
+		Seed: 29, Stages: 4, VectorSize: 8, TensorDim: 24, Batch: 2,
+		Rank: tensor.RankMeson, RepeatRate: 0.6, ChainRate: 0.5, Dist: workload.Uniform,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(pool int) float64 {
+		c, err := gpusim.NewCluster(gpusim.MI100(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sched.Run(context.Background(), w, core.NewFixed(core.Bounds{0, 2, 0}), c,
+			sched.Options{Numeric: true, NumericSeed: 17, Parallelism: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.NumericFingerprint
+	}
+	want := run(1)
+	if want == 0 {
+		b.Fatal("serial reference produced a zero fingerprint")
+	}
+	for _, pool := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("fused/exact/pool=%d", pool), func(b *testing.B) {
+			pairs := float64(w.NumPairs())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := run(pool); got != want {
+					b.Fatalf("pool %d: fingerprint %x != serial %x", pool, got, want)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*pairs), "ns/pair")
 		})
 	}
 }

@@ -15,59 +15,162 @@ import (
 	"micco/internal/workload"
 )
 
-// numShards is the shard count of the numeric tensor store. Sharding keeps
-// lock contention negligible when many workers read operands and install
-// outputs concurrently.
+// numShards is the shard count of the numeric tensor store. The maps are
+// unlocked: every access happens on the store's single owning goroutine
+// (the engine in serial mode, the pipeline coordinator in concurrent
+// mode), with construction, channel hand-off and the final WaitGroup
+// join providing the happens-before edges; -race validates the claim.
+// Sharding is kept so the final fingerprint walk and tests iterate the
+// store in bounded chunks.
 const numShards = 32
 
-// tensorShard is one RW-locked slice of the tensor store.
+// tensorShard is one slice of the tensor store.
 type tensorShard struct {
-	mu sync.RWMutex
-	m  map[uint64]*tensor.Tensor
+	m map[uint64]*tensor.Tensor
 }
 
-// numericJob is one contraction of the concurrent numeric engine: the pair
-// to execute, the indices of the jobs whose outputs it must wait for, and
-// a channel closed when its own output is installed (per-tensor readiness).
-type numericJob struct {
-	pair workload.Pair
-	deps []int
-	done chan struct{}
+// levelQueueDepth bounds how many dependency-level batches may sit
+// between the scheduling engine and the numeric coordinator. Small and
+// fixed: enough to pipeline stage s+1's scheduling against stage s's
+// numerics, while backpressure keeps a slow numeric stream from piling
+// up unboundedly.
+const levelQueueDepth = 4
+
+// levelizer partitions one stage's contraction stream into dependency
+// levels: level(p) is one past the highest level among the in-stage
+// producers of p's operands (read-after-write), the previous producer of
+// p's output (write-after-write) and the previous readers of p's output
+// (write-after-read). Pairs within one level are mutually independent —
+// no output duplicated, no operand produced or overwritten by a peer —
+// so each level is safe to run as one fused tensor.ContractBatch; levels
+// execute in order. A stage both front ends emit is entirely level 0 and
+// fuses whole, exactly like the old independence classifier; hand-built
+// FromStages chains split into as many levels as their longest chain.
+// All scratch (maps, buckets, the level-sorted order) is reused across
+// stages, so steady-state partitioning allocates nothing.
+type levelizer struct {
+	prod   map[uint64]int // id -> producing pair's level + 1
+	read   map[uint64]int // id -> max reading level + 1 of current version
+	lvls   []int
+	order  []workload.Pair
+	starts []int
+	cur    []int
+	levels [][]workload.Pair
+}
+
+// partition splits pairs into dependency levels, preserving stream order
+// within each level. The returned slices alias either the input (single
+// level) or the levelizer's scratch — valid only until the next call.
+func (l *levelizer) partition(pairs []workload.Pair) [][]workload.Pair {
+	if l.prod == nil {
+		l.prod = make(map[uint64]int)
+		l.read = make(map[uint64]int)
+	}
+	clear(l.prod)
+	clear(l.read)
+	if cap(l.lvls) < len(pairs) {
+		l.lvls = make([]int, len(pairs))
+	}
+	lvls := l.lvls[:len(pairs)]
+	maxLvl := 0
+	for i, p := range pairs {
+		lvl := 0
+		if v := l.prod[p.A.ID]; v > lvl {
+			lvl = v
+		}
+		if v := l.prod[p.B.ID]; v > lvl {
+			lvl = v
+		}
+		if v := l.prod[p.Out.ID]; v > lvl {
+			lvl = v
+		}
+		if v := l.read[p.Out.ID]; v > lvl {
+			lvl = v
+		}
+		lvls[i] = lvl
+		if lvl > maxLvl {
+			maxLvl = lvl
+		}
+		if lvl+1 > l.read[p.A.ID] {
+			l.read[p.A.ID] = lvl + 1
+		}
+		if lvl+1 > l.read[p.B.ID] {
+			l.read[p.B.ID] = lvl + 1
+		}
+		// The write opens a fresh version: readers of the old one are
+		// already fenced by the floors above.
+		l.prod[p.Out.ID] = lvl + 1
+		l.read[p.Out.ID] = 0
+	}
+	l.levels = l.levels[:0]
+	if maxLvl == 0 {
+		l.levels = append(l.levels, pairs)
+		return l.levels
+	}
+	// Stable counting sort by level into the reused order scratch.
+	n := maxLvl + 1
+	if cap(l.starts) < n+1 {
+		l.starts = make([]int, n+1)
+	}
+	starts := l.starts[:n+1]
+	for i := range starts {
+		starts[i] = 0
+	}
+	for _, lv := range lvls {
+		starts[lv+1]++
+	}
+	for i := 1; i <= n; i++ {
+		starts[i] += starts[i-1]
+	}
+	if cap(l.order) < len(pairs) {
+		l.order = make([]workload.Pair, len(pairs))
+	}
+	order := l.order[:len(pairs)]
+	if cap(l.cur) < n {
+		l.cur = make([]int, n)
+	}
+	cur := l.cur[:n]
+	copy(cur, starts[:n])
+	for i, p := range pairs {
+		order[cur[lvls[i]]] = p
+		cur[lvls[i]]++
+	}
+	for k := 0; k < n; k++ {
+		l.levels = append(l.levels, order[starts[k]:starts[k+1]])
+	}
+	return l.levels
 }
 
 // numericStore executes the contraction stream with real complex128
 // arithmetic so tests and examples can validate that scheduling decisions
 // never change numerical results.
 //
-// With a pool size of one it runs on the engine goroutine (the serial
-// engine), queuing each stage's contractions and executing them as one
-// fused batch at the stage boundary (see flushStage). With a larger
-// pool it precomputes the stream's dependency graph (read-after-write
-// through operand tensors, plus write-after-write and write-after-read
-// chains should a workload ever reuse an output ID) and runs the
-// contractions on a bounded worker pool: each starts as soon as its
-// operands exist, overlapping numeric work with scheduling and simulation.
-// Because every contraction reads exactly the operand versions the serial
-// order would produce, results are bit-for-bit identical at any pool size.
+// exec queues each placed pair; flushStage, called by the engine at every
+// stage boundary, partitions the queued stream into dependency levels and
+// executes each level as one fused tensor.ContractBatch — every unique
+// operand packed once, shared across all its readers. With a pool size of
+// one this happens inline on the engine goroutine. With a larger pool the
+// levels are handed over a bounded channel to a pipeline coordinator that
+// runs them on a persistent cooperative worker pool
+// (tensor.BatchPipeline), so stage s+1's scheduling and simulation
+// overlap stage s's numerics. Because fused exact batches are
+// bit-identical to the pairwise path and levels replay the stream order,
+// results are bit-for-bit identical at any pool size.
 type numericStore struct {
 	shards  [numShards]tensorShard
-	workers int // kernel workers per contraction in serial mode
+	workers int // kernel workers per batch in serial mode
 	// mode selects the kernel tier every contraction runs under:
 	// tensor.ModeExact (the default, bit-identical to the seed kernels) or
 	// tensor.ModeFast with Options.FastKernels.
 	mode tensor.KernelMode
 
-	// Stage-fusion state of the serial engine (fuse is false on the
-	// concurrent pool: the pool already overlaps contractions, and fusing
-	// would serialize them again behind a stage barrier). exec queues each
-	// pair into pending; flushStage, called by the engine at the stage
-	// boundary, executes the whole stage as one tensor.ContractBatch when
-	// the stage is independent — every unique operand packed once —
-	// and falls back to the pairwise path otherwise. Bit-identical either
-	// way in exact mode.
-	fuse     bool
+	// Stage accumulation and level-execution scratch, owned by whichever
+	// goroutine runs the level (engine in serial mode, coordinator in
+	// concurrent mode — never both; lv and pending are always
+	// engine-side).
 	pending  []workload.Pair
 	batchOps []tensor.BatchOp
+	lv       levelizer
 
 	// Dead-tensor reclamation state (Options.NumericReclaim). readsLeft
 	// counts, per tensor ID, the operand reads the stream has yet to
@@ -78,57 +181,31 @@ type numericStore struct {
 	// output) are simply absent from the map and never reclaimed.
 	reclaim   bool
 	readsLeft map[uint64]*atomic.Int64
-	arena     bufArena
-	normMu    sync.Mutex
+	arena     *bufArena
 	norms     map[uint64]float64 // final norms of reclaimed tensors
+	// Reclamation fan-out scratch (coordinator-owned).
+	deadT    []*tensor.Tensor
+	deadIDs  []uint64
+	deadNorm []float64
 
 	// obs, when non-nil, receives per-worker busy/wait/utilization gauges
-	// at pool shutdown. Timing is only measured when set, so the disabled
-	// path pays nothing.
+	// at pipeline shutdown. Timing is only measured when set, so the
+	// disabled path pays nothing.
 	obs *obs.Registry
 
-	// Concurrent-mode state; jobs is nil in serial mode.
-	jobs      []*numericJob
+	// Concurrent pipeline state; batchQ is nil in serial mode.
+	pool      int
+	bp        *tensor.BatchPipeline
+	batchQ    chan []workload.Pair
+	freeQ     chan []workload.Pair
 	parentCtx context.Context
 	runCtx    context.Context
 	cancel    context.CancelFunc
 	wg        sync.WaitGroup
 	errMu     sync.Mutex
-	errs      []error // indexed by job; lowest index wins
+	err       error // first error in stream order
+	closeOnce sync.Once
 	stopOnce  sync.Once
-}
-
-// bufArena is a free list of dead tensors' storage, keyed by capacity.
-// Contractions draw their output buffers from it, so a steady-state
-// numeric run holds only the live working set instead of every tensor the
-// stream ever produced.
-type bufArena struct {
-	mu   sync.Mutex
-	free map[int][][]complex128
-}
-
-// get pops a recycled buffer of exactly the given capacity, or returns
-// nil (the kernel then allocates fresh storage).
-func (a *bufArena) get(elems int) []complex128 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	l := a.free[elems]
-	if len(l) == 0 {
-		return nil
-	}
-	buf := l[len(l)-1]
-	a.free[elems] = l[:len(l)-1]
-	return buf
-}
-
-// put recycles a dead tensor's storage.
-func (a *bufArena) put(buf []complex128) {
-	if cap(buf) == 0 {
-		return
-	}
-	a.mu.Lock()
-	a.free[cap(buf)] = append(a.free[cap(buf)], buf)
-	a.mu.Unlock()
 }
 
 func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*numericStore, error) {
@@ -149,10 +226,14 @@ func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*
 		}
 		s.shards[shardFor(d.ID)].m[d.ID] = t
 	}
+	pool := opts.PoolSize()
+	if pool < 1 {
+		pool = 1
+	}
 	if opts.NumericReclaim {
 		s.reclaim = true
 		s.readsLeft = buildLiveness(w)
-		s.arena.free = make(map[int][][]complex128)
+		s.arena = newBufArena(pool)
 		s.norms = make(map[uint64]float64)
 		// Inputs the stream never reads are dead on arrival.
 		for _, d := range w.Inputs {
@@ -161,210 +242,126 @@ func newNumericStore(ctx context.Context, w *workload.Workload, opts Options) (*
 			}
 		}
 	}
-	if opts.PoolSize() <= 1 {
-		s.fuse = true
+	if pool <= 1 {
 		return s, nil
 	}
 	s.obs = opts.Obs
-	s.buildJobs(w)
+	s.pool = pool
+	s.bp = tensor.NewBatchPipeline(pool)
+	if s.obs != nil {
+		s.bp.EnableTiming()
+	}
 	s.parentCtx = ctx
 	s.runCtx, s.cancel = context.WithCancel(ctx)
-	s.errs = make([]error, len(s.jobs))
-	s.start(opts.PoolSize())
+	s.batchQ = make(chan []workload.Pair, levelQueueDepth)
+	s.freeQ = make(chan []workload.Pair, levelQueueDepth+1)
+	s.wg.Add(1)
+	go s.pipelineLoop()
 	return s, nil
 }
 
 func shardFor(id uint64) int { return int(id % numShards) }
 
-// buildJobs derives the dependency graph of the contraction stream in
-// workload order. For each pair it records the producers of its operands
-// (read-after-write) and, defensively, the previous producer and previous
-// readers of its output ID (write-after-write, write-after-read) — both
-// front ends allocate fresh output IDs, but FromStages accepts arbitrary
-// streams.
-func (s *numericStore) buildJobs(w *workload.Workload) {
-	producer := make(map[uint64]int)  // tensor ID -> job producing its current version
-	readers := make(map[uint64][]int) // tensor ID -> jobs reading its current version
-	for _, st := range w.Stages {
-		for _, p := range st.Pairs {
-			i := len(s.jobs)
-			seen := map[int]bool{}
-			var deps []int
-			addDep := func(j int) {
-				if !seen[j] {
-					seen[j] = true
-					deps = append(deps, j)
-				}
-			}
-			if j, ok := producer[p.A.ID]; ok {
-				addDep(j)
-			}
-			if j, ok := producer[p.B.ID]; ok {
-				addDep(j)
-			}
-			if j, ok := producer[p.Out.ID]; ok {
-				addDep(j)
-			}
-			for _, j := range readers[p.Out.ID] {
-				addDep(j)
-			}
-			readers[p.A.ID] = append(readers[p.A.ID], i)
-			readers[p.B.ID] = append(readers[p.B.ID], i)
-			producer[p.Out.ID] = i
-			readers[p.Out.ID] = nil
-			s.jobs = append(s.jobs, &numericJob{pair: p, deps: deps, done: make(chan struct{})})
-		}
-	}
-}
-
-// start launches the worker pool. Jobs are handed out in workload order,
-// which guarantees progress: the earliest in-flight job only depends on
-// jobs picked up before it, all of which have completed.
-func (s *numericStore) start(pool int) {
-	queue := make(chan int, len(s.jobs))
-	for i := range s.jobs {
-		queue <- i
-	}
-	close(queue)
-	if pool > len(s.jobs) {
-		pool = len(s.jobs)
-	}
-	for w := 0; w < pool; w++ {
-		s.wg.Add(1)
-		go func(id int) {
-			defer s.wg.Done()
-			timed := s.obs != nil
-			var start time.Time
-			if timed {
-				start = time.Now()
-			}
-			var busy, wait time.Duration
-			for i := range queue {
-				b, wt := s.runJob(i)
-				busy += b
-				wait += wt
-			}
-			if timed {
-				label := strconv.Itoa(id)
-				s.obs.Gauge(`micco_numeric_worker_busy_seconds{worker="` + label + `"}`).Set(busy.Seconds())
-				s.obs.Gauge(`micco_numeric_worker_wait_seconds{worker="` + label + `"}`).Set(wait.Seconds())
-				if total := time.Since(start).Seconds(); total > 0 {
-					s.obs.Gauge(`micco_numeric_worker_utilization{worker="` + label + `"}`).Set(busy.Seconds() / total)
-				}
-			}
-		}(w)
-	}
-}
-
-// runJob waits for the job's dependencies, then contracts. Cancellation
-// (external or triggered by another job's error) bails out without
-// executing; the done channel is closed either way so waiters never hang.
-// The returned durations split the job into dependency wait and contraction
-// time; both are zero unless an observability registry is attached.
-func (s *numericStore) runJob(i int) (busy, wait time.Duration) {
-	job := s.jobs[i]
-	defer close(job.done)
-	timed := s.obs != nil
-	var t0 time.Time
-	if timed {
-		t0 = time.Now()
-	}
-	for _, d := range job.deps {
-		select {
-		case <-s.jobs[d].done:
-		case <-s.runCtx.Done():
-			if timed {
-				wait = time.Since(t0)
-			}
-			return
-		}
-	}
-	if timed {
-		wait = time.Since(t0)
-	}
-	// A dependency may have closed its channel while bailing out; re-check
-	// before executing so errors do not cascade into spurious ones.
-	if s.runCtx.Err() != nil {
-		return
-	}
-	if timed {
-		t0 = time.Now()
-	}
-	// The pool provides the parallelism; each kernel runs single-threaded.
-	if err := s.execPair(job.pair, 1); err != nil {
-		s.errMu.Lock()
-		s.errs[i] = err
-		s.errMu.Unlock()
-		s.cancel()
-	}
-	if timed {
-		busy = time.Since(t0)
-	}
-	return
-}
-
-// exec accepts pair p. On the fused serial engine it queues the pair for
-// the stage-boundary flush; on the concurrent engine the pool already owns
-// the pair and exec is a no-op.
+// exec queues pair p for the stage-boundary flush. Identical in both
+// modes: the level partitioning at the boundary decides how the stage
+// actually runs.
 func (s *numericStore) exec(p workload.Pair) error {
-	if s.jobs != nil {
-		return nil
-	}
-	if s.fuse {
-		s.pending = append(s.pending, p)
-		return nil
-	}
-	return s.execPair(p, s.workers)
+	s.pending = append(s.pending, p)
+	return nil
 }
 
-// stageIndependent reports whether the queued pairs form an independent
-// stage: no duplicate outputs, and no pair reads a tensor another pair of
-// the same stage produces (or overwrites). Both front ends emit stages
-// with this property; hand-built FromStages streams may not, and then the
-// stage must run pairwise in order.
-func stageIndependent(pairs []workload.Pair) bool {
-	outs := make(map[uint64]struct{}, len(pairs))
-	for _, p := range pairs {
-		if _, dup := outs[p.Out.ID]; dup {
-			return false
-		}
-		outs[p.Out.ID] = struct{}{}
-	}
-	for _, p := range pairs {
-		if _, ok := outs[p.A.ID]; ok {
-			return false
-		}
-		if _, ok := outs[p.B.ID]; ok {
-			return false
-		}
-	}
-	return true
-}
-
-// flushStage executes the pairs queued since the last stage boundary. An
-// independent stage runs as one tensor.ContractBatch — each unique operand
-// packed into split-complex form exactly once, shared across every pair
-// that reads it — which is bit-identical to the pairwise path in exact
-// mode. A dependent stage (FromStages streams only) falls back to pairwise
-// execution in queue order. Reclamation accounting settles after the
-// batch: counts are exact either way, and reclaimed norms are computed
+// flushStage executes the pairs queued since the last stage boundary,
+// partitioned into dependency levels. Serial mode runs each level inline
+// as one fused batch; concurrent mode copies each level into a recycled
+// buffer and hands it to the pipeline coordinator over the bounded batch
+// queue, returning as soon as the stage is enqueued — that is the
+// pipelining: the engine schedules and simulates stage s+1 while the
+// pool contracts stage s. Reclamation accounting settles after each
+// batch; counts are exact either way and reclaimed norms are computed
 // over identical data, so the fingerprint cannot move.
 func (s *numericStore) flushStage() error {
 	if len(s.pending) == 0 {
-		return nil
-	}
-	pending := s.pending
-	s.pending = s.pending[:0]
-	if !stageIndependent(pending) {
-		for _, p := range pending {
-			if err := s.execPair(p, s.workers); err != nil {
-				return err
-			}
+		if s.batchQ != nil {
+			return s.loadErr()
 		}
 		return nil
 	}
+	levels := s.lv.partition(s.pending)
+	if s.batchQ == nil {
+		var err error
+		for _, lvl := range levels {
+			if err = s.execLevel(lvl, s.workers, nil); err != nil {
+				break
+			}
+		}
+		s.pending = s.pending[:0]
+		return err
+	}
+	for _, lvl := range levels {
+		var buf []workload.Pair
+		select {
+		case buf = <-s.freeQ:
+		default:
+		}
+		buf = append(buf[:0], lvl...)
+		select {
+		case s.batchQ <- buf:
+		case <-s.runCtx.Done():
+			s.pending = s.pending[:0]
+			if err := s.loadErr(); err != nil {
+				return err
+			}
+			return s.runCtx.Err()
+		}
+	}
+	s.pending = s.pending[:0]
+	return s.loadErr()
+}
+
+// pipelineLoop is the numeric coordinator: it drains level batches in
+// FIFO order (preserving the serial stream order, which keeps the first
+// error deterministic) and executes each cooperatively on the persistent
+// worker pool. On error it cancels the run context, unblocking an engine
+// parked on the batch queue. When observability is attached it publishes
+// the per-worker busy/wait/utilization gauges as it exits.
+func (s *numericStore) pipelineLoop() {
+	defer s.wg.Done()
+	timed := s.obs != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	var busy time.Duration
+	for pairs := range s.batchQ {
+		if s.runCtx.Err() == nil {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			if err := s.execLevel(pairs, s.pool, s.bp); err != nil {
+				s.setErr(err)
+			}
+			if timed {
+				busy += time.Since(t0)
+			}
+		}
+		select {
+		case s.freeQ <- pairs:
+		default:
+		}
+	}
+	if timed {
+		s.publishWorkerGauges(time.Since(start), busy)
+	}
+}
+
+// execLevel runs one dependency level as a single fused batch: resolve
+// operands, draw destination buffers, contract (cooperatively on the
+// pipeline when bp is non-nil, otherwise via a one-shot ContractBatch),
+// install outputs, settle reclamation.
+func (s *numericStore) execLevel(pairs []workload.Pair, workers int, bp *tensor.BatchPipeline) error {
 	ops := s.batchOps[:0]
-	for _, p := range pending {
+	for _, p := range pairs {
 		a, ok := s.get(p.A.ID)
 		if !ok {
 			return fmt.Errorf("sched: numeric operand t%d missing", p.A.ID)
@@ -375,24 +372,24 @@ func (s *numericStore) flushStage() error {
 		}
 		dst := &tensor.Tensor{}
 		if s.reclaim {
-			dst.Data = s.arena.get(int(p.Out.Elems()))
+			dst.Data = s.arena.get(0, int(p.Out.Elems()))
 		}
 		ops = append(ops, tensor.BatchOp{Dst: dst, A: a, B: b, OutID: p.Out.ID})
 	}
-	err := tensor.ContractBatch(ops, s.workers, s.mode)
+	var err error
+	if bp != nil {
+		err = bp.Run(ops, s.mode)
+	} else {
+		err = tensor.ContractBatch(ops, workers, s.mode)
+	}
 	if err != nil {
 		err = fmt.Errorf("sched: numeric contraction: %w", err)
 	} else {
-		for i, p := range pending {
+		for i, p := range pairs {
 			s.put(p.Out.ID, ops[i].Dst)
-			if !s.reclaim {
-				continue
-			}
-			s.release(p.A.ID)
-			s.release(p.B.ID)
-			if rl, ok := s.readsLeft[p.Out.ID]; ok && rl.Load() == 0 {
-				s.reclaimTensor(p.Out.ID)
-			}
+		}
+		if s.reclaim {
+			s.settleReclaim(pairs, bp)
 		}
 	}
 	for i := range ops {
@@ -402,40 +399,61 @@ func (s *numericStore) flushStage() error {
 	return err
 }
 
-// execPair reads the operands, contracts, and installs the output. With
-// reclamation on, the output buffer is drawn from the arena and the
-// operands' remaining-read counts are settled once the contraction has
-// finished reading them — the last reader frees a tensor's storage.
-func (s *numericStore) execPair(p workload.Pair, workers int) error {
-	a, ok := s.get(p.A.ID)
-	if !ok {
-		return fmt.Errorf("sched: numeric operand t%d missing", p.A.ID)
-	}
-	b, ok := s.get(p.B.ID)
-	if !ok {
-		return fmt.Errorf("sched: numeric operand t%d missing", p.B.ID)
-	}
-	if !s.reclaim {
-		out, err := tensor.ContractMode(a, b, p.Out.ID, workers, s.mode)
-		if err != nil {
-			return fmt.Errorf("sched: numeric contraction: %w", err)
+// settleReclaim settles the level's operand reads and reclaims every
+// tensor that died: the coordinator removes them from the store (it is
+// the single owner of the shard maps), then norms and arena returns fan
+// out across the pipeline workers — each recycling into its own private
+// free list — or run inline in serial mode. Norms are computed per dead
+// tensor over identical data regardless of fan-out, so the fingerprint
+// is unaffected.
+func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipeline) {
+	dead := s.deadT[:0]
+	ids := s.deadIDs[:0]
+	grab := func(id uint64) {
+		sh := &s.shards[shardFor(id)]
+		if t, ok := sh.m[id]; ok {
+			delete(sh.m, id)
+			dead = append(dead, t)
+			ids = append(ids, id)
 		}
-		s.put(p.Out.ID, out)
-		return nil
 	}
-	out := &tensor.Tensor{Data: s.arena.get(int(p.Out.Elems()))}
-	if err := tensor.ContractIntoMode(out, a, b, p.Out.ID, workers, s.mode); err != nil {
-		return fmt.Errorf("sched: numeric contraction: %w", err)
+	for _, p := range pairs {
+		if rl, ok := s.readsLeft[p.A.ID]; ok && rl.Add(-1) == 0 {
+			grab(p.A.ID)
+		}
+		if rl, ok := s.readsLeft[p.B.ID]; ok && rl.Add(-1) == 0 {
+			grab(p.B.ID)
+		}
+		// An output no later pair reads is dead the moment it is produced.
+		if rl, ok := s.readsLeft[p.Out.ID]; ok && rl.Load() == 0 {
+			grab(p.Out.ID)
+		}
 	}
-	s.put(p.Out.ID, out)
-	s.release(p.A.ID)
-	s.release(p.B.ID)
-	// An output no later pair reads is dead the moment it is produced:
-	// fold its norm into the fingerprint cache and recycle it right away.
-	if rl, ok := s.readsLeft[p.Out.ID]; ok && rl.Load() == 0 {
-		s.reclaimTensor(p.Out.ID)
+	if n := len(dead); n > 0 {
+		if cap(s.deadNorm) < n {
+			s.deadNorm = make([]float64, n)
+		}
+		norms := s.deadNorm[:n]
+		if bp != nil && n > 1 {
+			bp.Do(n, func(w, i int) {
+				norms[i] = dead[i].Norm()
+				s.arena.put(w, dead[i].Data)
+			})
+		} else {
+			for i, t := range dead {
+				norms[i] = t.Norm()
+				s.arena.put(0, t.Data)
+			}
+		}
+		for i, id := range ids {
+			s.norms[id] = norms[i]
+		}
 	}
-	return nil
+	for i := range dead {
+		dead[i] = nil
+	}
+	s.deadT = dead[:0]
+	s.deadIDs = ids[:0]
 }
 
 // buildLiveness counts, per tensor ID, how many operand reads the stream
@@ -480,85 +498,129 @@ func buildLiveness(w *workload.Workload) map[uint64]*atomic.Int64 {
 	return m
 }
 
-// release settles one operand read of tensor id; the reader that drops
-// the count to zero reclaims the tensor. Counts are exact (every future
-// reader is accounted for up front), so a reclaimed tensor can never be
-// observed again.
-func (s *numericStore) release(id uint64) {
-	rl, ok := s.readsLeft[id]
-	if !ok {
-		return // liveness ambiguous; keep resident
-	}
-	if rl.Add(-1) == 0 {
-		s.reclaimTensor(id)
-	}
-}
-
 // reclaimTensor removes a dead tensor from the store, caches its
 // Frobenius norm for the fingerprint (computed over identical data, so the
 // fingerprint stays bit-identical to a run without reclamation), and
-// recycles its storage through the arena.
+// recycles its storage through the arena. Store-owner paths only
+// (constructor, serial engine).
 func (s *numericStore) reclaimTensor(id uint64) {
 	sh := &s.shards[shardFor(id)]
-	sh.mu.Lock()
 	t, ok := sh.m[id]
-	if ok {
-		delete(sh.m, id)
-	}
-	sh.mu.Unlock()
 	if !ok {
 		return
 	}
-	norm := t.Norm()
-	s.normMu.Lock()
-	s.norms[id] = norm
-	s.normMu.Unlock()
-	s.arena.put(t.Data)
+	delete(sh.m, id)
+	s.norms[id] = t.Norm()
+	s.arena.put(0, t.Data)
 }
 
 func (s *numericStore) get(id uint64) (*tensor.Tensor, bool) {
-	sh := &s.shards[shardFor(id)]
-	sh.mu.RLock()
-	t, ok := sh.m[id]
-	sh.mu.RUnlock()
+	t, ok := s.shards[shardFor(id)].m[id]
 	return t, ok
 }
 
 func (s *numericStore) put(id uint64, t *tensor.Tensor) {
-	sh := &s.shards[shardFor(id)]
-	sh.mu.Lock()
-	sh.m[id] = t
-	sh.mu.Unlock()
+	s.shards[shardFor(id)].m[id] = t
 }
 
-// finish waits for every pool job. The first error in workload order wins
-// (deterministic regardless of completion order); external cancellation
-// surfaces as the context's error.
-func (s *numericStore) finish() error {
-	if s.jobs == nil {
-		return nil
+// setErr records the first error of the batch stream (FIFO order, so
+// deterministic) and cancels the run context.
+func (s *numericStore) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
 	}
-	s.wg.Wait()
+	s.errMu.Unlock()
+	s.cancel()
+}
+
+func (s *numericStore) loadErr() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
-	for _, err := range s.errs {
-		if err != nil {
-			return err
-		}
+	return s.err
+}
+
+func (s *numericStore) closeQ() {
+	s.closeOnce.Do(func() { close(s.batchQ) })
+}
+
+// finish drains the pipeline: the batch queue is closed, the coordinator
+// runs out the remaining levels, and the first error in stream order
+// wins. External cancellation surfaces as the context's error.
+func (s *numericStore) finish() error {
+	if s.batchQ == nil {
+		return nil
+	}
+	s.closeQ()
+	s.wg.Wait()
+	if err := s.loadErr(); err != nil {
+		return err
 	}
 	return s.parentCtx.Err()
 }
 
-// shutdown cancels any outstanding pool work and waits for the workers to
-// exit. Idempotent; a no-op on the serial engine and after finish.
+// shutdown cancels outstanding pipeline work, waits for the coordinator
+// and parks the worker pool. Idempotent; a no-op on the serial engine
+// and cheap after finish.
 func (s *numericStore) shutdown() {
-	if s.jobs == nil {
+	if s.batchQ == nil {
 		return
 	}
 	s.stopOnce.Do(func() {
 		s.cancel()
+		s.closeQ()
 		s.wg.Wait()
+		s.bp.Close()
 	})
+}
+
+// publishWorkerGauges emits per-worker busy/wait/utilization gauges:
+// worker 0 is the coordinator (its busy time spans whole levels — operand
+// resolution, cooperative compute, reclamation), workers 1..pool-1 are
+// the pipeline's parked workers. Labels come from a pre-built table, so
+// publishing allocates only the gauge values themselves.
+func (s *numericStore) publishWorkerGauges(total, coordBusy time.Duration) {
+	perWorker := s.bp.WorkerBusy()
+	for w := 0; w < s.pool; w++ {
+		busy := perWorker[w]
+		if w == 0 {
+			busy = coordBusy
+		}
+		wait := total - busy
+		if wait < 0 {
+			wait = 0
+		}
+		busyName, waitName, utilName := workerGaugeNames(w)
+		s.obs.Gauge(busyName).Set(busy.Seconds())
+		s.obs.Gauge(waitName).Set(wait.Seconds())
+		if t := total.Seconds(); t > 0 {
+			s.obs.Gauge(utilName).Set(busy.Seconds() / t)
+		}
+	}
+}
+
+// workerGaugeTable pre-builds the per-worker gauge names for the common
+// pool sizes so publishing is allocation-free; larger pools fall back to
+// concatenation.
+var workerGaugeTable = func() [16][3]string {
+	var t [16][3]string
+	for w := range t {
+		l := strconv.Itoa(w)
+		t[w][0] = `micco_numeric_worker_busy_seconds{worker="` + l + `"}`
+		t[w][1] = `micco_numeric_worker_wait_seconds{worker="` + l + `"}`
+		t[w][2] = `micco_numeric_worker_utilization{worker="` + l + `"}`
+	}
+	return t
+}()
+
+func workerGaugeNames(w int) (busy, wait, util string) {
+	if w < len(workerGaugeTable) {
+		return workerGaugeTable[w][0], workerGaugeTable[w][1], workerGaugeTable[w][2]
+	}
+	l := strconv.Itoa(w)
+	return `micco_numeric_worker_busy_seconds{worker="` + l + `"}`,
+		`micco_numeric_worker_wait_seconds{worker="` + l + `"}`,
+		`micco_numeric_worker_utilization{worker="` + l + `"}`
 }
 
 // fingerprint sums the Frobenius norms of every tensor the run produced,
@@ -566,7 +628,8 @@ func (s *numericStore) shutdown() {
 // deterministic); a compact scheduler-independent checksum of the run's
 // numerics. Tensors reclaimed by the arena contribute their cached norm —
 // computed over the same data at reclamation time — so the fingerprint is
-// bit-identical with reclamation on or off, at any pool size.
+// bit-identical with reclamation on or off, at any pool size. Callers
+// must finish() a concurrent store first (Run does).
 func (s *numericStore) fingerprint() float64 {
 	var ids []uint64
 	norms := make(map[uint64]float64)
@@ -576,12 +639,10 @@ func (s *numericStore) fingerprint() float64 {
 			norms[id] = t.Norm()
 		}
 	}
-	s.normMu.Lock()
 	for id, n := range s.norms {
 		ids = append(ids, id)
 		norms[id] = n
 	}
-	s.normMu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
 	for _, id := range ids {

@@ -54,9 +54,9 @@ func TestFastKernelsFingerprint(t *testing.T) {
 }
 
 // TestFusedStageDependentFallback: a hand-built stage whose second pair
-// reads the first pair's output is not independent; the fused serial
-// engine must detect this and fall back to pairwise execution, matching
-// the dependency-aware pool's result bit for bit.
+// reads the first pair's output is not independent; the level
+// partitioner must split the chain into one level per link, and the
+// engine must match the serial result bit for bit at any pool size.
 func TestFusedStageDependentFallback(t *testing.T) {
 	d := func(id uint64) tensor.Desc { return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 12, Batch: 2} }
 	w := &workload.Workload{
@@ -70,8 +70,9 @@ func TestFusedStageDependentFallback(t *testing.T) {
 			}},
 		},
 	}
-	if stageIndependent(w.Stages[0].Pairs) {
-		t.Fatal("dependent stage classified independent")
+	var lv levelizer
+	if levels := lv.partition(w.Stages[0].Pairs); len(levels) != 3 {
+		t.Fatalf("chained stage split into %d levels, want 3", len(levels))
 	}
 	fp := func(par int) float64 {
 		t.Helper()
@@ -93,25 +94,40 @@ func TestFusedStageDependentFallback(t *testing.T) {
 	}
 }
 
-// TestStageIndependent pins the classifier on the edge shapes it guards.
-func TestStageIndependent(t *testing.T) {
+// TestLevelPartition pins the level partitioner on the edge shapes it
+// guards: independent stages fuse whole, and RAW/WAW/WAR hazards each
+// force a level split that keeps every level internally independent.
+func TestLevelPartition(t *testing.T) {
 	d := func(id uint64) tensor.Desc { return tensor.Desc{ID: id, Rank: tensor.RankMeson, Dim: 8, Batch: 1} }
-	if !stageIndependent([]workload.Pair{
+	var lv levelizer
+	shared := []workload.Pair{
 		{A: d(1), B: d(2), Out: d(10)},
 		{A: d(1), B: d(3), Out: d(11)}, // shared input is fine
-	}) {
-		t.Error("shared-input stage misclassified as dependent")
 	}
-	if stageIndependent([]workload.Pair{
+	if levels := lv.partition(shared); len(levels) != 1 || len(levels[0]) != 2 {
+		t.Errorf("shared-input stage split into %d levels, want one level of 2", len(levels))
+	}
+	waw := []workload.Pair{
 		{A: d(1), B: d(2), Out: d(10)},
 		{A: d(3), B: d(4), Out: d(10)}, // duplicate output
-	}) {
-		t.Error("duplicate-output stage classified independent")
 	}
-	if stageIndependent([]workload.Pair{
+	if levels := lv.partition(waw); len(levels) != 2 {
+		t.Errorf("duplicate-output stage split into %d levels, want 2", len(levels))
+	}
+	war := []workload.Pair{
 		{A: d(10), B: d(2), Out: d(11)}, // reads an ID a later pair overwrites
 		{A: d(1), B: d(2), Out: d(10)},
-	}) {
-		t.Error("write-after-read stage classified independent")
+	}
+	levels := lv.partition(war)
+	if len(levels) != 2 {
+		t.Fatalf("write-after-read stage split into %d levels, want 2", len(levels))
+	}
+	if levels[0][0].Out.ID != 11 || levels[1][0].Out.ID != 10 {
+		t.Errorf("write-after-read levels out of order: %d then %d, want 11 then 10",
+			levels[0][0].Out.ID, levels[1][0].Out.ID)
+	}
+	// Reuse across calls must not leak floors between stages.
+	if again := lv.partition(shared); len(again) != 1 {
+		t.Errorf("levelizer reuse split independent stage into %d levels", len(again))
 	}
 }

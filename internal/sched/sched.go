@@ -275,6 +275,15 @@ type obsRun struct {
 	numeric  *obs.Counter // wall seconds in inline numeric contractions
 }
 
+// patternSeries pre-builds the reuse-pattern counter names so per-run
+// observability setup performs no formatting.
+var patternSeries = func() (t [obs.NumReusePatterns]string) {
+	for p := range t {
+		t[p] = `micco_sched_pattern_total{pattern="` + obs.ReusePattern(p).String() + `"}`
+	}
+	return
+}()
+
 func newObsRun(reg *obs.Registry, s Scheduler, w *workload.Workload) *obsRun {
 	if reg == nil {
 		return nil
@@ -284,21 +293,13 @@ func newObsRun(reg *obs.Registry, s Scheduler, w *workload.Workload) *obsRun {
 	o.runSpan.SetAttr("scheduler", s.Name())
 	o.runSpan.SetAttr("workload", w.Name)
 	for p := 0; p < obs.NumReusePatterns; p++ {
-		o.patterns[p] = reg.Counter(fmt.Sprintf("micco_sched_pattern_total{pattern=%q}", obs.ReusePattern(p).String()))
+		o.patterns[p] = reg.Counter(patternSeries[p])
 	}
 	o.schedule = reg.Counter("micco_engine_schedule_seconds_total")
 	o.simulate = reg.Counter("micco_engine_simulate_seconds_total")
 	o.numeric = reg.Counter("micco_engine_numeric_seconds_total")
+	reg.ReserveDecisions(w.NumPairs())
 	return o
-}
-
-// classifyReuse computes a pair's local reuse pattern against current
-// residency: two index probes, no device loop, no allocation. It lives
-// here so the engine can label decisions of schedulers that never classify
-// (Groute, RoundRobin); internal/core's Classify delegates to the same
-// ClassifyMasks, so the two layers cannot drift.
-func classifyReuse(c *gpusim.Cluster, p workload.Pair) obs.ReusePattern {
-	return ClassifyMasks(c.HoldersMask(p.A.ID), c.HoldersMask(p.B.ID))
 }
 
 // finish closes the run span and publishes the end-of-run gauges: run
@@ -354,6 +355,16 @@ type engine struct {
 	assignAll    []int
 	stageOffsets []int
 	lastCP       *Checkpoint
+	// decRec is the run's single decision-record scratch: placePair
+	// resets and refills it per pair, RecordDecision deep-copies what it
+	// keeps (including Candidates, into the registry's arena), so the
+	// obs-on hot path performs no per-pair allocation.
+	decRec obs.DecisionRecord
+	// clock0 anchors all per-pair wall-time attribution: reading the
+	// clock as a time.Since(clock0) delta costs one monotonic read,
+	// about half a full time.Now (which also fetches wall time), and the
+	// hot loop reads the clock up to three times per pair.
+	clock0 time.Time
 }
 
 // dumpFlight freezes the flight recorder's current tail as the last dump
@@ -435,20 +446,29 @@ func (e *engine) execSim(si, dev int, p workload.Pair) (int64, error) {
 func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
 	sctx, c := e.sctx, e.c
 	var rec *obs.DecisionRecord
-	var before gpusim.DeviceStats
+	var ma, mb gpusim.DevSet
+	var beforeMove, beforeD2H, beforeEvict int64
 	if e.ob != nil {
-		rec = &obs.DecisionRecord{
+		// One scratch record per run: the zero-value reset keeps the
+		// Candidates backing array, which RecordDecision deep-copies into
+		// its own arena, so the obs-on placement path allocates nothing.
+		ma, mb = c.HoldersMask(p.A.ID), c.HoldersMask(p.B.ID)
+		rec = &e.decRec
+		cands := rec.Candidates[:0]
+		*rec = obs.DecisionRecord{
 			Stage: si, Pair: pi,
 			Out: p.Out.ID, A: p.A.ID, B: p.B.ID,
 			BalanceNum: sctx.BalanceNum, BoundIndex: -1,
-			Pattern:  classifyReuse(c, p),
-			Recovery: recovery,
+			Pattern:    ClassifyMasks(ma, mb),
+			Recovery:   recovery,
+			Candidates: cands,
 		}
 		sctx.Decision = rec
 	}
-	t0 := time.Now()
+	tA := time.Since(e.clock0)
 	dev := e.s.Assign(p, sctx)
-	d0 := time.Since(t0)
+	tB := time.Since(e.clock0)
+	d0 := tB - tA
 	e.overhead += d0
 	e.scheduleW += d0
 	if dev < 0 || dev >= e.n {
@@ -461,27 +481,27 @@ func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
 		sctx.Decision = nil
 		rec.Device = dev
 		rec.SimTime = c.Device(dev).Clock()
-		if !c.HoldersMask(p.A.ID).Has(dev) {
+		// Assign never moves data, so the pre-Assign masks still describe
+		// residency here.
+		if !ma.Has(dev) {
 			rec.PredictedBytes += p.A.Bytes()
 		}
-		if !c.HoldersMask(p.B.ID).Has(dev) && p.B.ID != p.A.ID {
+		if !mb.Has(dev) && p.B.ID != p.A.ID {
 			rec.PredictedBytes += p.B.Bytes()
 		}
-		before = c.TotalStats()
-		t0 = time.Now()
+		beforeMove, beforeD2H, beforeEvict = c.MoveStats()
 	}
 	flops, err := e.execSim(si, dev, p)
 	if err != nil {
 		return err
 	}
 	if rec != nil {
-		e.simulateW += time.Since(t0)
-		after := c.TotalStats()
-		rec.ActualBytes = (after.H2DBytes + after.P2PBytes) - (before.H2DBytes + before.P2PBytes)
-		rec.ActualD2HBytes = after.D2HBytes - before.D2HBytes
-		rec.Evictions = after.Evictions - before.Evictions
+		afterMove, afterD2H, afterEvict := c.MoveStats()
+		rec.ActualBytes = afterMove - beforeMove
+		rec.ActualD2HBytes = afterD2H - beforeD2H
+		rec.Evictions = afterEvict - beforeEvict
 		e.ob.patterns[rec.Pattern].Inc()
-		e.ob.reg.RecordDecision(*rec)
+		e.ob.reg.RecordDecision(rec)
 	}
 	sctx.StageLoad[dev] += 2
 	sctx.Comp[dev] += float64(flops) / c.Device(dev).Profile().FLOPS
@@ -494,14 +514,15 @@ func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
 		}
 	}
 	if !recovery && e.store != nil {
+		var tN time.Duration
 		if e.ob != nil {
-			t0 = time.Now()
+			tN = time.Since(e.clock0)
 		}
 		if err := e.store.exec(p); err != nil {
 			return err
 		}
 		if e.ob != nil {
-			e.numericW += time.Since(t0)
+			e.numericW += time.Since(e.clock0) - tN
 		}
 	}
 	if e.assignAll != nil {
@@ -586,7 +607,7 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		Down:      c.FailedMask(),
 	}
 	res := &Result{Scheduler: s.Name(), Workload: w.Name}
-	e := &engine{ctx: ctx, w: w, s: s, c: c, opts: opts, ob: ob, sctx: sctx, store: store, res: res, n: n}
+	e := &engine{ctx: ctx, w: w, s: s, c: c, opts: opts, ob: ob, sctx: sctx, store: store, res: res, n: n, clock0: time.Now()}
 	if opts.FaultPlan != nil {
 		e.fr = newFaultRun(opts.FaultPlan, resume, opts.Obs)
 	}
@@ -644,12 +665,14 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		sctx.Features = w.StageFeatures(si)
 		var stageSpan *obs.ActiveSpan
 		var simStart float64
+		var stageT0 time.Duration
 		e.scheduleW, e.simulateW, e.numericW = 0, 0, 0
 		if ob != nil {
 			stageSpan = ob.reg.StartSpan("stage", ob.runSpan)
 			stageSpan.SetAttr("index", strconv.Itoa(si))
 			stageSpan.SetAttr("pairs", strconv.Itoa(len(st.Pairs)))
 			simStart = c.Makespan()
+			stageT0 = time.Since(e.clock0)
 		}
 		t0 := time.Now()
 		s.BeginStage(sctx)
@@ -681,6 +704,15 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		}
 		c.Barrier()
 		if ob != nil {
+			// Simulate time is attributed as the stage-wall remainder:
+			// everything outside scheduler calls and numeric work is the
+			// timing simulation plus the engine's own (tiny) loop
+			// bookkeeping. Deriving it this way keeps the per-pair loop at
+			// two clock reads — the same as the obs-off path.
+			e.simulateW = time.Since(e.clock0) - stageT0 - e.scheduleW - e.numericW
+			if e.simulateW < 0 {
+				e.simulateW = 0
+			}
 			ob.schedule.Add(e.scheduleW.Seconds())
 			ob.simulate.Add(e.simulateW.Seconds())
 			ob.numeric.Add(e.numericW.Seconds())

@@ -15,9 +15,15 @@ import (
 // contraction re-packs its operands into split-complex panels — the
 // shared operand is converted once per pair. ContractBatch fuses the
 // stage: each unique operand tensor is packed exactly once into a pooled
-// split arena, a pack barrier makes in-place outputs safe, and then all
-// (op, group) work items stream through the micro-kernels and unpack
-// once into their destinations.
+// split arena, and all (op, group) work items stream through the
+// micro-kernels and unpack once into their destinations.
+//
+// Pack and compute overlap through a two-phase work list: a single atomic
+// counter hands out every pack item before any compute item, and each
+// compute item waits (spin + Gosched) only for its own two operand panels
+// to be published — not for the whole pack phase. Workers that finish
+// packing early start computing against ready panels while stragglers
+// still pack, instead of idling at a full barrier.
 //
 // In ModeExact the fused path is bit-identical to running ContractInto
 // per op by construction: packing is pure data movement, and the per-row
@@ -27,67 +33,104 @@ import (
 // BatchOp is one contraction of a stage batch: Dst = A x B with output
 // identity OutID. Dst follows ContractInto's destination contract and
 // may alias A or B of the SAME op; it must not alias another op's
-// operand or destination (the scheduler's stage-independence check
-// enforces this before fusing a stage).
+// operand or destination (the scheduler's level partitioning enforces
+// this before fusing a batch).
 type BatchOp struct {
 	Dst, A, B *Tensor
 	OutID     uint64
 }
 
-// splitPanel is a whole tensor unpacked into split-complex form.
+// splitPanel is a whole tensor unpacked into split-complex form. ready
+// flips to 1 once the panel's contents are fully packed; compute items
+// spin on it, which is what lets packing and computing overlap.
 type splitPanel struct {
 	re, im []float64
+	ready  atomic.Uint32
 }
 
 // splitPool recycles whole-tensor split panels across stage batches.
 var splitPool = sync.Pool{New: func() any { return new(splitPanel) }}
 
-// ContractBatch executes all ops of a stage, packing each unique operand
-// tensor once. Work is parallelized across workers goroutines (<=0
-// selects GOMAXPROCS) at group granularity, like ContractInto. Every op
-// is validated before any destination is sized, so on error no op has
-// been executed. Ops too small for the packed kernel (or forced to the
-// fallback) run through the pairwise path instead; they produce the same
-// bits either way.
-func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
-	if len(ops) == 0 {
-		return nil
+// waitPanel blocks until the panel's pack item has published its
+// contents. The atomic load pairs with the Store(1) in the pack item, so
+// the panel data is visible afterwards. Gosched keeps the spin
+// cooperative — essential when workers outnumber Ps.
+func waitPanel(p *splitPanel) {
+	for p.ready.Load() == 0 {
+		runtime.Gosched()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+}
 
-	type opPlan struct {
-		n, groups int
-		fused     bool
-	}
-	plans := make([]opPlan, len(ops))
+// opPlan is the per-op execution plan of one batch.
+type opPlan struct {
+	n, groups int
+	fused     bool
+	aP, bP    *splitPanel // operand panels (fused ops only)
+}
+
+// fusedItem is one (op, group) compute work item.
+type fusedItem struct{ op, g int32 }
+
+// batchState is the reusable execution state of one fused batch: the
+// validated plans, the unique-operand panel set, and the two-phase work
+// list (pack items first, compute items after) that workers drain
+// through a shared atomic counter. States recycle through statePool so a
+// steady-state batch stream allocates nothing.
+type batchState struct {
+	ops      []BatchOp
+	mode     KernelMode
+	plans    []opPlan
+	panels   map[*Tensor]*splitPanel
+	packList []*Tensor
+	items    []fusedItem
+	maxN     int // largest fused group dimension (sizes worker scratch)
+	next     atomic.Int64
+}
+
+// statePool recycles batch states across ContractBatch and BatchPipeline
+// calls.
+var statePool = sync.Pool{New: func() any {
+	return &batchState{panels: make(map[*Tensor]*splitPanel)}
+}}
+
+// planBatch validates every op, sizes destinations, runs the unfused
+// (small-dimension) ops through the pairwise path, and builds the fused
+// work list. On error no destination has been sized and no op executed.
+// Returns (nil, nil) when nothing is left to fuse.
+func planBatch(ops []BatchOp, workers int, mode KernelMode) (*batchState, error) {
+	st := statePool.Get().(*batchState)
+	st.ops = ops
+	st.mode = mode
+	st.plans = st.plans[:0]
 	for i, op := range ops {
 		if op.Dst == nil {
-			return fmt.Errorf("tensor: ContractBatch op %d with nil destination", i)
+			st.abort()
+			return nil, fmt.Errorf("tensor: ContractBatch op %d with nil destination", i)
 		}
 		od, err := ContractOut(op.A.Desc, op.B.Desc, op.OutID)
 		if err != nil {
-			return fmt.Errorf("tensor: ContractBatch op %d: %w", i, err)
+			st.abort()
+			return nil, fmt.Errorf("tensor: ContractBatch op %d: %w", i, err)
 		}
 		if len(op.A.Data) == 0 || len(op.B.Data) == 0 {
-			return fmt.Errorf("tensor: ContractBatch op %d on metadata-only tensor %v", i, op.A.Desc)
+			st.abort()
+			return nil, fmt.Errorf("tensor: ContractBatch op %d on metadata-only tensor %v", i, op.A.Desc)
 		}
 		groups := od.Batch
 		if od.Rank == RankBaryon {
 			groups = od.Batch * od.Dim
 		}
-		plans[i] = opPlan{
+		st.plans = append(st.plans, opPlan{
 			n:      od.Dim,
 			groups: groups,
 			fused:  od.Dim >= soaMinDim && !forceFallbackKernel,
-		}
+		})
 	}
 
 	// Size destinations and run the unfused ops through the pairwise
 	// path. Their inputs are plain tensor data, untouched by the fused
-	// phase below (stage independence: no Dst aliases another op's
-	// operand), so ordering relative to the fused phase is free.
+	// phase (batch independence: no Dst aliases another op's operand), so
+	// ordering relative to the fused phase is free.
 	for i, op := range ops {
 		od, _ := ContractOut(op.A.Desc, op.B.Desc, op.OutID)
 		elems := int(od.Elems())
@@ -97,115 +140,198 @@ func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
 			op.Dst.Data = make([]complex128, elems)
 		}
 		op.Dst.Desc = od
-		if !plans[i].fused {
-			batchedMatMul(op.Dst.Data, op.A.Data, op.B.Data, plans[i].groups, plans[i].n, workers, mode)
+		if !st.plans[i].fused {
+			batchedMatMul(op.Dst.Data, op.A.Data, op.B.Data, st.plans[i].groups, st.plans[i].n, workers, mode)
 		}
 	}
 
-	// Pack each unique operand of the fused ops exactly once.
-	panels := make(map[*Tensor]*splitPanel)
-	var packList []*Tensor
+	// Collect each unique operand of the fused ops exactly once and give
+	// it a pooled panel. The panel map and pack list are reused across
+	// batches; panels are published unready and flip ready as packed.
+	st.packList = st.packList[:0]
+	st.maxN = 0
 	for i, op := range ops {
-		if !plans[i].fused {
+		if !st.plans[i].fused {
 			continue
+		}
+		if st.plans[i].n > st.maxN {
+			st.maxN = st.plans[i].n
 		}
 		for _, t := range [2]*Tensor{op.A, op.B} {
-			if _, ok := panels[t]; !ok {
-				panels[t] = nil
-				packList = append(packList, t)
+			if _, ok := st.panels[t]; !ok {
+				p := splitPool.Get().(*splitPanel)
+				p.re = growf(p.re, len(t.Data))
+				p.im = growf(p.im, len(t.Data))
+				p.ready.Store(0)
+				st.panels[t] = p
+				st.packList = append(st.packList, t)
 			}
 		}
 	}
-	if len(packList) == 0 {
-		return nil
+	if len(st.packList) == 0 {
+		st.abort()
+		return nil, nil
 	}
-	for _, t := range packList {
-		p := splitPool.Get().(*splitPanel)
-		p.re = growf(p.re, len(t.Data))
-		p.im = growf(p.im, len(t.Data))
-		panels[t] = p
-	}
-	parallelItems(workers, len(packList), func(w, i int) {
-		t := packList[i]
-		p := panels[t]
-		packSplit(p.re, p.im, t.Data)
-	})
-
-	// Pack barrier passed: every fused input is in split form, so writing
-	// destinations (possibly aliasing those inputs) is now safe. Work items
-	// are ordered group-major — group g of every op before group g+1 of any
-	// — so consecutive items hit the same panel offsets of shared operands
-	// while they are still cache-hot; op-major order would evict a shared
-	// operand's group between its readers.
-	type fusedItem struct{ op, g int32 }
-	var fusedOps []int
-	maxGroups := 0
-	total := 0
 	for i := range ops {
-		if !plans[i].fused {
-			continue
-		}
-		fusedOps = append(fusedOps, i)
-		total += plans[i].groups
-		if plans[i].groups > maxGroups {
-			maxGroups = plans[i].groups
+		if st.plans[i].fused {
+			st.plans[i].aP = st.panels[ops[i].A]
+			st.plans[i].bP = st.panels[ops[i].B]
 		}
 	}
-	items := make([]fusedItem, 0, total)
+
+	// Compute items are ordered group-major — group g of every op before
+	// group g+1 of any — so consecutive items hit the same panel offsets
+	// of shared operands while they are still cache-hot; op-major order
+	// would evict a shared operand's group between its readers.
+	maxGroups := 0
+	for i := range ops {
+		if st.plans[i].fused && st.plans[i].groups > maxGroups {
+			maxGroups = st.plans[i].groups
+		}
+	}
+	st.items = st.items[:0]
 	for g := 0; g < maxGroups; g++ {
-		for _, oi := range fusedOps {
-			if g < plans[oi].groups {
-				items = append(items, fusedItem{int32(oi), int32(g)})
+		for i := range ops {
+			if st.plans[i].fused && g < st.plans[i].groups {
+				st.items = append(st.items, fusedItem{int32(i), int32(g)})
 			}
 		}
 	}
-	bufs := make([]*packBuf, workers)
-	parallelItems(workers, len(items), func(w, item int) {
-		it := items[item]
-		op := ops[it.op]
-		plan := plans[it.op]
-		n := plan.n
-		off := int(it.g) * n * n
-		buf := bufs[w]
-		if buf == nil {
-			buf = getPackBuf(n)
-			bufs[w] = buf
-		}
-		aP, bP := panels[op.A], panels[op.B]
-		aRe := aP.re[off : off+n*n]
-		aIm := aP.im[off : off+n*n]
-		bRe := bP.re[off : off+n*n]
-		bIm := bP.im[off : off+n*n]
-		dst := op.Dst.Data[off : off+n*n]
-		if tier := fastTierFor(n); mode == ModeFast && tier != tierScalar {
-			buf.cRe = growf(buf.cRe, n*n)
-			buf.cIm = growf(buf.cIm, n*n)
-			mulPackedFast(buf.cRe, buf.cIm, aRe, aIm, bRe, bIm, n, panelKC(n, tier), tier)
-			unpackMerge(dst, buf.cRe, buf.cIm)
+	st.next.Store(0)
+	return st, nil
+}
+
+// workItems is the total two-phase work-list length.
+func (st *batchState) workItems() int { return len(st.packList) + len(st.items) }
+
+// work drains the two-phase work list: every pack item is handed out
+// before any compute item, and each compute item waits only for its own
+// operand panels. Safe for any number of concurrent callers; each brings
+// its own scratch buffer.
+func (st *batchState) work(buf *packBuf) {
+	nPack := len(st.packList)
+	total := nPack + len(st.items)
+	for {
+		i := int(st.next.Add(1)) - 1
+		if i >= total {
 			return
 		}
-		// Exact compute: the same per-row kernels contractGroupSoA runs,
-		// fed the same packed values — bit-identical to the pairwise path.
-		buf.cRe = growf(buf.cRe, n)
-		buf.cIm = growf(buf.cIm, n)
-		for i := 0; i < n; i++ {
-			lo := 0
-			if useAVX2 && !forceScalarKernel && n >= 8 {
-				lo = n &^ 7
-				rowKernelAVX2(&buf.cRe[0], &buf.cIm[0], &aRe[i*n], &aIm[i*n], &bRe[0], &bIm[0], n)
-			}
-			rowKernelScalar(buf.cRe, buf.cIm, aRe[i*n:i*n+n], aIm[i*n:i*n+n], bRe, bIm, n, lo)
-			unpackMerge(dst[i*n:i*n+n], buf.cRe, buf.cIm)
+		if i < nPack {
+			t := st.packList[i]
+			p := st.panels[t]
+			packSplit(p.re, p.im, t.Data)
+			p.ready.Store(1)
+			continue
 		}
-	})
-	for _, buf := range bufs {
-		if buf != nil {
-			putPackBuf(buf)
+		st.compute(st.items[i-nPack], buf)
+	}
+}
+
+// compute executes one (op, group) item once its operand panels are
+// packed.
+func (st *batchState) compute(it fusedItem, buf *packBuf) {
+	op := st.ops[it.op]
+	plan := &st.plans[it.op]
+	n := plan.n
+	off := int(it.g) * n * n
+	waitPanel(plan.aP)
+	waitPanel(plan.bP)
+	aRe := plan.aP.re[off : off+n*n]
+	aIm := plan.aP.im[off : off+n*n]
+	bRe := plan.bP.re[off : off+n*n]
+	bIm := plan.bP.im[off : off+n*n]
+	dst := op.Dst.Data[off : off+n*n]
+	if tier := fastTierFor(n); st.mode == ModeFast && tier != tierScalar {
+		buf.cRe = growf(buf.cRe, n*n)
+		buf.cIm = growf(buf.cIm, n*n)
+		mulPackedFast(buf.cRe, buf.cIm, aRe, aIm, bRe, bIm, n, panelKC(n, tier), tier)
+		unpackMerge(dst, buf.cRe, buf.cIm)
+		return
+	}
+	// Exact compute: the same per-row kernels contractGroupSoA runs,
+	// fed the same packed values — bit-identical to the pairwise path.
+	buf.cRe = growf(buf.cRe, n)
+	buf.cIm = growf(buf.cIm, n)
+	for i := 0; i < n; i++ {
+		lo := 0
+		if useAVX2 && !forceScalarKernel && n >= 8 {
+			lo = n &^ 7
+			rowKernelAVX2(&buf.cRe[0], &buf.cIm[0], &aRe[i*n], &aIm[i*n], &bRe[0], &bIm[0], n)
 		}
+		rowKernelScalar(buf.cRe, buf.cIm, aRe[i*n:i*n+n], aIm[i*n:i*n+n], bRe, bIm, n, lo)
+		unpackMerge(dst[i*n:i*n+n], buf.cRe, buf.cIm)
 	}
-	for _, t := range packList {
-		splitPool.Put(panels[t])
+}
+
+// release returns the state's panels and the state itself to their
+// pools, dropping tensor references so the batch keeps nothing alive.
+func (st *batchState) release() {
+	for _, t := range st.packList {
+		p := st.panels[t]
+		p.ready.Store(0)
+		splitPool.Put(p)
 	}
+	st.abort()
+}
+
+// abort recycles a state that never ran (panels, if any, must already be
+// back in their pool via release).
+func (st *batchState) abort() {
+	clear(st.panels)
+	st.packList = st.packList[:0]
+	st.items = st.items[:0]
+	for i := range st.plans {
+		st.plans[i].aP, st.plans[i].bP = nil, nil
+	}
+	st.plans = st.plans[:0]
+	st.ops = nil
+	statePool.Put(st)
+}
+
+// ContractBatch executes all ops of a stage, packing each unique operand
+// tensor once. Work is parallelized across workers goroutines (<=0
+// selects GOMAXPROCS) at group granularity, like ContractInto, with the
+// pack and compute phases overlapped. Every op is validated before any
+// destination is sized, so on error no op has been executed. Ops too
+// small for the packed kernel (or forced to the fallback) run through
+// the pairwise path instead; they produce the same bits either way.
+// Plans, panels and work lists are pooled: steady-state fused batches
+// allocate nothing.
+func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st, err := planBatch(ops, workers, mode)
+	if st == nil || err != nil {
+		return err
+	}
+	if n := st.workItems(); workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := getPackBuf(st.maxN)
+				st.work(buf)
+				putPackBuf(buf)
+			}()
+		}
+		buf := getPackBuf(st.maxN)
+		st.work(buf)
+		putPackBuf(buf)
+		wg.Wait()
+	} else {
+		buf := getPackBuf(st.maxN)
+		st.work(buf)
+		putPackBuf(buf)
+	}
+	st.release()
 	return nil
 }
 

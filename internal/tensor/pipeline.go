@@ -1,0 +1,223 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchPipeline is a persistent cooperative worker pool for stage-batched
+// contractions. Where ContractBatch spins up (and tears down) goroutines
+// per call, a pipeline parks its workers between batches and reuses each
+// worker's pack scratch across every batch it ever runs — the right shape
+// for a numeric engine that feeds one dependency level after another.
+//
+// The calling goroutine participates as worker 0 of every Run and Do
+// call; the pipeline owns workers-1 parked goroutines. Run and Do must
+// not be called concurrently with themselves or each other (the numeric
+// engine's level stream is strictly sequential, which is the point).
+// Exact-mode batches are bit-identical to ContractBatch and to the
+// pairwise path at any worker count.
+type BatchPipeline struct {
+	workers int
+	jobs    chan pipeJob
+	wg      sync.WaitGroup // worker goroutine lifetime
+	jobWG   sync.WaitGroup // per-call completion
+	buf     *packBuf       // worker 0's persistent scratch
+
+	// Generic parallel-for state (Do); written by the caller before the
+	// job is published, so workers read it race-free.
+	doItems int
+	doFn    func(w, i int)
+	doNext  atomic.Int64
+
+	// Per-worker busy nanoseconds, accumulated only after EnableTiming
+	// (atomics, so they may be read while workers are parked).
+	busyNS []atomic.Int64
+	timed  atomic.Bool
+
+	closed bool
+}
+
+// pipeJob is one unit handed to a parked worker: a cooperative batch
+// (st != nil) or the pipeline's current generic parallel-for.
+type pipeJob struct {
+	st *batchState
+	w  int // worker index assigned to the recipient
+}
+
+// NewBatchPipeline starts a pipeline of the given total width (minimum
+// 1, i.e. fully inline). workers-1 goroutines are spawned and parked.
+func NewBatchPipeline(workers int) *BatchPipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &BatchPipeline{
+		workers: workers,
+		jobs:    make(chan pipeJob),
+		busyNS:  make([]atomic.Int64, workers),
+	}
+	for w := 1; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pipeline's total width, caller included.
+func (p *BatchPipeline) Workers() int { return p.workers }
+
+// EnableTiming turns on per-worker busy accounting (WorkerBusy). Call
+// before the first Run; off by default so the untimed path pays nothing.
+func (p *BatchPipeline) EnableTiming() { p.timed.Store(true) }
+
+// WorkerBusy returns each worker's cumulative busy time (zero without
+// EnableTiming). Safe to call whenever no Run or Do is in flight.
+func (p *BatchPipeline) WorkerBusy() []time.Duration {
+	out := make([]time.Duration, p.workers)
+	for i := range out {
+		out[i] = time.Duration(p.busyNS[i].Load())
+	}
+	return out
+}
+
+// worker is one parked pipeline goroutine; it keeps its pack scratch
+// across every batch it ever touches.
+func (p *BatchPipeline) worker() {
+	defer p.wg.Done()
+	var buf *packBuf
+	for job := range p.jobs {
+		var t0 time.Time
+		timed := p.timed.Load()
+		if timed {
+			t0 = time.Now()
+		}
+		if job.st != nil {
+			if buf == nil {
+				buf = getPackBuf(job.st.maxN)
+			}
+			job.st.work(buf)
+		} else {
+			p.runGeneric(job.w)
+		}
+		if timed {
+			p.busyNS[job.w].Add(int64(time.Since(t0)))
+		}
+		p.jobWG.Done()
+	}
+	if buf != nil {
+		putPackBuf(buf)
+	}
+}
+
+// runGeneric drains the current Do job's atomic item counter.
+func (p *BatchPipeline) runGeneric(w int) {
+	for {
+		i := int(p.doNext.Add(1)) - 1
+		if i >= p.doItems {
+			return
+		}
+		p.doFn(w, i)
+	}
+}
+
+// Run executes one batch of ops cooperatively across the pool, with the
+// same semantics, pooling and bit-exactness as ContractBatch. The caller
+// computes alongside the parked workers and returns when the batch is
+// fully unpacked into its destinations.
+func (p *BatchPipeline) Run(ops []BatchOp, mode KernelMode) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	st, err := planBatch(ops, p.workers, mode)
+	if st == nil || err != nil {
+		return err
+	}
+	nw := p.workers
+	if n := st.workItems(); nw > n {
+		nw = n
+	}
+	p.jobWG.Add(nw - 1)
+	for w := 1; w < nw; w++ {
+		p.jobs <- pipeJob{st: st, w: w}
+	}
+	var t0 time.Time
+	timed := p.timed.Load()
+	if timed {
+		t0 = time.Now()
+	}
+	if p.buf == nil {
+		p.buf = getPackBuf(st.maxN)
+	}
+	st.work(p.buf)
+	if timed {
+		p.busyNS[0].Add(int64(time.Since(t0)))
+	}
+	p.jobWG.Wait()
+	st.release()
+	return nil
+}
+
+// Do runs fn(worker, item) for every item in [0, items) across the pool
+// — the pipeline's generic parallel-for, used by the numeric engine to
+// fan out reclamation work (norms, arena returns) onto the same workers
+// that just computed the batch. fn must be safe for concurrent calls
+// with distinct items; the worker index is stable within one Do and
+// suitable for per-worker arena handles.
+func (p *BatchPipeline) Do(items int, fn func(w, i int)) {
+	if items <= 0 {
+		return
+	}
+	nw := p.workers
+	if nw > items {
+		nw = items
+	}
+	if nw <= 1 {
+		var t0 time.Time
+		timed := p.timed.Load()
+		if timed {
+			t0 = time.Now()
+		}
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		if timed {
+			p.busyNS[0].Add(int64(time.Since(t0)))
+		}
+		return
+	}
+	p.doItems = items
+	p.doFn = fn
+	p.doNext.Store(0)
+	p.jobWG.Add(nw - 1)
+	for w := 1; w < nw; w++ {
+		p.jobs <- pipeJob{w: w}
+	}
+	var t0 time.Time
+	timed := p.timed.Load()
+	if timed {
+		t0 = time.Now()
+	}
+	p.runGeneric(0)
+	if timed {
+		p.busyNS[0].Add(int64(time.Since(t0)))
+	}
+	p.jobWG.Wait()
+	p.doFn = nil
+}
+
+// Close parks the pipeline permanently: workers exit and return their
+// scratch to the pack pool. Idempotent; Run and Do must not be called
+// after Close.
+func (p *BatchPipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.wg.Wait()
+	if p.buf != nil {
+		putPackBuf(p.buf)
+		p.buf = nil
+	}
+}

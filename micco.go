@@ -445,6 +445,20 @@ func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
 	return tensor.ContractBatch(ops, workers, mode)
 }
 
+// BatchPipeline is a persistent cooperative worker pool for running many
+// fused batches (ContractBatch calls) without re-spawning goroutines per
+// call: workers park on a channel between batches and the caller's
+// goroutine participates as a worker. The scheduler's numeric pool runs
+// every dependency level through one of these. Not safe for concurrent
+// Run/Do calls; Close releases the workers.
+type BatchPipeline = tensor.BatchPipeline
+
+// NewBatchPipeline returns a pipeline of the given width (minimum 1; the
+// caller's goroutine is worker 0).
+func NewBatchPipeline(workers int) *BatchPipeline {
+	return tensor.NewBatchPipeline(workers)
+}
+
 // KernelFeatures describes the detected CPU vector features and the
 // kernel tiers dispatch resolved for this process, including any
 // MICCO_KERNEL override.
