@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench benchsmoke benchguard
+.PHONY: build test vet race check bench benchsmoke benchguard soak
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,17 @@ benchguard:
 	$(GO) run ./cmd/benchjson -guard BENCH_sched.json -guard-tol 2.0
 	$(GO) run ./cmd/benchjson -guard BENCH_kernel.json -guard-tol 2.5 \
 		-guard-prefix BenchmarkContraction -guard-max-allocs -1
+
+# soak runs the chaos harness: seeded random fault plans × random
+# kill-points (process death simulated by dropping all in-memory state and
+# resuming from the durable checkpoint file alone) × every registered
+# scheduler × serial/parallel numeric execution × reclaim on/off, each
+# iteration asserting the bit-identical exact-mode fingerprint of the
+# fault-free run and probing the checkpoint file with seeded corruption.
+# MICCO_SOAK_SEEDS scales the run (default 3 seeds, a few seconds;
+# CI uses 8).
+soak:
+	$(GO) test -count=1 -v -run TestChaosSoak ./internal/chaos
 
 # bench measures the contraction-kernel component benchmarks — exact and
 # fast tiers, pairwise, stage-fused and pipeline-parallel — with

@@ -11,6 +11,7 @@
 //	miccorun -workload w.json -faults plan.json
 //	miccorun -workload w.json -numeric -fast-kernels
 //	miccorun -workload w.json -serve :9090
+//	miccorun -workload w.json -checkpoint-dir ckpt -supervise -stall-budget 30s
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"micco"
 	"micco/internal/obsfile"
@@ -44,6 +46,10 @@ type runConfig struct {
 	numericPar   int
 	fastKernels  bool
 	serveAddr    string
+	ckptDir      string
+	ckptEvery    int
+	supervise    bool
+	stallBudget  time.Duration
 }
 
 func main() {
@@ -63,6 +69,10 @@ func main() {
 	flag.IntVar(&cfg.numericPar, "numeric-parallel", 0, "with -numeric, worker-pool size for the parallel fused pipeline: 1 = serial fused engine, >1 = dependency-level batches across that many cooperative workers (0 = GOMAXPROCS); the exact-tier fingerprint is identical at every size")
 	flag.BoolVar(&cfg.fastKernels, "fast-kernels", false, "with -numeric, run the FMA/AVX-512 fast kernel tier (ULP-bounded, not bit-identical to exact-mode fingerprints)")
 	flag.StringVar(&cfg.serveAddr, "serve", "", "serve live observability HTTP on this address (e.g. :9090): /metrics, /metrics.json, /decisions, /trace, /flight, /healthz, /debug/pprof; keeps serving after the run until interrupted")
+	flag.StringVar(&cfg.ckptDir, "checkpoint-dir", "", "persist durable stage-boundary checkpoints in this directory (atomic write + fsync); a run interrupted or killed resumes from the file on the next -supervise invocation")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "with -checkpoint-dir, write the durable file only at every Nth stage boundary plus the final one (<=1 = every boundary)")
+	flag.BoolVar(&cfg.supervise, "supervise", false, "run under the self-healing supervisor: retry cluster loss, contained worker panics and watchdog-detected stalls from the last checkpoint with capped exponential backoff; with -checkpoint-dir, resume a dead process's run from disk first")
+	flag.DurationVar(&cfg.stallBudget, "stall-budget", 0, "with -supervise, arm the progress watchdog: cancel and resume the run if no pair completes within this wall budget (e.g. 30s; 0 = watchdog off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -176,10 +186,41 @@ func run(ctx context.Context, rc runConfig) error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "observability server listening on %s\n", srv.URL())
 	}
+	if rc.ckptDir != "" {
+		opts.CheckpointDir = rc.ckptDir
+		opts.CheckpointEvery = rc.ckptEvery
+	} else if rc.ckptEvery > 1 {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
+	}
+	if rc.stallBudget > 0 && !rc.supervise {
+		return fmt.Errorf("-stall-budget requires -supervise")
+	}
 	if rc.traceOut != "" {
 		cluster.StartTrace()
 	}
-	res, err := micco.Run(ctx, &w, primary, cluster, opts)
+	var res *micco.Result
+	if rc.supervise {
+		// The supervisor rebuilds the scheduler per attempt (its state is
+		// not trusted after a failure); the one cluster is reused — the
+		// engine resets or restores it from the resume checkpoint anyway.
+		var st micco.SuperviseStats
+		res, st, err = micco.Supervise(ctx, micco.SuperviseConfig{
+			Workload: &w,
+			NewScheduler: func(context.Context) (micco.Scheduler, error) {
+				return micco.NewSchedulerByName(rc.scheduler, b, nil)
+			},
+			NewCluster:     func() (*micco.Cluster, error) { return cluster, nil },
+			Run:            opts,
+			StallBudget:    rc.stallBudget,
+			ResumeFromDisk: rc.ckptDir != "",
+		})
+		if st.Attempts > 1 || st.ResumedFromDisk {
+			fmt.Printf("supervisor: %d attempt(s), %d retries, %d watchdog trips, %d devices revived, resumed from disk: %v\n\n",
+				st.Attempts, st.Retries, st.WatchdogTrips, st.DevicesRevived, st.ResumedFromDisk)
+		}
+	} else {
+		res, err = micco.Run(ctx, &w, primary, cluster, opts)
+	}
 	if err != nil {
 		return err
 	}

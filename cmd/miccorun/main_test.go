@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"micco"
 )
@@ -266,5 +267,44 @@ func TestRunWithExplicitMemory(t *testing.T) {
 	err := silence(t, func() error { return run(context.Background(), cfg) })
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCheckpointAndSupervise: -checkpoint-dir leaves a durable final
+// checkpoint the decoder accepts; -supervise completes a clean run; the
+// flag cross-checks reject inconsistent combinations before any run.
+func TestRunCheckpointAndSupervise(t *testing.T) {
+	path := workloadFile(t)
+	dir := t.TempDir()
+	cfg := base(path)
+	cfg.ckptDir = dir
+	cfg.ckptEvery = 2
+	cfg.supervise = true
+	cfg.numeric = true
+	cfg.numericSeed = 5
+	if err := silence(t, func() error { return run(context.Background(), cfg) }); err != nil {
+		t.Fatalf("supervised checkpointed run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("checkpoint dir entries = %v, %v; want exactly the durable file", entries, err)
+	}
+	cp, err := micco.LoadCheckpointFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatalf("final durable checkpoint unreadable: %v", err)
+	}
+	if cp.Workload() == "" {
+		t.Error("checkpoint has no workload name")
+	}
+
+	bad := base(path)
+	bad.ckptEvery = 2
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("-checkpoint-every without -checkpoint-dir accepted")
+	}
+	bad = base(path)
+	bad.stallBudget = time.Second
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("-stall-budget without -supervise accepted")
 	}
 }

@@ -56,6 +56,92 @@ type Checkpoint struct {
 	Devices []DeviceState
 }
 
+// Validate sanity-checks a checkpoint that arrived from outside the
+// process (a decoded durable file): structural invariants only, the
+// checks Restore's topology comparison cannot express. It cannot prove
+// the snapshot came from a real run — CRC integrity upstream covers
+// corruption — but it rejects decoded garbage before it reaches a
+// cluster.
+func (cp *Checkpoint) Validate() error {
+	if cp == nil {
+		return fmt.Errorf("gpusim: %w: checkpoint", ErrNilArgument)
+	}
+	if len(cp.Devices) == 0 {
+		return fmt.Errorf("gpusim: checkpoint has no devices")
+	}
+	if len(cp.LinkClocks) != len(cp.P2PClocks) {
+		return fmt.Errorf("gpusim: checkpoint link/p2p clock counts differ (%d vs %d)",
+			len(cp.LinkClocks), len(cp.P2PClocks))
+	}
+	if cp.LinkFactor < 0 {
+		return fmt.Errorf("gpusim: checkpoint link factor %v negative", cp.LinkFactor)
+	}
+	if cp.TransientLeft < 0 {
+		return fmt.Errorf("gpusim: checkpoint transient budget %d negative", cp.TransientLeft)
+	}
+	for _, hs := range cp.Host {
+		if !hs.Desc.Valid() {
+			return fmt.Errorf("gpusim: checkpoint host tensor %v invalid", hs.Desc)
+		}
+	}
+	for i, ds := range cp.Devices {
+		if ds.Clock < 0 || ds.CopyClock < 0 {
+			return fmt.Errorf("gpusim: checkpoint device %d has negative clocks", i)
+		}
+		if ds.MemPeak < 0 || ds.Capacity < 0 {
+			return fmt.Errorf("gpusim: checkpoint device %d has negative memory fields", i)
+		}
+		seen := make(map[uint64]bool, len(ds.Resident))
+		for _, bs := range ds.Resident {
+			if !bs.Desc.Valid() {
+				return fmt.Errorf("gpusim: checkpoint device %d resident tensor %v invalid", i, bs.Desc)
+			}
+			if seen[bs.Desc.ID] {
+				return fmt.Errorf("gpusim: checkpoint device %d holds tensor %d twice", i, bs.Desc.ID)
+			}
+			seen[bs.Desc.ID] = true
+		}
+	}
+	return nil
+}
+
+// Makespan returns the snapshot's simulated wall clock: the maximum
+// device availability time, matching Cluster.Makespan at capture time.
+func (cp *Checkpoint) Makespan() float64 {
+	var m float64
+	for _, ds := range cp.Devices {
+		if ds.Clock > m {
+			m = ds.Clock
+		}
+		if ds.CopyClock > m {
+			m = ds.CopyClock
+		}
+	}
+	return m
+}
+
+// ReviveDevices returns every failed device in the snapshot to service,
+// mirroring Cluster.RestoreDevice: empty memory, clocks aligned to the
+// snapshot makespan (the device rejoins at "now", not in the past).
+// Supervisors use it to turn an ErrClusterLost checkpoint — every device
+// down — back into a runnable one before resuming. Returns how many
+// devices were revived.
+func (cp *Checkpoint) ReviveDevices() int {
+	m := cp.Makespan()
+	n := 0
+	for i := range cp.Devices {
+		if !cp.Devices[i].Failed {
+			continue
+		}
+		cp.Devices[i].Failed = false
+		cp.Devices[i].Resident = nil
+		cp.Devices[i].Clock = m
+		cp.Devices[i].CopyClock = m
+		n++
+	}
+	return n
+}
+
 // Checkpoint captures the cluster's complete simulation state. Intended at
 // stage barriers (quiescent points with no pinned blocks); the snapshot
 // shares nothing with the live cluster.

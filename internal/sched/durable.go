@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"micco/internal/gpusim"
+)
+
+// Durable checkpoint encoding.
+//
+// A sched.Checkpoint is an in-process handle; this file gives it an
+// on-disk form so a run can survive the death of the process that took
+// it. The layout is a fixed little-endian header followed by a JSON
+// payload:
+//
+//	offset  size  field
+//	0       4     magic "MCCK"
+//	4       4     format version (uint32, currently 1)
+//	8       4     CRC32 (IEEE) of the payload
+//	12      8     payload length in bytes (uint64)
+//	20      -     payload: JSON of durableCheckpoint
+//
+// The header is binary so truncation and corruption are detected before
+// any JSON parsing happens; the payload is JSON so the format stays
+// debuggable (dd skip=20 | jq) and versionable field-by-field. Decoding
+// never trusts the input: a bad magic, length, CRC or payload yields
+// ErrCheckpointCorrupt, a future version yields ErrCheckpointVersion,
+// and the embedded cluster snapshot is structurally validated before it
+// can reach a cluster. Writes are atomic: temp file in the destination
+// directory, fsync, rename, directory fsync.
+
+// checkpointMagic opens every durable checkpoint file.
+var checkpointMagic = [4]byte{'M', 'C', 'C', 'K'}
+
+// CheckpointVersion is the current durable format version.
+const CheckpointVersion = 1
+
+// maxCheckpointPayload bounds the declared payload length; anything
+// larger is corruption (a real snapshot of even a 4096-device cluster is
+// far below this).
+const maxCheckpointPayload = 1 << 30
+
+// ErrCheckpointCorrupt marks a durable checkpoint that failed structural
+// validation: bad magic, impossible length, CRC mismatch, truncation, or
+// a payload that does not decode to a valid snapshot.
+var ErrCheckpointCorrupt = errors.New("sched: checkpoint corrupt")
+
+// ErrCheckpointVersion marks a durable checkpoint written by a format
+// version this build does not understand.
+var ErrCheckpointVersion = errors.New("sched: checkpoint version unsupported")
+
+// durableCheckpoint is the exported JSON mirror of Checkpoint.
+type durableCheckpoint struct {
+	Workload    string             `json:"workload"`
+	Scheduler   string             `json:"scheduler"`
+	NumDevices  int                `json:"num_devices"`
+	NextStage   int                `json:"next_stage"`
+	OverheadNS  int64              `json:"overhead_ns"`
+	Recovery    RecoveryStats      `json:"recovery"`
+	Assignments []int              `json:"assignments,omitempty"`
+	FaultsFired []bool             `json:"faults_fired,omitempty"`
+	Numeric     bool               `json:"numeric,omitempty"`
+	NumericSeed int64              `json:"numeric_seed,omitempty"`
+	FastKernels bool               `json:"fast_kernels,omitempty"`
+	Cluster     *gpusim.Checkpoint `json:"cluster"`
+}
+
+// EncodeCheckpoint writes cp to w in the durable format, returning the
+// number of bytes written.
+func EncodeCheckpoint(w io.Writer, cp *Checkpoint) (int, error) {
+	if cp == nil {
+		return 0, fmt.Errorf("sched: %w: checkpoint", ErrNilArgument)
+	}
+	payload, err := json.Marshal(durableCheckpoint{
+		Workload:    cp.workload,
+		Scheduler:   cp.scheduler,
+		NumDevices:  cp.numDevices,
+		NextStage:   cp.nextStage,
+		OverheadNS:  int64(cp.overhead),
+		Recovery:    cp.recovery,
+		Assignments: cp.assignments,
+		FaultsFired: cp.faultsFired,
+		Numeric:     cp.numeric,
+		NumericSeed: cp.numericSeed,
+		FastKernels: cp.fastKernels,
+		Cluster:     cp.cluster,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sched: encode checkpoint: %w", err)
+	}
+	var hdr [20]byte
+	copy(hdr[0:4], checkpointMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], CheckpointVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
+}
+
+// DecodeCheckpoint reads one durable checkpoint from r. Corruption of any
+// kind — truncation, bit flips, garbage — returns an error wrapping
+// ErrCheckpointCorrupt; a newer format version returns one wrapping
+// ErrCheckpointVersion. It never panics on malformed input.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCheckpointCorrupt, err)
+	}
+	if !bytes.Equal(hdr[0:4], checkpointMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCheckpointCorrupt, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != CheckpointVersion {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrCheckpointVersion, v, CheckpointVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+	length := binary.LittleEndian.Uint64(hdr[12:20])
+	if length == 0 || length > maxCheckpointPayload {
+		return nil, fmt.Errorf("%w: payload length %d out of range", ErrCheckpointCorrupt, length)
+	}
+	// ReadAll over a LimitReader grows with the data actually present, so
+	// a corrupt length field cannot force a giant up-front allocation.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCheckpointCorrupt, err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrCheckpointCorrupt, len(payload), length)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrCheckpointCorrupt, wantCRC, got)
+	}
+	var d durableCheckpoint
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return nil, fmt.Errorf("%w: payload not valid JSON: %v", ErrCheckpointCorrupt, err)
+	}
+	if d.Workload == "" {
+		return nil, fmt.Errorf("%w: empty workload name", ErrCheckpointCorrupt)
+	}
+	if d.NextStage < 0 {
+		return nil, fmt.Errorf("%w: negative next stage %d", ErrCheckpointCorrupt, d.NextStage)
+	}
+	if err := d.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	if d.NumDevices != len(d.Cluster.Devices) {
+		return nil, fmt.Errorf("%w: header says %d devices, cluster snapshot has %d",
+			ErrCheckpointCorrupt, d.NumDevices, len(d.Cluster.Devices))
+	}
+	return &Checkpoint{
+		workload:    d.Workload,
+		scheduler:   d.Scheduler,
+		numDevices:  d.NumDevices,
+		nextStage:   d.NextStage,
+		overhead:    time.Duration(d.OverheadNS),
+		recovery:    d.Recovery,
+		assignments: d.Assignments,
+		faultsFired: d.FaultsFired,
+		cluster:     d.Cluster,
+		numeric:     d.Numeric,
+		numericSeed: d.NumericSeed,
+		fastKernels: d.FastKernels,
+	}, nil
+}
+
+// Cluster returns the checkpoint's cluster snapshot, for supervisors that
+// repair it (ReviveDevices) before resuming.
+func (cp *Checkpoint) Cluster() *gpusim.Checkpoint { return cp.cluster }
+
+// CheckpointPath returns the canonical durable-checkpoint path for a
+// workload inside dir: the workload name with every byte outside
+// [A-Za-z0-9._-] replaced by '_', plus the ".mcck" extension. The engine
+// and the supervisor both derive the path this way, so they always agree.
+func CheckpointPath(dir, workload string) string {
+	name := []byte(workload)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			name[i] = '_'
+		}
+	}
+	if len(name) == 0 {
+		name = []byte("run")
+	}
+	return filepath.Join(dir, string(name)+".mcck")
+}
+
+// SaveCheckpointFile atomically persists cp at path: the encoding is
+// written to a temp file in the same directory, fsynced, renamed over
+// path, and the directory is fsynced so the rename itself is durable. On
+// error the destination is untouched (a reader never observes a partial
+// file). Returns the encoded size in bytes.
+func SaveCheckpointFile(path string, cp *Checkpoint) (int, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := EncodeCheckpoint(f, cp)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return n, nil
+}
+
+// LoadCheckpointFile reads and validates a durable checkpoint from path.
+// Decode failures carry ErrCheckpointCorrupt / ErrCheckpointVersion; a
+// missing file surfaces as the usual fs.ErrNotExist.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

@@ -63,6 +63,13 @@ type Checkpoint struct {
 	// loss that interrupted the run).
 	faultsFired []bool
 	cluster     *gpusim.Checkpoint
+	// Numeric replay metadata: a resumed numeric run re-executes the
+	// completed prefix from the seed, so the seed and kernel tier of the
+	// original run must match the resuming options or the fingerprint
+	// silently diverges. Recorded here so resume can reject the mismatch.
+	numeric     bool
+	numericSeed int64
+	fastKernels bool
 }
 
 // NextStage returns the index of the first stage a resumed run will
@@ -89,6 +96,23 @@ func (cp *Checkpoint) validateFor(name string, stages, numDevices int) error {
 	}
 	if cp.nextStage < 0 || cp.nextStage > stages {
 		return fmt.Errorf("sched: checkpoint resumes at stage %d of %d", cp.nextStage, stages)
+	}
+	return nil
+}
+
+// validateNumeric rejects a resume whose numeric options cannot reproduce
+// the checkpointed prefix: replaying from a different seed or kernel tier
+// would produce a fingerprint unrelated to the original run's.
+func (cp *Checkpoint) validateNumeric(o Options) error {
+	if !cp.numeric || !o.Numeric {
+		return nil
+	}
+	if cp.numericSeed != o.NumericSeed {
+		return fmt.Errorf("sched: checkpoint numeric seed %d, resuming with %d", cp.numericSeed, o.NumericSeed)
+	}
+	if cp.fastKernels != o.FastKernels {
+		return fmt.Errorf("sched: checkpoint kernel tier (fast=%v) does not match resume options (fast=%v)",
+			cp.fastKernels, o.FastKernels)
 	}
 	return nil
 }
@@ -274,16 +298,23 @@ func (e *engine) recoverFrom(si, pi, lost int) error {
 }
 
 // snapshot records a stage-boundary checkpoint (nextStage is the first
-// stage a resume would execute).
-func (e *engine) snapshot(nextStage int) {
+// stage a resume would execute) and, with Options.CheckpointDir set,
+// persists it durably at the configured cadence: every boundary when
+// CheckpointEvery <= 1, otherwise every CheckpointEvery stages plus
+// always the final boundary. A durable-write failure is a run failure —
+// the caller asked for durability and did not get it.
+func (e *engine) snapshot(nextStage int) error {
 	cp := &Checkpoint{
-		workload:   e.w.Name,
-		scheduler:  e.s.Name(),
-		numDevices: e.n,
-		nextStage:  nextStage,
-		overhead:   e.overhead,
-		recovery:   e.res.Recovery,
-		cluster:    e.c.Checkpoint(),
+		workload:    e.w.Name,
+		scheduler:   e.s.Name(),
+		numDevices:  e.n,
+		nextStage:   nextStage,
+		overhead:    e.overhead,
+		recovery:    e.res.Recovery,
+		cluster:     e.c.Checkpoint(),
+		numeric:     e.opts.Numeric,
+		numericSeed: e.opts.NumericSeed,
+		fastKernels: e.opts.FastKernels,
 	}
 	if e.assignAll != nil {
 		cp.assignments = append([]int(nil), e.assignAll...)
@@ -292,4 +323,17 @@ func (e *engine) snapshot(nextStage int) {
 		cp.faultsFired = append([]bool(nil), e.fr.fired...)
 	}
 	e.lastCP = cp
+	if e.opts.CheckpointDir == "" {
+		return nil
+	}
+	if every := e.opts.CheckpointEvery; every > 1 && nextStage%every != 0 && nextStage != len(e.w.Stages) {
+		return nil
+	}
+	n, err := SaveCheckpointFile(CheckpointPath(e.opts.CheckpointDir, e.w.Name), cp)
+	if err != nil {
+		return fmt.Errorf("sched: durable checkpoint at stage %d: %w", nextStage, err)
+	}
+	e.ckptWrites.Inc()
+	e.ckptBytes.Add(float64(n))
+	return nil
 }

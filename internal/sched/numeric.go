@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -290,7 +291,7 @@ func (s *numericStore) flushStage() error {
 	if s.batchQ == nil {
 		var err error
 		for _, lvl := range levels {
-			if err = s.execLevel(lvl, s.workers, nil); err != nil {
+			if err = s.guardExecLevel(lvl, s.workers, nil); err != nil {
 				break
 			}
 		}
@@ -338,7 +339,7 @@ func (s *numericStore) pipelineLoop() {
 			if timed {
 				t0 = time.Now()
 			}
-			if err := s.execLevel(pairs, s.pool, s.bp); err != nil {
+			if err := s.guardExecLevel(pairs, s.pool, s.bp); err != nil {
 				s.setErr(err)
 			}
 			if timed {
@@ -353,6 +354,24 @@ func (s *numericStore) pipelineLoop() {
 	if timed {
 		s.publishWorkerGauges(time.Since(start), busy)
 	}
+}
+
+// guardExecLevel runs execLevel with coordinator-side panic containment:
+// a panic anywhere in the level machinery (operand resolution, arena
+// bookkeeping, reclamation) surfaces as a *tensor.WorkerPanicError instead
+// of unwinding the coordinator goroutine — which would kill the process
+// and, worse, leave the engine parked forever on the batch queue. Worker
+// -1 marks the coordinator itself; worker-side panics inside the batch
+// kernels are already contained by the pipeline and arrive here as plain
+// errors.
+func (s *numericStore) guardExecLevel(pairs []workload.Pair, workers int, bp *tensor.BatchPipeline) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: numeric coordinator: %w",
+				&tensor.WorkerPanicError{Worker: -1, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	return s.execLevel(pairs, workers, bp)
 }
 
 // execLevel runs one dependency level as a single fused batch: resolve
@@ -389,7 +408,7 @@ func (s *numericStore) execLevel(pairs []workload.Pair, workers int, bp *tensor.
 			s.put(p.Out.ID, ops[i].Dst)
 		}
 		if s.reclaim {
-			s.settleReclaim(pairs, bp)
+			err = s.settleReclaim(pairs, bp)
 		}
 	}
 	for i := range ops {
@@ -406,7 +425,8 @@ func (s *numericStore) execLevel(pairs []workload.Pair, workers int, bp *tensor.
 // free list — or run inline in serial mode. Norms are computed per dead
 // tensor over identical data regardless of fan-out, so the fingerprint
 // is unaffected.
-func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipeline) {
+func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipeline) error {
+	var err error
 	dead := s.deadT[:0]
 	ids := s.deadIDs[:0]
 	grab := func(id uint64) {
@@ -435,7 +455,7 @@ func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipe
 		}
 		norms := s.deadNorm[:n]
 		if bp != nil && n > 1 {
-			bp.Do(n, func(w, i int) {
+			err = bp.Do(n, func(w, i int) {
 				norms[i] = dead[i].Norm()
 				s.arena.put(w, dead[i].Data)
 			})
@@ -445,8 +465,10 @@ func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipe
 				s.arena.put(0, t.Data)
 			}
 		}
-		for i, id := range ids {
-			s.norms[id] = norms[i]
+		if err == nil {
+			for i, id := range ids {
+				s.norms[id] = norms[i]
+			}
 		}
 	}
 	for i := range dead {
@@ -454,6 +476,7 @@ func (s *numericStore) settleReclaim(pairs []workload.Pair, bp *tensor.BatchPipe
 	}
 	s.deadT = dead[:0]
 	s.deadIDs = ids[:0]
+	return err
 }
 
 // buildLiveness counts, per tensor ID, how many operand reads the stream

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"time"
@@ -219,6 +220,21 @@ type Options struct {
 	// match the checkpointed run; events of an attached FaultPlan that had
 	// already fired do not re-fire.
 	ResumeFrom *Checkpoint
+	// CheckpointDir, when non-empty, persists stage-boundary checkpoints
+	// durably (atomic write + fsync + rename) at
+	// CheckpointPath(CheckpointDir, workload), so a run survives process
+	// death and resumes from disk via LoadCheckpointFile. Implies
+	// Checkpoint. The directory is created if missing.
+	CheckpointDir string
+	// CheckpointEvery writes a durable checkpoint only at every Nth stage
+	// boundary (plus always the final one); <= 1 writes at every boundary.
+	// In-memory snapshots (Result.Checkpoint) still update every stage.
+	CheckpointEvery int
+	// Progress, when non-nil, is bumped once per successfully placed pair
+	// — a monotone liveness signal external watchdogs poll to detect a
+	// stalled run without touching the engine. One nil check on the hot
+	// path; no allocations either way.
+	Progress *Progress
 }
 
 // PoolSize resolves Parallelism to the effective worker count.
@@ -355,6 +371,12 @@ type engine struct {
 	assignAll    []int
 	stageOffsets []int
 	lastCP       *Checkpoint
+	// prog mirrors opts.Progress (nil when unset); ckptWrites/ckptBytes
+	// are the durable-checkpoint counters, resolved once per run (nil-safe
+	// no-ops without observability).
+	prog       *Progress
+	ckptWrites *obs.Counter
+	ckptBytes  *obs.Counter
 	// decRec is the run's single decision-record scratch: placePair
 	// resets and refills it per pair, RecordDecision deep-copies what it
 	// keeps (including Candidates, into the registry's arena), so the
@@ -528,6 +550,9 @@ func (e *engine) placePair(si, pi int, p workload.Pair, recovery bool) error {
 	if e.assignAll != nil {
 		e.assignAll[e.stageOffsets[si]+pi] = dev
 	}
+	if e.prog != nil {
+		e.prog.pairs.Add(1)
+	}
 	return nil
 }
 
@@ -561,9 +586,18 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		return nil, err
 	}
 	n := c.NumDevices()
+	if opts.CheckpointDir != "" {
+		opts.Checkpoint = true
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sched: checkpoint dir: %w", err)
+		}
+	}
 	resume := opts.ResumeFrom
 	if resume != nil {
 		if err := resume.validateFor(w.Name, len(w.Stages), n); err != nil {
+			return nil, err
+		}
+		if err := resume.validateNumeric(opts); err != nil {
 			return nil, err
 		}
 	}
@@ -608,6 +642,11 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 	}
 	res := &Result{Scheduler: s.Name(), Workload: w.Name}
 	e := &engine{ctx: ctx, w: w, s: s, c: c, opts: opts, ob: ob, sctx: sctx, store: store, res: res, n: n, clock0: time.Now()}
+	e.prog = opts.Progress
+	if opts.CheckpointDir != "" {
+		e.ckptWrites = opts.Obs.Counter("micco_checkpoint_writes_total")
+		e.ckptBytes = opts.Obs.Counter("micco_checkpoint_bytes_written_total")
+	}
 	if opts.FaultPlan != nil {
 		e.fr = newFaultRun(opts.FaultPlan, resume, opts.Obs)
 	}
@@ -653,7 +692,9 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 		}
 	}
 	if opts.Checkpoint {
-		e.snapshot(startStage)
+		if err := e.snapshot(startStage); err != nil {
+			return nil, err
+		}
 	}
 	for si := startStage; si < len(w.Stages); si++ {
 		st := &w.Stages[si]
@@ -727,7 +768,9 @@ func Run(ctx context.Context, w *workload.Workload, s Scheduler, c *gpusim.Clust
 			stageSpan.End()
 		}
 		if opts.Checkpoint {
-			e.snapshot(si + 1)
+			if err := e.snapshot(si + 1); err != nil {
+				return e.fail(err)
+			}
 		}
 	}
 	res.Makespan = c.Makespan()

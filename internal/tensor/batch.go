@@ -51,16 +51,6 @@ type splitPanel struct {
 // splitPool recycles whole-tensor split panels across stage batches.
 var splitPool = sync.Pool{New: func() any { return new(splitPanel) }}
 
-// waitPanel blocks until the panel's pack item has published its
-// contents. The atomic load pairs with the Store(1) in the pack item, so
-// the panel data is visible afterwards. Gosched keeps the spin
-// cooperative — essential when workers outnumber Ps.
-func waitPanel(p *splitPanel) {
-	for p.ready.Load() == 0 {
-		runtime.Gosched()
-	}
-}
-
 // opPlan is the per-op execution plan of one batch.
 type opPlan struct {
 	n, groups int
@@ -85,6 +75,70 @@ type batchState struct {
 	items    []fusedItem
 	maxN     int // largest fused group dimension (sizes worker scratch)
 	next     atomic.Int64
+	// poisoned flips to 1 when a participant panics mid-batch: workers
+	// spinning on an unpacked panel unblock, remaining work items are
+	// abandoned, and the batch call returns panicErr (first panic wins)
+	// instead of crashing the process. Destinations of a poisoned batch
+	// hold unspecified data.
+	poisoned atomic.Uint32
+	panicMu  sync.Mutex
+	panicErr *WorkerPanicError
+}
+
+// poison records a recovered worker panic (first one wins) and unblocks
+// every participant of the batch.
+func (st *batchState) poison(e *WorkerPanicError) {
+	st.panicMu.Lock()
+	if st.panicErr == nil {
+		st.panicErr = e
+	}
+	st.panicMu.Unlock()
+	st.poisoned.Store(1)
+}
+
+// takePanic returns the batch's contained panic, nil on a clean batch.
+// The concrete type is preserved so errors.As can reach the stack.
+func (st *batchState) takePanic() error {
+	if st.poisoned.Load() == 0 {
+		return nil
+	}
+	st.panicMu.Lock()
+	defer st.panicMu.Unlock()
+	if st.panicErr == nil {
+		return nil
+	}
+	return st.panicErr
+}
+
+// guardWork runs st.work on one participant, converting a panic into batch
+// poison instead of letting it unwind past the batch machinery (which
+// would leave peers spinning and, on a bare goroutine, kill the process).
+func (st *batchState) guardWork(worker int, buf *packBuf) {
+	defer recoverToPoison(st, worker)
+	st.work(buf)
+}
+
+// recoverToPoison is the shared deferred recovery of every batch
+// participant.
+func recoverToPoison(st *batchState, worker int) {
+	if r := recover(); r != nil {
+		st.poison(&WorkerPanicError{Worker: worker, Value: r, Stack: stackTrace()})
+	}
+}
+
+// waitPanel blocks until the panel's pack item has published its contents
+// (the atomic load pairs with the Store(1) in the pack item, so the panel
+// data is visible afterwards) or the batch is poisoned, reporting whether
+// the panel is usable. Gosched keeps the spin cooperative — essential when
+// workers outnumber Ps.
+func (st *batchState) waitPanel(p *splitPanel) bool {
+	for p.ready.Load() == 0 {
+		if st.poisoned.Load() != 0 {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
 }
 
 // statePool recycles batch states across ContractBatch and BatchPipeline
@@ -212,6 +266,9 @@ func (st *batchState) work(buf *packBuf) {
 	nPack := len(st.packList)
 	total := nPack + len(st.items)
 	for {
+		if st.poisoned.Load() != 0 {
+			return
+		}
 		i := int(st.next.Add(1)) - 1
 		if i >= total {
 			return
@@ -234,8 +291,9 @@ func (st *batchState) compute(it fusedItem, buf *packBuf) {
 	plan := &st.plans[it.op]
 	n := plan.n
 	off := int(it.g) * n * n
-	waitPanel(plan.aP)
-	waitPanel(plan.bP)
+	if !st.waitPanel(plan.aP) || !st.waitPanel(plan.bP) {
+		return
+	}
 	aRe := plan.aP.re[off : off+n*n]
 	aIm := plan.aP.im[off : off+n*n]
 	bRe := plan.bP.re[off : off+n*n]
@@ -285,6 +343,8 @@ func (st *batchState) abort() {
 	}
 	st.plans = st.plans[:0]
 	st.ops = nil
+	st.poisoned.Store(0)
+	st.panicErr = nil
 	statePool.Put(st)
 }
 
@@ -315,24 +375,25 @@ func ContractBatch(ops []BatchOp, workers int, mode KernelMode) error {
 		var wg sync.WaitGroup
 		for w := 1; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				buf := getPackBuf(st.maxN)
-				st.work(buf)
+				st.guardWork(w, buf)
 				putPackBuf(buf)
-			}()
+			}(w)
 		}
 		buf := getPackBuf(st.maxN)
-		st.work(buf)
+		st.guardWork(0, buf)
 		putPackBuf(buf)
 		wg.Wait()
 	} else {
 		buf := getPackBuf(st.maxN)
-		st.work(buf)
+		st.guardWork(0, buf)
 		putPackBuf(buf)
 	}
+	err = st.takePanic()
 	st.release()
-	return nil
+	return err
 }
 
 // parallelItems runs fn(worker, item) for every item in [0, items),

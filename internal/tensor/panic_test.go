@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// poisonedOps builds a stage batch in which one op's operands lie about
+// their shape: the Descs claim 4096 groups of a 16-dim meson but the
+// backing data holds barely one, so a late compute item slices far past
+// the packed panel — beyond any capacity the panel pool could plausibly
+// hold — and panics inside a worker. planBatch cannot catch it (it only
+// rejects empty data), which makes it the right vector for proving panic
+// containment.
+func poisonedOps(rng *rand.Rand) []BatchOp {
+	a, _ := NewRandom(Desc{ID: 1, Rank: RankMeson, Dim: 16, Batch: 2}, rng)
+	b, _ := NewRandom(Desc{ID: 2, Rank: RankMeson, Dim: 16, Batch: 2}, rng)
+	good, _ := NewRandom(Desc{ID: 3, Rank: RankMeson, Dim: 16, Batch: 2}, rng)
+	lie := Desc{ID: 9, Rank: RankMeson, Dim: 16, Batch: 4096} // claims 1M elems
+	badA := &Tensor{Desc: lie, Data: a.Data[:300]}
+	badB := &Tensor{Desc: lie, Data: b.Data[:300]}
+	return []BatchOp{
+		{Dst: &Tensor{}, A: good, B: b, OutID: 100},
+		{Dst: &Tensor{}, A: badA, B: badB, OutID: 101},
+	}
+}
+
+// TestContractBatchPanicContained: a panicking batch op must surface as a
+// typed *WorkerPanicError with a stack — never crash the test binary or
+// hang peers spinning on panels — and the machinery must stay usable for
+// the next (clean) batch.
+func TestContractBatchPanicContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for _, workers := range []int{1, 4} {
+		err := ContractBatch(poisonedOps(rng), workers, ModeExact)
+		if err == nil {
+			t.Fatalf("workers=%d: poisoned batch succeeded", workers)
+		}
+		if !errors.Is(err, ErrWorkerPanic) {
+			t.Fatalf("workers=%d: err = %v, want ErrWorkerPanic", workers, err)
+		}
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("workers=%d: err %T does not unwrap to *WorkerPanicError", workers, err)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatalf("workers=%d: contained panic carries no stack", workers)
+		}
+	}
+	// The pooled state must come back clean: a healthy batch right after.
+	ops := stageOps(rng)
+	want := pairwiseRef(t, ops, ModeExact)
+	if err := ContractBatch(ops, 4, ModeExact); err != nil {
+		t.Fatalf("clean batch after poison: %v", err)
+	}
+	for i, op := range ops {
+		equalBits(t, op.Dst, want[i], "post-poison op "+itoa(i))
+	}
+}
+
+// TestBatchPipelinePanicContained: the persistent pool must contain a
+// worker panic the same way — typed error, no deadlock on jobWG, workers
+// still parked and serviceable afterwards.
+func TestBatchPipelinePanicContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	p := NewBatchPipeline(4)
+	defer p.Close()
+	err := p.Run(poisonedOps(rng), ModeExact)
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("pipeline err = %v, want ErrWorkerPanic", err)
+	}
+	// Same pool, clean batch: bit-identical to the pairwise reference.
+	ops := stageOps(rng)
+	want := pairwiseRef(t, ops, ModeExact)
+	if err := p.Run(ops, ModeExact); err != nil {
+		t.Fatalf("clean pipeline batch after poison: %v", err)
+	}
+	for i, op := range ops {
+		equalBits(t, op.Dst, want[i], "pipeline post-poison op "+itoa(i))
+	}
+}
+
+// TestBatchPipelineDoPanicContained: a panic in a Do body is contained
+// with the item counter burned so peers drain, and the pool survives.
+func TestBatchPipelineDoPanicContained(t *testing.T) {
+	p := NewBatchPipeline(4)
+	defer p.Close()
+	err := p.Do(64, func(w, i int) {
+		if i == 17 {
+			panic("poisoned item")
+		}
+	})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("Do err = %v, want ErrWorkerPanic", err)
+	}
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) || wp.Value != "poisoned item" {
+		t.Fatalf("Do panic value not preserved: %v", err)
+	}
+	// Clean Do on the same pool.
+	hits := make([]int32, 32)
+	if err := p.Do(len(hits), func(w, i int) { hits[i]++ }); err != nil {
+		t.Fatalf("clean Do after poison: %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d ran %d times", i, h)
+		}
+	}
+}

@@ -18,6 +18,12 @@ import (
 // engine's level stream is strictly sequential, which is the point).
 // Exact-mode batches are bit-identical to ContractBatch and to the
 // pairwise path at any worker count.
+//
+// Panic containment: a panic inside a batch op or a Do body never unwinds
+// past the pool. Workers recover per job (so jobWG.Done always runs and a
+// poisoned batch cannot deadlock the caller), the in-flight batch is
+// poisoned to unblock peers spinning on operand panels, and the Run/Do
+// call returns a *WorkerPanicError carrying the stack.
 type BatchPipeline struct {
 	workers int
 	jobs    chan pipeJob
@@ -30,6 +36,11 @@ type BatchPipeline struct {
 	doItems int
 	doFn    func(w, i int)
 	doNext  atomic.Int64
+
+	// First contained panic of the current Do call (batch jobs store
+	// theirs on the batchState instead).
+	doPanicMu  sync.Mutex
+	doPanicErr *WorkerPanicError
 
 	// Per-worker busy nanoseconds, accumulated only after EnableTiming
 	// (atomics, so they may be read while workers are parked).
@@ -87,26 +98,33 @@ func (p *BatchPipeline) worker() {
 	defer p.wg.Done()
 	var buf *packBuf
 	for job := range p.jobs {
-		var t0 time.Time
-		timed := p.timed.Load()
-		if timed {
-			t0 = time.Now()
-		}
-		if job.st != nil {
-			if buf == nil {
-				buf = getPackBuf(job.st.maxN)
-			}
-			job.st.work(buf)
-		} else {
-			p.runGeneric(job.w)
-		}
-		if timed {
-			p.busyNS[job.w].Add(int64(time.Since(t0)))
-		}
-		p.jobWG.Done()
+		p.handle(job, &buf)
 	}
 	if buf != nil {
 		putPackBuf(buf)
+	}
+}
+
+// handle runs one job with the per-job completion guaranteed: jobWG.Done
+// fires even if the job panics, so a poisoned batch can never deadlock
+// the caller's jobWG.Wait.
+func (p *BatchPipeline) handle(job pipeJob, buf **packBuf) {
+	defer p.jobWG.Done()
+	var t0 time.Time
+	timed := p.timed.Load()
+	if timed {
+		t0 = time.Now()
+	}
+	if job.st != nil {
+		if *buf == nil {
+			*buf = getPackBuf(job.st.maxN)
+		}
+		job.st.guardWork(job.w, *buf)
+	} else {
+		p.guardGeneric(job.w)
+	}
+	if timed {
+		p.busyNS[job.w].Add(int64(time.Since(t0)))
 	}
 }
 
@@ -121,10 +139,41 @@ func (p *BatchPipeline) runGeneric(w int) {
 	}
 }
 
+// guardGeneric runs runGeneric with panic containment: a panicking fn is
+// recorded (first one wins), the remaining items are abandoned by burning
+// the item counter, and peers drain out cleanly.
+func (p *BatchPipeline) guardGeneric(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e := &WorkerPanicError{Worker: w, Value: r, Stack: stackTrace()}
+			p.doPanicMu.Lock()
+			if p.doPanicErr == nil {
+				p.doPanicErr = e
+			}
+			p.doPanicMu.Unlock()
+			p.doNext.Store(int64(p.doItems))
+		}
+	}()
+	p.runGeneric(w)
+}
+
+// takeDoPanic consumes the current Do call's contained panic, if any.
+func (p *BatchPipeline) takeDoPanic() error {
+	p.doPanicMu.Lock()
+	defer p.doPanicMu.Unlock()
+	e := p.doPanicErr
+	p.doPanicErr = nil
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
 // Run executes one batch of ops cooperatively across the pool, with the
 // same semantics, pooling and bit-exactness as ContractBatch. The caller
 // computes alongside the parked workers and returns when the batch is
-// fully unpacked into its destinations.
+// fully unpacked into its destinations. A panic inside any op surfaces
+// as a *WorkerPanicError (destinations then hold unspecified data).
 func (p *BatchPipeline) Run(ops []BatchOp, mode KernelMode) error {
 	if len(ops) == 0 {
 		return nil
@@ -149,13 +198,14 @@ func (p *BatchPipeline) Run(ops []BatchOp, mode KernelMode) error {
 	if p.buf == nil {
 		p.buf = getPackBuf(st.maxN)
 	}
-	st.work(p.buf)
+	st.guardWork(0, p.buf)
 	if timed {
 		p.busyNS[0].Add(int64(time.Since(t0)))
 	}
 	p.jobWG.Wait()
+	err = st.takePanic()
 	st.release()
-	return nil
+	return err
 }
 
 // Do runs fn(worker, item) for every item in [0, items) across the pool
@@ -163,47 +213,39 @@ func (p *BatchPipeline) Run(ops []BatchOp, mode KernelMode) error {
 // fan out reclamation work (norms, arena returns) onto the same workers
 // that just computed the batch. fn must be safe for concurrent calls
 // with distinct items; the worker index is stable within one Do and
-// suitable for per-worker arena handles.
-func (p *BatchPipeline) Do(items int, fn func(w, i int)) {
+// suitable for per-worker arena handles. A panic inside fn abandons the
+// remaining items and surfaces as a *WorkerPanicError.
+func (p *BatchPipeline) Do(items int, fn func(w, i int)) error {
 	if items <= 0 {
-		return
+		return nil
 	}
 	nw := p.workers
 	if nw > items {
 		nw = items
 	}
-	if nw <= 1 {
-		var t0 time.Time
-		timed := p.timed.Load()
-		if timed {
-			t0 = time.Now()
-		}
-		for i := 0; i < items; i++ {
-			fn(0, i)
-		}
-		if timed {
-			p.busyNS[0].Add(int64(time.Since(t0)))
-		}
-		return
-	}
 	p.doItems = items
 	p.doFn = fn
 	p.doNext.Store(0)
-	p.jobWG.Add(nw - 1)
-	for w := 1; w < nw; w++ {
-		p.jobs <- pipeJob{w: w}
+	if nw > 1 {
+		p.jobWG.Add(nw - 1)
+		for w := 1; w < nw; w++ {
+			p.jobs <- pipeJob{w: w}
+		}
 	}
 	var t0 time.Time
 	timed := p.timed.Load()
 	if timed {
 		t0 = time.Now()
 	}
-	p.runGeneric(0)
+	p.guardGeneric(0)
 	if timed {
 		p.busyNS[0].Add(int64(time.Since(t0)))
 	}
-	p.jobWG.Wait()
+	if nw > 1 {
+		p.jobWG.Wait()
+	}
 	p.doFn = nil
+	return p.takeDoPanic()
 }
 
 // Close parks the pipeline permanently: workers exit and return their

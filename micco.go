@@ -52,6 +52,7 @@ import (
 	"micco/internal/report"
 	"micco/internal/sched"
 	"micco/internal/spectro"
+	"micco/internal/supervise"
 	"micco/internal/tensor"
 	"micco/internal/wick"
 	"micco/internal/workload"
@@ -188,9 +189,10 @@ type (
 	FaultRetry = fault.Retry
 	// FaultGenConfig parameterizes GenerateFaultPlan.
 	FaultGenConfig = fault.GenConfig
-	// Checkpoint is a resumable stage-boundary snapshot of a run. It is an
-	// in-memory handle (it holds live simulator state), not a serialized
-	// artifact.
+	// Checkpoint is a resumable stage-boundary snapshot of a run. Persist
+	// it with SaveCheckpoint / SaveCheckpointFile (or automatically via
+	// RunOptions.CheckpointDir) and bring it back with LoadCheckpoint /
+	// LoadCheckpointFile.
 	Checkpoint = sched.Checkpoint
 	// RecoveryStats summarizes fault-recovery work done during a run.
 	RecoveryStats = sched.RecoveryStats
@@ -379,6 +381,72 @@ var (
 	// last stage-boundary Checkpoint for resumption.
 	ErrClusterLost = sched.ErrClusterLost
 )
+
+// Durable-checkpoint sentinel errors, for errors.Is.
+var (
+	// ErrCheckpointCorrupt marks a durable checkpoint that failed
+	// structural validation: bad magic, truncation, CRC mismatch, or a
+	// payload that does not decode to a valid snapshot.
+	ErrCheckpointCorrupt = sched.ErrCheckpointCorrupt
+	// ErrCheckpointVersion marks a durable checkpoint written by a format
+	// version this build does not understand.
+	ErrCheckpointVersion = sched.ErrCheckpointVersion
+	// ErrWorkerPanic marks a panic contained in a numeric pipeline worker
+	// or coordinator; the wrapped WorkerPanicError carries the stack.
+	ErrWorkerPanic = tensor.ErrWorkerPanic
+	// ErrRunStalled marks a supervised run whose final attempt was
+	// cancelled by the progress watchdog.
+	ErrRunStalled = supervise.ErrStalled
+)
+
+// Durability and supervision types (DESIGN.md §15).
+type (
+	// RunProgress is the monotone pair-completion counter external
+	// watchdogs poll (RunOptions.Progress).
+	RunProgress = sched.Progress
+	// SuperviseConfig parameterizes a supervised run.
+	SuperviseConfig = supervise.Config
+	// SuperviseStats summarizes what the supervisor did.
+	SuperviseStats = supervise.Stats
+)
+
+// SaveCheckpoint writes cp to w in the versioned durable format (CRC32
+// integrity header + JSON payload), returning the encoded size.
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) (int, error) {
+	return sched.EncodeCheckpoint(w, cp)
+}
+
+// LoadCheckpoint reads one durable checkpoint. Corrupted or truncated
+// input returns an error wrapping ErrCheckpointCorrupt, an unknown format
+// version one wrapping ErrCheckpointVersion; it never panics.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	return sched.DecodeCheckpoint(r)
+}
+
+// SaveCheckpointFile atomically persists cp at path (temp write, fsync,
+// rename, directory fsync): a reader never observes a partial file.
+func SaveCheckpointFile(path string, cp *Checkpoint) (int, error) {
+	return sched.SaveCheckpointFile(path, cp)
+}
+
+// LoadCheckpointFile reads and validates a durable checkpoint from path.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	return sched.LoadCheckpointFile(path)
+}
+
+// CheckpointFilePath returns the canonical durable-checkpoint path for a
+// workload inside dir — the same path RunOptions.CheckpointDir writes.
+func CheckpointFilePath(dir, workload string) string {
+	return sched.CheckpointPath(dir, workload)
+}
+
+// Supervise runs a workload under the self-healing supervisor: retries
+// checkpoint-bearing failures (cluster loss, contained worker panics,
+// watchdog-detected stalls) from the last checkpoint with capped
+// exponential backoff. See SuperviseConfig for the policy knobs.
+func Supervise(ctx context.Context, cfg SuperviseConfig) (*Result, SuperviseStats, error) {
+	return supervise.Run(ctx, cfg)
+}
 
 // LoadFaultPlan parses a JSON fault plan; unknown fields are rejected.
 func LoadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.Load(r) }
